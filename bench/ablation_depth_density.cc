@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Design-choice ablation: sharing density vs CSP pipeline quality.
+ *
+ * DESIGN.md §4 calibrates the spaces' variable-depth (skip) mass
+ * from the paper's Table 2 and EXPERIMENTS.md argues the paper's
+ * bubble ratios are only structurally attainable below a certain
+ * pair-dependency density. This bench makes that argument visible:
+ * it sweeps the skip mass on an NLP.c1-shaped space and charts the
+ * measured density against NASPipe's bubble and throughput — the
+ * paper's "the larger a supernet spans, the fewer dependencies
+ * manifest" insight as a dose-response curve.
+ */
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+using namespace naspipe;
+
+int
+main()
+{
+    int steps = naspipe::bench::defaultSteps(96);
+    bench::banner("Sharing-density ablation: skip mass -> dependency "
+                  "density -> CSP pipeline quality (NLP.c1 shape, "
+                  "8 GPUs, " + std::to_string(steps) + " subnets)");
+
+    TextTable table({"Skip mass", "P(pair dep)", "Samples/s",
+                     "Subnets/s", "Bubble", "Dep stalls"});
+    for (double skip : {0.0, 0.2, 0.37, 0.5, 0.6}) {
+        SearchSpace space("NLP.c1-like", SpaceFamily::Nlp, 48, 72, 7,
+                          skip);
+        RuntimeConfig config;
+        config.system = naspipeSystem();
+        config.numStages = 8;
+        config.totalSubnets = steps;
+        config.seed = 7;
+        config.batch = 128;  // pinned: isolate the scheduling effect
+        RunResult r = runTraining(space, config);
+        if (r.oom) {
+            table.addRow({formatFixed(skip, 2), "-", "OOM", "-", "-",
+                          "-"});
+            continue;
+        }
+        table.addRow(
+            {formatFixed(skip, 2),
+             formatPercent(space.pairDependencyProbability()),
+             formatFixed(r.metrics.samplesPerSec, 1),
+             formatFixed(r.metrics.subnetsPerHour / 3600.0, 2),
+             formatFixed(r.metrics.bubbleRatio, 2),
+             std::to_string(r.metrics.stallDependency)});
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nReading guide: at skip mass 0 (every subnet full depth, "
+        "the literal §3 preliminaries) nearly half of all subnet "
+        "pairs conflict and the CSP pipeline serializes; at the "
+        "Table 2-calibrated mass (0.37) the density matches the "
+        "paper's workload and the bubble approaches its reported "
+        "range. The paper's headline efficiency lives in this "
+        "density regime.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared configuration for the benchmark harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure of the
+ * paper's evaluation (§5). They share the evaluation defaults here so
+ * numbers are comparable across binaries; NASPIPE_BENCH_STEPS can
+ * override the per-run step count for quicker smoke runs.
+ */
+
+#ifndef NASPIPE_BENCH_BENCH_UTIL_H
+#define NASPIPE_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/ablation.h"
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace naspipe {
+namespace bench {
+
+/** Steps per measured run (override with NASPIPE_BENCH_STEPS). */
+inline int
+defaultSteps(int fallback = 96)
+{
+    if (const char *env = std::getenv("NASPIPE_BENCH_STEPS")) {
+        int value = std::atoi(env);
+        if (value > 0)
+            return value;
+    }
+    return fallback;
+}
+
+/** The paper's evaluation defaults (8 GPUs unless a figure varies). */
+inline EvaluationDefaults
+paperDefaults()
+{
+    EvaluationDefaults d;
+    d.gpus = 8;
+    d.steps = defaultSteps();
+    d.seed = 7;
+    return d;
+}
+
+/** Print a section header. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace bench
+} // namespace naspipe
+
+#endif // NASPIPE_BENCH_BENCH_UTIL_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 1: ASP vs BSP vs CSP pipelines on an ordered subnet list
+ * with causal dependencies. Renders each discipline's schedule as an
+ * ASCII timeline and reports dependency preservation and bubble
+ * rate — the trade-off the figure illustrates.
+ */
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "runtime/pipeline_runtime.h"
+
+using namespace naspipe;
+
+namespace {
+
+RunResult
+runOn(const SearchSpace &space, const SystemModel &system)
+{
+    RuntimeConfig config;
+    config.system = system;
+    config.numStages = 4;
+    config.totalSubnets = 8;
+    config.seed = 3;
+    config.traceEnabled = true;
+    return runTraining(space, config);
+}
+
+} // namespace
+
+int
+main()
+{
+    // A deliberately dense little space so the 8 subnets manifest
+    // visible dependencies, like the figure's example.
+    SearchSpace space("fig1", SpaceFamily::Nlp, 8, 3, 3);
+
+    struct Row {
+        const char *label;
+        SystemModel system;
+    };
+    const Row rows[] = {
+        {"ASP pipeline (PipeDream)", pipedreamSystem()},
+        {"BSP pipeline (GPipe)", gpipeSystem()},
+        {"CSP pipeline (NASPipe)", naspipeSystem()},
+    };
+
+    TextTable summary({"Discipline", "Deps preserved",
+                       "Violated layers", "Bubble", "Makespan(s)"});
+    for (const Row &row : rows) {
+        RunResult r = runOn(space, row.system);
+        bench::banner(std::string(row.label) + " — schedule timeline");
+        std::printf("%s", r.trace->renderTimeline(4, 96).c_str());
+        summary.addRow(
+            {row.system.syncName(),
+             r.metrics.causalViolations == 0 ? "yes" : "NO",
+             std::to_string(r.metrics.causalViolations),
+             formatFixed(r.metrics.bubbleRatio, 2),
+             formatFixed(r.metrics.simSeconds, 2)});
+    }
+
+    bench::banner("Figure 1 summary: only CSP retains every causal "
+                  "dependency at a pipeline-worthy bubble rate");
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the numeric training plane:
+ * the per-layer surrogate math, whole-subnet training steps and
+ * checkpoint serialization. The numeric plane must stay cheap next
+ * to the event simulation so full evaluation sweeps run in seconds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "supernet/sampler.h"
+#include "train/numeric_executor.h"
+
+namespace naspipe {
+namespace {
+
+void
+BM_LayerForward(benchmark::State &state)
+{
+    LayerParams params;
+    initLayerParams(params, 3, 0, 0);
+    Tensor in(kLayerDim), out(kLayerDim);
+    in.fill(0.25f);
+    for (auto _ : state) {
+        layerForward(params, in, out);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+}
+BENCHMARK(BM_LayerForward);
+
+void
+BM_LayerBackward(benchmark::State &state)
+{
+    LayerParams params;
+    initLayerParams(params, 3, 0, 0);
+    Tensor in(kLayerDim), gradOut(kLayerDim), gradIn(kLayerDim);
+    in.fill(0.25f);
+    gradOut.fill(0.1f);
+    LayerGrads grads;
+    for (auto _ : state) {
+        grads.clear();
+        layerBackward(params, in, gradOut, gradIn, grads);
+        benchmark::DoNotOptimize(grads.weight.data().data());
+    }
+}
+BENCHMARK(BM_LayerBackward);
+
+void
+BM_TrainSequentialSubnet(benchmark::State &state)
+{
+    SearchSpace space("bench", SpaceFamily::Nlp, 48, 72, 7, 0.37);
+    ParameterStore store(space, 7);
+    NumericExecutor::Config config;
+    config.batch = 160;
+    NumericExecutor exec(store, config);
+    UniformSampler sampler(space, 13);
+    SubnetId id = 0;
+    for (auto _ : state) {
+        Subnet sn = sampler.next();
+        benchmark::DoNotOptimize(exec.trainSequential(sn));
+        (void)id;
+    }
+}
+BENCHMARK(BM_TrainSequentialSubnet);
+
+void
+BM_EvaluateSubnet(benchmark::State &state)
+{
+    SearchSpace space("bench", SpaceFamily::Nlp, 48, 72, 7, 0.37);
+    ParameterStore store(space, 7);
+    NumericExecutor::Config config;
+    NumericExecutor exec(store, config);
+    UniformSampler sampler(space, 13);
+    Subnet sn = sampler.next();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.evaluate(sn, 42));
+}
+BENCHMARK(BM_EvaluateSubnet);
+
+void
+BM_SupernetHash(benchmark::State &state)
+{
+    SearchSpace space("bench", SpaceFamily::Nlp, 48,
+                      static_cast<int>(state.range(0)), 7, 0.37);
+    ParameterStore store(space, 7);
+    store.supernetHash();  // materialize once
+    for (auto _ : state)
+        benchmark::DoNotOptimize(store.supernetHash());
+}
+BENCHMARK(BM_SupernetHash)->Arg(24)->Arg(72);
+
+void
+BM_CheckpointSave(benchmark::State &state)
+{
+    SearchSpace space("bench", SpaceFamily::Nlp, 48, 24, 7, 0.37);
+    ParameterStore store(space, 7);
+    store.supernetHash();  // materialize all layers
+    for (auto _ : state) {
+        std::stringstream buffer;
+        benchmark::DoNotOptimize(store.save(buffer));
+    }
+}
+BENCHMARK(BM_CheckpointSave);
+
+} // namespace
+} // namespace naspipe
+
+BENCHMARK_MAIN();

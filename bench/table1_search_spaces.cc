@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table 1: the seven search spaces of the evaluation, plus the
+ * derived statistics the rest of the evaluation builds on.
+ */
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "supernet/supernet.h"
+
+using namespace naspipe;
+
+int
+main()
+{
+    bench::banner("Table 1: default evaluation setup of seven search "
+                  "spaces");
+    buildTable1(defaultSpaceNames()).print(std::cout);
+
+    bench::banner("Derived space statistics");
+    TextTable stats({"Space", "Supernet", "Mean subnet",
+                     "log10(archs)", "P(pair dep)"});
+    for (const std::string &name : defaultSpaceNames()) {
+        SearchSpace space = makeSpaceByName(name);
+        stats.addRow({space.name(),
+                      formatBytes(space.totalParamBytes()),
+                      formatBytes(space.meanSubnetParamBytes()),
+                      formatFixed(space.logCandidates(), 1),
+                      formatPercent(
+                          space.pairDependencyProbability())});
+    }
+    stats.print(std::cout);
+    std::printf("\nP(pair dep): probability two sampled subnets share "
+                "a parameterized layer — the paper's 'larger supernet, "
+                "fewer dependencies' insight in numbers.\n");
+    return 0;
+}

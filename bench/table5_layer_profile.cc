@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table 5: computation vs swap time for the eight representative
+ * layers, plus a self-consistency check of the swap model against
+ * the PCIe bandwidth.
+ */
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "memory/swap_model.h"
+
+using namespace naspipe;
+
+int
+main()
+{
+    bench::banner("Table 5: comparison of computation and swap time "
+                  "for eight representative layers");
+    buildTable5().print(std::cout);
+
+    bench::banner("Swap-model self-consistency (swap = params / PCIe "
+                  "3.0 x16)");
+    SwapModel model;
+    TextTable check({"Layer", "Params", "Table swap(ms)",
+                     "Model swap(ms)"});
+    const LayerKind kinds[] = {
+        LayerKind::Conv3x1,    LayerKind::SepConv7x1,
+        LayerKind::LightConv5x1, LayerKind::Attention8Head,
+        LayerKind::Conv3x3,    LayerKind::SepConv3x3,
+        LayerKind::SepConv5x5, LayerKind::DilConv3x3,
+    };
+    for (LayerKind kind : kinds) {
+        const LayerSpec &spec = LayerProfileDb::instance().reference(kind);
+        check.addRow({layerKindName(kind),
+                      formatBytes(spec.paramBytes),
+                      formatFixed(spec.swapMs, 2),
+                      formatFixed(model.swapMs(spec.paramBytes), 2)});
+    }
+    check.print(std::cout);
+    std::printf("\nCompute times always dominate swap times, the "
+                "property the context manager's overlap relies on "
+                "(§3.3).\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Hybrid multi-space traversal (paper §5.5, Future Applications):
+ * explore several search spaces *simultaneously* through one CSP
+ * pipeline. Because subnets of different spaces share no layers, the
+ * scheduler interleaves the streams freely — the dependency stalls
+ * that throttle a single dense stream largely vanish, while every
+ * stream's training remains bitwise reproducible.
+ */
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "runtime/pipeline_runtime.h"
+#include "supernet/sampler.h"
+
+int
+main()
+{
+    using namespace naspipe;
+
+    // One combined supernet; the hybrid sampler splits its blocks
+    // into independent sub-spaces.
+    SearchSpace space("hybrid-demo", SpaceFamily::Nlp, 48, 12, 31,
+                      defaultSkipMass(SpaceFamily::Nlp));
+
+    // One batch for every configuration, so comparisons (and the
+    // cross-cluster replay below) share a trajectory.
+    int batch =
+        Engine::commonBatch(space, naspipeSystem(), {4, 8});
+
+    auto runWith = [&space, batch](int streams, int gpus = 8) {
+        RuntimeConfig config;
+        config.system = naspipeSystem();
+        config.numStages = gpus;
+        config.totalSubnets = 96;
+        config.seed = 9;
+        config.batch = batch;
+        config.hybridStreams = streams;
+        return runTraining(space, config);
+    };
+
+    std::printf("traversing the same supernet as 1, 2 and 4 "
+                "simultaneous search spaces (NASPipe, 8 GPUs):\n\n");
+    std::printf("%8s %11s %8s %10s %12s %11s\n", "streams",
+                "subnets/s", "bubble", "exec(s)", "dep stalls",
+                "violations");
+    for (int streams : {1, 2, 4}) {
+        RunResult r = runWith(streams);
+        if (r.oom)
+            return 1;
+        std::printf("%8d %11.2f %8.2f %10.2f %12llu %11d\n", streams,
+                    r.metrics.subnetsPerHour / 3600.0,
+                    r.metrics.bubbleRatio,
+                    r.metrics.meanExecSeconds,
+                    static_cast<unsigned long long>(
+                        r.metrics.stallDependency),
+                    r.metrics.causalViolations);
+    }
+    std::printf("\n(per-stream subnets are 1/streams the size, so "
+                "compare the pipeline quality columns: bubble falls "
+                "as streams stop colliding.)\n");
+
+    std::printf(
+        "\nMore simultaneous spaces => fewer chronologically-close "
+        "shared layers => fewer CSP stalls, with causal correctness "
+        "(violations = 0) intact in every configuration. This is the "
+        "paper's 'hybrid traverse' application: the runtime holds any "
+        "number of dependency relations at once.\n");
+
+    // And the Definition 1 guarantee carries over unchanged: replay
+    // the 4-stream traversal on a different cluster size with the
+    // same batch.
+    RunResult a = runWith(4, 8);
+    RunResult onFour = runWith(4, 4);
+    std::printf("\nhybrid traversal reproducibility, 8 vs 4 GPUs: %s\n",
+                !onFour.oom && onFour.supernetHash == a.supernetHash
+                    ? "bitwise MATCH"
+                    : "mismatch");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: build a search space, train it with NASPipe, inspect
+ * the results. This is the 60-second tour of the public API.
+ */
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "common/string_util.h"
+
+int
+main()
+{
+    using namespace naspipe;
+
+    // 1. Pick a search space. The seven spaces of the paper's
+    //    evaluation are built-in; custom spaces take (name, family,
+    //    #choice-blocks, #candidates-per-block, seed, skip mass).
+    SearchSpace space = makeNlpC2();
+    std::printf("search space %s: %d blocks x %d candidates, "
+                "supernet %s, ~10^%.0f architectures\n",
+                space.name().c_str(), space.numBlocks(),
+                space.choicesPerBlock(),
+                formatBytes(space.totalParamBytes()).c_str(),
+                space.logCandidates());
+
+    // 2. Configure the engine: how many GPUs the pipeline spans and
+    //    how many subnets (one batch each) to train. Pinning the
+    //    batch to one that fits every cluster size makes the run
+    //    replayable on 4, 8 or 16 GPUs alike.
+    Engine::Options options;
+    options.gpus = 8;
+    options.steps = 64;
+    options.seed = 42;
+    options.batch =
+        Engine::commonBatch(space, naspipeSystem(), {4, 8, 16});
+    Engine engine(space, options);
+
+    // 3. Train with NASPipe (CSP scheduling + context prediction +
+    //    layer mirroring).
+    RunResult result = engine.train();
+    if (result.oom) {
+        std::printf("configuration does not fit in GPU memory\n");
+        return 1;
+    }
+
+    // 4. Inspect what happened.
+    std::printf("\n%s\n", result.metrics.summary().c_str());
+    std::printf("batch size (auto-sized): %d samples\n",
+                result.metrics.batch);
+    std::printf("supernet loss:           %.4f\n",
+                result.metrics.finalLoss);
+    std::printf("best subnet found:       SN%lld (score %.2f)\n",
+                static_cast<long long>(result.bestSubnet),
+                result.searchAccuracy);
+    std::printf("causal violations:       %d (CSP guarantees 0)\n",
+                result.metrics.causalViolations);
+    std::printf("weights fingerprint:     %016llx\n",
+                static_cast<unsigned long long>(result.supernetHash));
+    std::printf(
+        "\nRe-run this program: every number above reproduces "
+        "bit-for-bit.\nChange options.gpus: the fingerprint stays "
+        "identical — that is CSP.\n");
+    return 0;
+}

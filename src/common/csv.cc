@@ -1,0 +1,79 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+namespace {
+
+std::string
+joinCells(const std::vector<std::string> &cells)
+{
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); i++) {
+        if (i)
+            line += ',';
+        line += CsvWriter::escape(cells[i]);
+    }
+    return line;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : _width(headers.size()), _header(joinCells(headers))
+{
+    NASPIPE_ASSERT(_width > 0, "csv needs at least one column");
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    NASPIPE_ASSERT(cells.size() == _width, "csv row width mismatch");
+    _lines.push_back(joinCells(cells));
+}
+
+std::string
+CsvWriter::render() const
+{
+    std::string out = _header + '\n';
+    for (const std::string &line : _lines)
+        out += line + '\n';
+    return out;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs)
+        return false;
+    ofs << render();
+    return static_cast<bool>(ofs);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needQuote = false;
+    for (char c : cell) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needQuote = true;
+            break;
+        }
+    }
+    if (!needQuote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace naspipe

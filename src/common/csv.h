@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark harnesses can dump machine-readable
+ * series (e.g., the convergence curves of Figure 4) next to the
+ * human-readable tables.
+ */
+
+#ifndef NASPIPE_COMMON_CSV_H
+#define NASPIPE_COMMON_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace naspipe {
+
+/** Accumulates rows and renders RFC-4180-style CSV text. */
+class CsvWriter
+{
+  public:
+    /** Create a writer with the given header row. */
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header width. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return _lines.size(); }
+
+    /** Render the full document including the header. */
+    std::string render() const;
+
+    /** Write the document to @p path; returns false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+    /** Quote a cell if it contains separators, quotes or newlines. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::size_t _width;
+    std::string _header;
+    std::vector<std::string> _lines;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_COMMON_CSV_H

@@ -1,0 +1,88 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace naspipe {
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic:
+        return "panic";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+LogConfig &
+LogConfig::instance()
+{
+    static LogConfig config;
+    return config;
+}
+
+void
+LogConfig::capture(bool capture)
+{
+    _capturing = capture;
+    if (!capture)
+        _buffer.clear();
+}
+
+std::string
+LogConfig::takeCaptured()
+{
+    std::string out;
+    out.swap(_buffer);
+    return out;
+}
+
+void
+LogConfig::emit(LogLevel level, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += logLevelName(level);
+    line += ": ";
+    line += msg;
+    line += '\n';
+    if (_capturing) {
+        _buffer += line;
+    } else {
+        std::fputs(line.c_str(), stderr);
+    }
+}
+
+namespace detail {
+
+/**
+ * Exceptions (instead of abort/exit) keep panic/fatal testable; the
+ * library treats them as terminal, so nothing catches them in normal
+ * operation and the process still dies with the message.
+ */
+void
+panicExit(const std::string &msg)
+{
+    LogConfig::instance().emit(LogLevel::Panic, msg);
+    throw std::logic_error("panic: " + msg);
+}
+
+void
+fatalExit(const std::string &msg)
+{
+    LogConfig::instance().emit(LogLevel::Fatal, msg);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+} // namespace detail
+
+} // namespace naspipe

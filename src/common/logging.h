@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Status and error reporting for the naspipe library.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in naspipe itself), fatal() is for unrecoverable
+ * user errors (bad configuration), warn()/inform() report conditions
+ * the user should know about without stopping the run.
+ */
+
+#ifndef NASPIPE_COMMON_LOGGING_H
+#define NASPIPE_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace naspipe {
+
+/** Severity of a log record, ordered from most to least severe. */
+enum class LogLevel {
+    Panic,
+    Fatal,
+    Warn,
+    Inform,
+    Debug,
+};
+
+/** Render a log level as the tag printed in front of a message. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Global log verbosity control.
+ *
+ * Records with a level numerically greater than the threshold are
+ * suppressed. Defaults to LogLevel::Inform (debug records hidden).
+ */
+class LogConfig
+{
+  public:
+    /** Access the process-wide configuration. */
+    static LogConfig &instance();
+
+    /** Current verbosity threshold. */
+    LogLevel threshold() const { return _threshold; }
+
+    /** Set the verbosity threshold. */
+    void threshold(LogLevel level) { _threshold = level; }
+
+    /** Whether records at @p level should be emitted. */
+    bool enabled(LogLevel level) const { return level <= _threshold; }
+
+    /**
+     * Redirect output into an internal buffer (for tests).
+     * @param capture true to buffer, false to write to stderr.
+     */
+    void capture(bool capture);
+
+    /** Retrieve and clear the captured buffer. */
+    std::string takeCaptured();
+
+    /** Emit one formatted record (internal use by the log functions). */
+    void emit(LogLevel level, const std::string &msg);
+
+  private:
+    LogConfig() = default;
+
+    LogLevel _threshold = LogLevel::Inform;
+    bool _capturing = false;
+    std::string _buffer;
+};
+
+namespace detail {
+
+/** Fold a parameter pack into one string using operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicExit(const std::string &msg);
+[[noreturn]] void fatalExit(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ * Use only for conditions that indicate a bug in naspipe itself.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicExit(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalExit(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    auto &cfg = LogConfig::instance();
+    if (cfg.enabled(LogLevel::Warn))
+        cfg.emit(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a normal informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    auto &cfg = LogConfig::instance();
+    if (cfg.enabled(LogLevel::Inform)) {
+        cfg.emit(LogLevel::Inform,
+                 detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/** Emit a high-volume debugging message (suppressed by default). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    auto &cfg = LogConfig::instance();
+    if (cfg.enabled(LogLevel::Debug)) {
+        cfg.emit(LogLevel::Debug,
+                 detail::concat(std::forward<Args>(args)...));
+    }
+}
+
+/**
+ * Assert a runtime invariant; panics with the stringified condition
+ * and an optional explanatory message when violated. Unlike assert()
+ * this is always enabled, which a deterministic simulator can afford.
+ */
+#define NASPIPE_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::naspipe::panic("assertion failed: ", #cond, " ",             \
+                             ::naspipe::detail::concat(__VA_ARGS__),       \
+                             " [", __FILE__, ":", __LINE__, "]");          \
+        }                                                                  \
+    } while (0)
+
+} // namespace naspipe
+
+#endif // NASPIPE_COMMON_LOGGING_H

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Statistics primitives used across the simulator and the runtime.
+ *
+ * The evaluation section of the paper reports utilizations, bubble
+ * ratios, hit rates and averaged execution times; these small classes
+ * accumulate them in a deterministic, order-independent-where-possible
+ * way.
+ */
+
+#ifndef NASPIPE_COMMON_STATS_H
+#define NASPIPE_COMMON_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+
+/** Simple named monotonic counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : _name(std::move(name)) {}
+
+    /** Add @p delta (default 1) to the counter. */
+    void inc(std::uint64_t delta = 1) { _value += delta; }
+
+    /** Current value. */
+    std::uint64_t value() const { return _value; }
+
+    /** Reset to zero. */
+    void reset() { _value = 0; }
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::uint64_t _value = 0;
+};
+
+/** Running scalar summary: count/sum/min/max/mean. */
+class Summary
+{
+  public:
+    /** Record one sample. */
+    void add(double sample);
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const;
+    double max() const;
+
+    /** Merge another summary into this one. */
+    void merge(const Summary &other);
+
+    void reset();
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width histogram over [lo, hi) with overflow buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bucket
+     * @param hi upper edge of the last bucket
+     * @param buckets number of equal-width buckets
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double sample);
+
+    std::uint64_t bucketCount(std::size_t idx) const;
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    std::size_t buckets() const { return _counts.size(); }
+    std::uint64_t total() const { return _total; }
+
+    /** Sample value below which @p q of the mass lies (approximate). */
+    double quantile(double q) const;
+
+  private:
+    double _lo;
+    double _width;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _total = 0;
+};
+
+/**
+ * Busy/idle interval tracker for a resource (GPU ALU, copy engine).
+ *
+ * Intervals are accumulated as (start, end) pairs in simulated time;
+ * utilization() is busy time over a window, and bubbleRatio() is the
+ * paper's bubble metric: idle fraction of the active window between
+ * the first task start and the last task end.
+ */
+class UtilizationTracker
+{
+  public:
+    /** Record one busy interval [start, end). */
+    void addBusy(double start, double end);
+
+    /** Total busy time accumulated. */
+    double busyTime() const { return _busy; }
+
+    /** First recorded busy start (0 if none). */
+    double firstStart() const;
+
+    /** Last recorded busy end (0 if none). */
+    double lastEnd() const;
+
+    /** Busy fraction of [0, @p windowEnd]. */
+    double utilization(double windowEnd) const;
+
+    /** Idle fraction of [firstStart, lastEnd]. */
+    double bubbleRatio() const;
+
+    /** Number of recorded intervals. */
+    std::uint64_t intervals() const { return _intervals; }
+
+    void reset();
+
+  private:
+    double _busy = 0.0;
+    double _first = std::numeric_limits<double>::infinity();
+    double _last = 0.0;
+    std::uint64_t _intervals = 0;
+};
+
+/** Hit/miss ratio accumulator (cache-hit rate of Table 2). */
+class RatioStat
+{
+  public:
+    void hit(std::uint64_t n = 1) { _hits += n; }
+    void miss(std::uint64_t n = 1) { _misses += n; }
+
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t total() const { return _hits + _misses; }
+
+    /** Hits over total; 0 when empty. */
+    double rate() const;
+
+    void reset();
+
+  private:
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_COMMON_STATS_H

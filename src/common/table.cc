@@ -1,0 +1,103 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace naspipe {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    NASPIPE_ASSERT(!_headers.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    NASPIPE_ASSERT(cells.size() == _headers.size(),
+                   "row width ", cells.size(), " != header width ",
+                   _headers.size());
+    Row row;
+    row.cells = std::move(cells);
+    row.separatorBefore = _pendingSeparator;
+    _pendingSeparator = false;
+    _rows.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    _pendingSeparator = true;
+}
+
+bool
+TextTable::looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    bool digit = false;
+    for (char c : cell) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit = true;
+        } else if (c != '.' && c != '-' && c != '+' && c != '%' &&
+                   c != 'x' && c != 'e' && c != 'E') {
+            return false;
+        }
+    }
+    return digit;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); c++)
+        widths[c] = _headers[c].size();
+    for (const Row &row : _rows) {
+        for (std::size_t c = 0; c < row.cells.size(); c++)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto renderLine = [&](const std::vector<std::string> &cells,
+                          bool alignValues) {
+        std::string line;
+        for (std::size_t c = 0; c < cells.size(); c++) {
+            if (c)
+                line += "  ";
+            bool right = alignValues && looksNumeric(cells[c]);
+            line += right ? padLeft(cells[c], widths[c])
+                          : padRight(cells[c], widths[c]);
+        }
+        // Trim trailing spaces that padRight may leave on the line.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line;
+    };
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); c++)
+        total += widths[c] + (c ? 2 : 0);
+
+    std::ostringstream oss;
+    oss << renderLine(_headers, false) << '\n';
+    oss << std::string(total, '-') << '\n';
+    for (const Row &row : _rows) {
+        if (row.separatorBefore)
+            oss << std::string(total, '-') << '\n';
+        oss << renderLine(row.cells, true) << '\n';
+    }
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+} // namespace naspipe

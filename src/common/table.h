@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aligned text-table writer used by the benchmark harnesses to print
+ * the paper's tables and figure series in a readable form.
+ */
+
+#ifndef NASPIPE_COMMON_TABLE_H
+#define NASPIPE_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+
+/**
+ * A simple column-aligned table. Columns are sized to their widest
+ * cell; numeric-looking cells are right-aligned and text cells are
+ * left-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separatorBefore = false;
+    };
+
+    static bool looksNumeric(const std::string &cell);
+
+    std::vector<std::string> _headers;
+    std::vector<Row> _rows;
+    bool _pendingSeparator = false;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_COMMON_TABLE_H

@@ -1,0 +1,58 @@
+#include "core/ablation.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/report.h"
+
+namespace naspipe {
+
+std::vector<AblationEntry>
+runAblationStudy(const SearchSpace &space,
+                 const EvaluationDefaults &defaults)
+{
+    std::vector<AblationEntry> entries;
+    const RunResult *reference = nullptr;
+
+    for (const SystemModel &system : ablationSystems()) {
+        AblationEntry entry;
+        entry.spaceName = space.name();
+        entry.variantName = system.name;
+        entry.run = runExperiment(space, system, defaults).run;
+        entries.push_back(std::move(entry));
+    }
+
+    // Normalize to the full system (always the first variant).
+    reference = &entries.front().run;
+    for (AblationEntry &entry : entries) {
+        entry.normalizedThroughput =
+            normalizedThroughput(entry.run, *reference);
+    }
+    return entries;
+}
+
+TextTable
+buildAblationTable(const std::vector<AblationEntry> &entries)
+{
+    TextTable table({"Space", "Variant", "Samples/s", "vs NASPipe",
+                     "Bubble", "Batch"});
+    std::string lastSpace;
+    for (const AblationEntry &entry : entries) {
+        if (!lastSpace.empty() && entry.spaceName != lastSpace)
+            table.addSeparator();
+        lastSpace = entry.spaceName;
+        if (entry.run.oom) {
+            table.addRow({entry.spaceName, entry.variantName, "OOM",
+                          "-", "-", "-"});
+            continue;
+        }
+        const RunMetrics &m = entry.run.metrics;
+        table.addRow({entry.spaceName, entry.variantName,
+                      formatFixed(m.samplesPerSec, 1),
+                      formatFactor(entry.normalizedThroughput, 2),
+                      formatFixed(m.bubbleRatio, 2),
+                      std::to_string(m.batch)});
+    }
+    return table;
+}
+
+} // namespace naspipe

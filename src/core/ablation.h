@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ablation study driver (§5.3 / Figure 6): NASPipe with its
+ * scheduler, predictor or mirroring individually disabled.
+ */
+
+#ifndef NASPIPE_CORE_ABLATION_H
+#define NASPIPE_CORE_ABLATION_H
+
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+namespace naspipe {
+
+/** Result of one ablated variant on one space. */
+struct AblationEntry {
+    std::string spaceName;
+    std::string variantName;
+    RunResult run;
+    double normalizedThroughput = 0.0;  ///< vs full NASPipe
+};
+
+/**
+ * Run NASPipe and its three ablated variants on @p space; throughputs
+ * are normalized to full NASPipe.
+ */
+std::vector<AblationEntry> runAblationStudy(
+    const SearchSpace &space, const EvaluationDefaults &defaults);
+
+/** Render an ablation study as a table. */
+TextTable buildAblationTable(const std::vector<AblationEntry> &entries);
+
+} // namespace naspipe
+
+#endif // NASPIPE_CORE_ABLATION_H

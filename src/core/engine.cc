@@ -1,0 +1,91 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+Engine::Engine(const SearchSpace &space, const Options &options)
+    : _space(space), _options(options)
+{
+    NASPIPE_ASSERT(options.gpus >= 1, "need >= 1 GPU");
+    NASPIPE_ASSERT(options.steps >= 1, "need >= 1 training step");
+}
+
+RuntimeConfig
+Engine::configFor(const SystemModel &system) const
+{
+    RuntimeConfig config;
+    config.system = system;
+    config.numStages = _options.gpus;
+    config.totalSubnets = _options.steps;
+    config.batch = _options.batch;
+    config.seed = _options.seed;
+    config.traceEnabled = _options.trace;
+    config.evolutionSearch = _options.evolutionSearch;
+    config.sgd = _options.sgd;
+    return config;
+}
+
+RunResult
+Engine::train() const
+{
+    return trainWith(naspipeSystem());
+}
+
+RunResult
+Engine::trainWith(const SystemModel &system) const
+{
+    return runTraining(_space, configFor(system));
+}
+
+int
+Engine::commonBatch(const SearchSpace &space, const SystemModel &system,
+                    const std::vector<int> &gpuCounts)
+{
+    NASPIPE_ASSERT(!gpuCounts.empty(), "need at least one GPU count");
+    CapacityPlanner planner(space, GpuConfig{});
+    int batch = 0;
+    for (int gpus : gpuCounts) {
+        CapacityPlan plan = planner.plan(system, gpus);
+        if (!plan.fits)
+            return 0;
+        batch = batch == 0 ? plan.batch
+                           : std::min(batch, plan.batch);
+    }
+    return batch;
+}
+
+std::vector<RunComparison>
+Engine::verifyReproducibility(const SearchSpace &space,
+                              const SystemModel &system,
+                              const std::vector<int> &gpuCounts,
+                              const Options &options)
+{
+    NASPIPE_ASSERT(!gpuCounts.empty(), "need at least one GPU count");
+    // Pin the batch across clusters (§5.2: "kept the random seed,
+    // batch size ... the same").
+    int batch = options.batch > 0
+                    ? options.batch
+                    : commonBatch(space, system, gpuCounts);
+    NASPIPE_ASSERT(batch > 0, "no batch fits every GPU count");
+
+    std::vector<RunResult> results;
+    for (int gpus : gpuCounts) {
+        Options o = options;
+        o.gpus = gpus;
+        o.batch = batch;
+        Engine engine(space, o);
+        results.push_back(engine.trainWith(system));
+        NASPIPE_ASSERT(!results.back().oom,
+                       "reproducibility run OOMed on ", gpus,
+                       " GPUs; pick a smaller space");
+    }
+    std::vector<RunComparison> comparisons;
+    for (std::size_t i = 1; i < results.size(); i++)
+        comparisons.push_back(compareRuns(results[0], results[i]));
+    return comparisons;
+}
+
+} // namespace naspipe

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * naspipe::Engine — the library's public entry point.
+ *
+ * A downstream user builds (or picks) a search space, constructs an
+ * Engine, and trains: the engine runs the CSP pipeline by default
+ * and exposes the baselines and ablations through the same call.
+ *
+ * @code
+ *   auto space = naspipe::makeNlpC2();
+ *   naspipe::Engine engine(space, {.gpus = 8, .steps = 128});
+ *   naspipe::RunResult result = engine.train();
+ *   // result.metrics.samplesPerSec, result.searchAccuracy, ...
+ * @endcode
+ */
+
+#ifndef NASPIPE_CORE_ENGINE_H
+#define NASPIPE_CORE_ENGINE_H
+
+#include <vector>
+
+#include "runtime/pipeline_runtime.h"
+#include "runtime/replay.h"
+#include "schedule/scheduler.h"
+#include "supernet/search_space.h"
+
+namespace naspipe {
+
+/**
+ * High-level training facade.
+ */
+class Engine
+{
+  public:
+    /** User-facing options (a trimmed RuntimeConfig). */
+    struct Options {
+        int gpus = 8;            ///< pipeline depth / GPU count
+        int steps = 64;          ///< subnets to train (one batch each)
+        std::uint64_t seed = 7;  ///< master random seed
+        int batch = 0;           ///< 0: auto-size from GPU memory
+        bool trace = false;      ///< record the task timeline
+        bool evolutionSearch = false;  ///< evolution sampler
+        SgdConfig sgd;           ///< optimizer hyperparameters
+    };
+
+    /**
+     * @param space the search space (must outlive the engine)
+     * @param options run options
+     */
+    Engine(const SearchSpace &space, const Options &options);
+
+    /** Train with NASPipe (CSP + predictor + mirroring). */
+    RunResult train() const;
+
+    /** Train with an explicit system model (baseline/ablation). */
+    RunResult trainWith(const SystemModel &system) const;
+
+    /** The full RuntimeConfig the engine would run @p system with. */
+    RuntimeConfig configFor(const SystemModel &system) const;
+
+    const SearchSpace &space() const { return _space; }
+    const Options &options() const { return _options; }
+
+    /**
+     * The largest batch @p system supports on *every* GPU count in
+     * @p gpuCounts (0 when some count cannot run at all). The
+     * paper's cross-cluster methodology pins the batch like this so
+     * runs on different clusters train the same trajectory.
+     */
+    static int commonBatch(const SearchSpace &space,
+                           const SystemModel &system,
+                           const std::vector<int> &gpuCounts);
+
+    /**
+     * Run @p system on every GPU count in @p gpuCounts — with the
+     * batch pinned to commonBatch() unless @p options.batch sets one
+     * — and check Definition 1: all runs must produce
+     * bitwise-identical weights, identical per-subnet losses, and
+     * the same search result.
+     *
+     * @return the pairwise comparison against the first run for each
+     *         subsequent GPU count (empty if < 2 counts).
+     */
+    static std::vector<RunComparison> verifyReproducibility(
+        const SearchSpace &space, const SystemModel &system,
+        const std::vector<int> &gpuCounts, const Options &options);
+
+  private:
+    const SearchSpace &_space;
+    Options _options;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_CORE_ENGINE_H

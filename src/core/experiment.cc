@@ -1,0 +1,68 @@
+#include "core/experiment.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+std::vector<SystemModel>
+evaluatedSystems()
+{
+    return {naspipeSystem(), gpipeSystem(), pipedreamSystem(),
+            vpipeSystem()};
+}
+
+std::vector<SystemModel>
+ablationSystems()
+{
+    return {naspipeSystem(), naspipeWithoutScheduler(),
+            naspipeWithoutPredictor(), naspipeWithoutMirroring()};
+}
+
+Engine::Options
+optionsFrom(const EvaluationDefaults &defaults)
+{
+    Engine::Options options;
+    options.gpus = defaults.gpus;
+    options.steps = defaults.steps;
+    options.seed = defaults.seed;
+    options.trace = defaults.trace;
+    return options;
+}
+
+ExperimentResult
+runExperiment(const SearchSpace &space, const SystemModel &system,
+              const EvaluationDefaults &defaults)
+{
+    Engine engine(space, optionsFrom(defaults));
+    ExperimentResult out;
+    out.spaceName = space.name();
+    out.systemName = system.name;
+    out.run = engine.trainWith(system);
+    return out;
+}
+
+std::vector<ExperimentResult>
+runEvaluationMatrix(const std::vector<std::string> &spaceNames,
+                    const std::vector<SystemModel> &systems,
+                    const EvaluationDefaults &defaults)
+{
+    std::vector<ExperimentResult> out;
+    for (const std::string &name : spaceNames) {
+        SearchSpace space = makeSpaceByName(name);
+        for (const SystemModel &system : systems)
+            out.push_back(runExperiment(space, system, defaults));
+    }
+    return out;
+}
+
+double
+normalizedThroughput(const RunResult &run, const RunResult &baseline)
+{
+    if (run.oom || baseline.oom)
+        return 0.0;
+    if (baseline.metrics.samplesPerSec <= 0.0)
+        return 0.0;
+    return run.metrics.samplesPerSec / baseline.metrics.samplesPerSec;
+}
+
+} // namespace naspipe

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Paper experiment definitions: the space/system/GPU-count matrix of
+ * §5, with one configuration helper per experiment so every bench
+ * binary reproduces its table or figure from the same settings.
+ */
+
+#ifndef NASPIPE_CORE_EXPERIMENT_H
+#define NASPIPE_CORE_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "runtime/pipeline_runtime.h"
+#include "schedule/scheduler.h"
+#include "supernet/search_space.h"
+
+namespace naspipe {
+
+/** The four evaluated systems in the paper's order. */
+std::vector<SystemModel> evaluatedSystems();
+
+/** NASPipe plus its three ablated variants (§5.3 / Figure 6). */
+std::vector<SystemModel> ablationSystems();
+
+/**
+ * One cell of the evaluation matrix: a system trained on a space.
+ */
+struct ExperimentResult {
+    std::string spaceName;
+    std::string systemName;
+    RunResult run;
+};
+
+/** Shared defaults of the paper's evaluation (§5, Default Setting). */
+struct EvaluationDefaults {
+    int gpus = 8;
+    int steps = 96;          ///< subnets trained per measurement run
+    std::uint64_t seed = 7;
+    bool trace = false;
+};
+
+/** Engine options matching the evaluation defaults. */
+Engine::Options optionsFrom(const EvaluationDefaults &defaults);
+
+/**
+ * Train @p system on @p space under @p defaults; steps and seed are
+ * shared across systems so comparisons are apples-to-apples.
+ */
+ExperimentResult runExperiment(const SearchSpace &space,
+                               const SystemModel &system,
+                               const EvaluationDefaults &defaults);
+
+/**
+ * The full evaluation sweep: every system on every named space.
+ * OOM results (e.g. GPipe on NLP.c0) appear with run.oom == true.
+ */
+std::vector<ExperimentResult> runEvaluationMatrix(
+    const std::vector<std::string> &spaceNames,
+    const std::vector<SystemModel> &systems,
+    const EvaluationDefaults &defaults);
+
+/**
+ * Throughput of @p run normalized to @p baseline (Figure 5's y-axis;
+ * returns 0 when either run OOMed).
+ */
+double normalizedThroughput(const RunResult &run,
+                            const RunResult &baseline);
+
+} // namespace naspipe
+
+#endif // NASPIPE_CORE_EXPERIMENT_H

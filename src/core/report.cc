@@ -1,0 +1,178 @@
+#include "core/report.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "supernet/profile.h"
+
+namespace naspipe {
+
+namespace {
+
+SpaceFamily
+familyOfName(const std::string &spaceName)
+{
+    return startsWith(spaceName, "NLP") ? SpaceFamily::Nlp
+                                        : SpaceFamily::Cv;
+}
+
+std::string
+paramCountString(std::uint64_t paramBytes)
+{
+    // Parameter count (fp32) in the paper's "1327M" / "14.8B" style.
+    double params = static_cast<double>(paramBytes) / 4.0;
+    if (params >= 1e9)
+        return formatFixed(params / 1e9, 1) + "B";
+    return formatFixed(params / 1e6, 0) + "M";
+}
+
+} // namespace
+
+std::string
+formatScore(double score, SpaceFamily family)
+{
+    if (family == SpaceFamily::Nlp)
+        return formatFixed(score, 2);  // BLEU-like
+    return formatFixed(score, 1) + "%";  // top-5-like
+}
+
+TextTable
+buildTable1(const std::vector<std::string> &spaceNames)
+{
+    TextTable table({"Search Space", "# Choice Blocks", "# Layer/Block",
+                     "Dataset"});
+    for (const std::string &name : spaceNames) {
+        SearchSpace space = makeSpaceByName(name);
+        table.addRow({space.name(),
+                      std::to_string(space.numBlocks()),
+                      std::to_string(space.choicesPerBlock()),
+                      space.dataset()});
+    }
+    return table;
+}
+
+std::vector<std::string>
+table2Row(const ExperimentResult &result)
+{
+    const RunResult &run = result.run;
+    SpaceFamily family = familyOfName(result.spaceName);
+    if (run.oom) {
+        return {result.spaceName, result.systemName, "OOM", "-", "-",
+                "-",              "-",               "-",   "-", "-",
+                "-"};
+    }
+    const RunMetrics &m = run.metrics;
+    return {
+        result.spaceName,
+        result.systemName,
+        paramCountString(m.reportedParamBytes),
+        formatScore(run.searchAccuracy, family),
+        std::to_string(m.batch),
+        formatFactor(m.gpuMemFactor, 1),
+        formatFactor(m.totalAluUtilization, 1),
+        m.cpuMemBytes ? formatBytes(m.cpuMemBytes) : "0",
+        formatFixed(m.meanExecSeconds, 2),
+        formatFixed(m.bubbleRatio, 2),
+        m.cacheHitRate < 0.0 ? "N/A" : formatPercent(m.cacheHitRate),
+    };
+}
+
+TextTable
+buildTable2(const std::vector<ExperimentResult> &results)
+{
+    TextTable table({"Space", "System", "Para.", "Score", "Batch",
+                     "GPU Mem.", "GPU ALU", "CPU Mem.", "Exec.(s)",
+                     "Bub.", "Cache Hit"});
+    std::string lastSpace;
+    for (const ExperimentResult &result : results) {
+        if (!lastSpace.empty() && result.spaceName != lastSpace)
+            table.addSeparator();
+        lastSpace = result.spaceName;
+        table.addRow(table2Row(result));
+    }
+    return table;
+}
+
+TextTable
+buildTable5()
+{
+    const auto &db = LayerProfileDb::instance();
+    TextTable table({"Family", "Input Size", "Layer", "Comp.(ms)",
+                     "Swap(ms)"});
+    const LayerKind nlp[] = {
+        LayerKind::Conv3x1, LayerKind::SepConv7x1,
+        LayerKind::LightConv5x1, LayerKind::Attention8Head};
+    const LayerKind cv[] = {LayerKind::Conv3x3, LayerKind::SepConv3x3,
+                            LayerKind::SepConv5x5,
+                            LayerKind::DilConv3x3};
+    for (LayerKind kind : nlp) {
+        const LayerSpec &spec = db.reference(kind);
+        table.addRow({"NLP", "(192, 1024)", layerKindName(kind),
+                      formatFixed(spec.fwdMs, 2) + "/" +
+                          formatFixed(spec.bwdMs, 2),
+                      formatFixed(spec.swapMs, 2)});
+    }
+    table.addSeparator();
+    for (LayerKind kind : cv) {
+        const LayerSpec &spec = db.reference(kind);
+        table.addRow({"CV", "(64, 112, 112)", layerKindName(kind),
+                      formatFixed(spec.fwdMs, 2) + "/" +
+                          formatFixed(spec.bwdMs, 2),
+                      formatFixed(spec.swapMs, 2)});
+    }
+    return table;
+}
+
+TextTable
+buildThroughputTable(const std::vector<ExperimentResult> &results)
+{
+    // Group results per space, find the GPipe baseline of each.
+    std::map<std::string, std::vector<const ExperimentResult *>>
+        bySpace;
+    std::vector<std::string> order;
+    for (const ExperimentResult &result : results) {
+        if (!bySpace.count(result.spaceName))
+            order.push_back(result.spaceName);
+        bySpace[result.spaceName].push_back(&result);
+    }
+
+    TextTable table({"Space", "System", "Samples/s", "Normalized",
+                     "Subnets/h", "Bubble"});
+    for (const std::string &spaceName : order) {
+        const auto &group = bySpace[spaceName];
+        const RunResult *baseline = nullptr;
+        for (const auto *r : group) {
+            if (r->systemName == "GPipe" && !r->run.oom)
+                baseline = &r->run;
+        }
+        if (!baseline) {
+            for (const auto *r : group) {
+                if (!r->run.oom) {
+                    baseline = &r->run;
+                    break;
+                }
+            }
+        }
+        table.addSeparator();
+        for (const auto *r : group) {
+            if (r->run.oom) {
+                table.addRow({spaceName, r->systemName, "OOM", "-",
+                              "-", "-"});
+                continue;
+            }
+            const RunMetrics &m = r->run.metrics;
+            double norm = baseline
+                              ? normalizedThroughput(r->run, *baseline)
+                              : 1.0;
+            table.addRow({spaceName, r->systemName,
+                          formatFixed(m.samplesPerSec, 1),
+                          formatFactor(norm, 2),
+                          formatFixed(m.subnetsPerHour, 0),
+                          formatFixed(m.bubbleRatio, 2)});
+        }
+    }
+    return table;
+}
+
+} // namespace naspipe

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Report builders: turn run results into the paper's tables.
+ */
+
+#ifndef NASPIPE_CORE_REPORT_H
+#define NASPIPE_CORE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/experiment.h"
+
+namespace naspipe {
+
+/** Table 1: the search-space setup. */
+TextTable buildTable1(const std::vector<std::string> &spaceNames);
+
+/**
+ * Table 2: resource consumption and micro events (Para., Score,
+ * Batch, GPU Mem., GPU ALU, CPU Mem., Exec., Bub., Cache Hit).
+ */
+TextTable buildTable2(const std::vector<ExperimentResult> &results);
+
+/** One Table 2 row for a result (exposed for tests). */
+std::vector<std::string> table2Row(const ExperimentResult &result);
+
+/**
+ * Table 5: computation vs swap time of the eight representative
+ * layers, straight from the profile database.
+ */
+TextTable buildTable5();
+
+/**
+ * Figure 5-style throughput summary: normalized throughput of every
+ * system per space (normalized to GPipe where it runs, to NASPipe
+ * otherwise) plus NASPipe's subnets/hour.
+ */
+TextTable buildThroughputTable(
+    const std::vector<ExperimentResult> &results);
+
+/** Format a run's score like the paper (BLEU or top-5 %). */
+std::string formatScore(double score, SpaceFamily family);
+
+} // namespace naspipe
+
+#endif // NASPIPE_CORE_REPORT_H

@@ -1,0 +1,39 @@
+#include "hw/gpu.h"
+
+namespace naspipe {
+
+namespace {
+
+std::string
+engineName(int id, const char *suffix)
+{
+    return "gpu" + std::to_string(id) + "." + suffix;
+}
+
+} // namespace
+
+Gpu::Gpu(Simulator &sim, int id, const GpuConfig &config)
+    : _id(id), _config(config),
+      _compute(sim, engineName(id, "compute")),
+      _h2d(sim, engineName(id, "h2d"), config.pcieBytesPerSec,
+           config.pcieLatency),
+      _d2h(sim, engineName(id, "d2h"), config.pcieBytesPerSec,
+           config.pcieLatency)
+{
+}
+
+double
+Gpu::aluUtilization(double windowEnd) const
+{
+    return _compute.utilization().utilization(windowEnd);
+}
+
+void
+Gpu::reset()
+{
+    _compute.reset();
+    _h2d.reset();
+    _d2h.reset();
+}
+
+} // namespace naspipe

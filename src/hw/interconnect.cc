@@ -1,0 +1,65 @@
+#include "hw/interconnect.h"
+
+#include <string>
+
+namespace naspipe {
+
+const char *
+linkTypeName(LinkType type)
+{
+    return type == LinkType::IntraHostPcie ? "pcie-p2p" : "ethernet";
+}
+
+namespace {
+
+std::string
+linkName(int from, int to, LinkType type)
+{
+    return std::string("link.") + std::to_string(from) + "->" +
+           std::to_string(to) + "." + linkTypeName(type);
+}
+
+double
+bandwidthFor(LinkType type, const InterconnectConfig &config)
+{
+    return type == LinkType::IntraHostPcie
+               ? config.intraHostBytesPerSec
+               : config.crossHostBytesPerSec;
+}
+
+Tick
+latencyFor(LinkType type, const InterconnectConfig &config)
+{
+    return type == LinkType::IntraHostPcie ? config.intraHostLatency
+                                           : config.crossHostLatency;
+}
+
+} // namespace
+
+StageLink::StageLink(Simulator &sim, int fromStage, int toStage,
+                     LinkType type, const InterconnectConfig &config)
+    : _from(fromStage), _to(toStage), _type(type),
+      _channel(sim, linkName(fromStage, toStage, type),
+               bandwidthFor(type, config), latencyFor(type, config))
+{
+}
+
+Tick
+StageLink::send(std::uint64_t bytes)
+{
+    return _channel.transfer(bytes);
+}
+
+Tick
+StageLink::sendFrom(Tick earliest, std::uint64_t bytes)
+{
+    return _channel.transferFrom(earliest, bytes);
+}
+
+Tick
+StageLink::messageTime(std::uint64_t bytes) const
+{
+    return _channel.transferTime(bytes);
+}
+
+} // namespace naspipe

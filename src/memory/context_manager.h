@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Context manager: the per-stage process that keeps the right layer
+ * parameters on the GPU (§3.1, §4.2).
+ *
+ * The manager owns the stage's resident-set bookkeeping and the DMA
+ * traffic. Under PredictivePrefetch (NASPipe) it asynchronously
+ * fetches the contexts the predictor requests and evicts a subnet's
+ * stage context right after its backward pass. Under SwapOnDemand
+ * (VPipe) there is no lookahead: the missing context is swapped in
+ * synchronously when execution reaches it, after evicting the
+ * previous task's context. Under AllResident (GPipe/PipeDream and
+ * the w/o-predictor ablation) everything lives on the GPU and the
+ * manager is a no-op.
+ */
+
+#ifndef NASPIPE_MEMORY_CONTEXT_MANAGER_H
+#define NASPIPE_MEMORY_CONTEXT_MANAGER_H
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "hw/gpu.h"
+#include "memory/gpu_memory.h"
+#include "schedule/scheduler.h"
+#include "sim/simulator.h"
+#include "supernet/search_space.h"
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/** DMA and hit-rate statistics of one stage's context manager. */
+struct ContextStats {
+    std::uint64_t prefetchedBytes = 0;
+    std::uint64_t syncFetchedBytes = 0;
+    std::uint64_t evictedBytes = 0;
+    std::uint64_t prefetchRequests = 0;
+    std::uint64_t syncFetches = 0;
+    /// LRU evictions forced by the memory-limit check (§4.2).
+    std::uint64_t forcedEvictions = 0;
+    /// Copies admitted above budget because nothing was evictable.
+    std::uint64_t overBudgetFetches = 0;
+};
+
+/**
+ * Per-stage context manager.
+ */
+class ContextManager
+{
+  public:
+    /**
+     * @param sim owning simulator
+     * @param space the search space
+     * @param gpu the stage's GPU (supplies the DMA engines)
+     * @param mode memory management strategy
+     * @param budgetBytes parameter-cache budget; "NASPipe invokes a
+     *        GPU memory limit checking before it copies an operator
+     *        to GPU" (§4.2) — a copy that would exceed the budget
+     *        first evicts least-recently-used idle layers. 0 means
+     *        unlimited.
+     */
+    ContextManager(Simulator &sim, const SearchSpace &space, Gpu &gpu,
+                   MemoryMode mode, std::uint64_t budgetBytes = 0);
+
+    MemoryMode mode() const { return _mode; }
+    std::uint64_t budgetBytes() const { return _budgetBytes; }
+
+    /**
+     * Predictor-driven asynchronous fetch of @p subnet's context for
+     * blocks [lo, hi]. No-op outside PredictivePrefetch mode.
+     */
+    void prefetch(const Subnet &subnet, int lo, int hi);
+
+    /**
+     * Make @p subnet's blocks [lo, hi] resident for execution.
+     * Classifies each layer as hit/miss (when @p countStats), issues
+     * synchronous fetches for misses, and returns the time at which
+     * every layer is usable.
+     */
+    Tick ensureResident(const Subnet &subnet, int lo, int hi,
+                        bool countStats = true);
+
+    /**
+     * Evict @p subnet's stage context after its backward pass
+     * (PredictivePrefetch); parameters are dirty, so the copy-back
+     * occupies the D2H engine.
+     */
+    void evictSubnet(const Subnet &subnet, int lo, int hi);
+
+    /** Resident-set accounting. */
+    const GpuMemoryManager &memory() const { return _memory; }
+
+    /** Cache-hit rate over all ensureResident classifications. */
+    double cacheHitRate() const { return _memory.hitStats().rate(); }
+
+    const ContextStats &stats() const { return _stats; }
+
+    void reset();
+
+  private:
+    Tick fetchLayer(const LayerId &layer, std::uint64_t bytes);
+    void evictLayer(const LayerId &layer);
+    void enforceBudget(std::uint64_t incomingBytes);
+
+    Simulator &_sim;
+    const SearchSpace &_space;
+    Gpu &_gpu;
+    MemoryMode _mode;
+    std::uint64_t _budgetBytes;
+    GpuMemoryManager _memory;
+    ContextStats _stats;
+    /// SwapOnDemand: layer keys of the previously executed task.
+    std::vector<std::uint64_t> _lastTaskKeys;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_MEMORY_CONTEXT_MANAGER_H

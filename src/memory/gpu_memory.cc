@@ -1,0 +1,94 @@
+#include "memory/gpu_memory.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+bool
+GpuMemoryManager::tracked(const LayerId &layer) const
+{
+    return _layers.count(layer.key()) > 0;
+}
+
+bool
+GpuMemoryManager::usable(const LayerId &layer, Tick now) const
+{
+    auto it = _layers.find(layer.key());
+    return it != _layers.end() && it->second.availableAt <= now;
+}
+
+Tick
+GpuMemoryManager::admit(const LayerId &layer, std::uint64_t bytes,
+                        Tick availableAt)
+{
+    auto [it, inserted] = _layers.try_emplace(
+        layer.key(), ResidentLayer{bytes, availableAt, availableAt});
+    if (!inserted)
+        return it->second.availableAt;
+    _residentBytes += bytes;
+    _peakBytes = std::max(_peakBytes, _residentBytes);
+    return availableAt;
+}
+
+Tick
+GpuMemoryManager::availableAt(const LayerId &layer) const
+{
+    auto it = _layers.find(layer.key());
+    NASPIPE_ASSERT(it != _layers.end(), "layer not tracked");
+    return it->second.availableAt;
+}
+
+void
+GpuMemoryManager::touch(const LayerId &layer, Tick now)
+{
+    auto it = _layers.find(layer.key());
+    if (it != _layers.end())
+        it->second.lastUse = std::max(it->second.lastUse, now);
+}
+
+std::uint64_t
+GpuMemoryManager::evict(const LayerId &layer)
+{
+    auto it = _layers.find(layer.key());
+    if (it == _layers.end())
+        return 0;
+    std::uint64_t bytes = it->second.bytes;
+    _residentBytes -= bytes;
+    _layers.erase(it);
+    return bytes;
+}
+
+bool
+GpuMemoryManager::lruVictim(LayerId &victim, Tick before) const
+{
+    // Only layers last used strictly before @p before are evictable;
+    // a layer touched at the current instant (or whose copy is still
+    // in flight, lastUse in the future) is in use.
+    bool found = false;
+    Tick best = 0;
+    for (const auto &[key, layer] : _layers) {
+        if (layer.lastUse >= before)
+            continue;
+        if (!found || layer.lastUse < best) {
+            best = layer.lastUse;
+            victim.block = static_cast<std::uint32_t>(key >> 32);
+            victim.choice =
+                static_cast<std::uint32_t>(key & 0xffffffffULL);
+            found = true;
+        }
+    }
+    return found;
+}
+
+void
+GpuMemoryManager::reset()
+{
+    _layers.clear();
+    _residentBytes = 0;
+    _peakBytes = 0;
+    _hits.reset();
+}
+
+} // namespace naspipe

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-GPU parameter cache accounting.
+ *
+ * Tracks which candidate layers' parameters are resident in one GPU's
+ * memory, when an in-flight copy becomes usable, and the hit/miss
+ * statistics behind Table 2's "Cache Hit" column ("collected by
+ * checking whether an ML layer's parameter was in GPU memory before
+ * its execution").
+ */
+
+#ifndef NASPIPE_MEMORY_GPU_MEMORY_H
+#define NASPIPE_MEMORY_GPU_MEMORY_H
+
+#include <cstdint>
+#include <map>
+
+#include "common/stats.h"
+#include "sim/event.h"
+#include "supernet/layer.h"
+
+namespace naspipe {
+
+/** Residency state of one layer on one GPU. */
+struct ResidentLayer {
+    std::uint64_t bytes = 0;
+    Tick availableAt = 0;  ///< copy completion time
+    Tick lastUse = 0;      ///< for LRU eviction decisions
+};
+
+/**
+ * Resident-set bookkeeping for one GPU.
+ */
+class GpuMemoryManager
+{
+  public:
+    GpuMemoryManager() = default;
+
+    /** Whether @p layer is tracked (copy may still be in flight). */
+    bool tracked(const LayerId &layer) const;
+
+    /** Whether @p layer is resident and usable at @p now. */
+    bool usable(const LayerId &layer, Tick now) const;
+
+    /**
+     * Record the start of a copy for @p layer completing at
+     * @p availableAt. No-op if already tracked (the earlier copy
+     * wins); returns the effective availability time.
+     */
+    Tick admit(const LayerId &layer, std::uint64_t bytes,
+               Tick availableAt);
+
+    /** Availability time of a tracked layer. */
+    Tick availableAt(const LayerId &layer) const;
+
+    /** Record a use of @p layer at @p now (LRU bookkeeping). */
+    void touch(const LayerId &layer, Tick now);
+
+    /** Remove @p layer; returns its bytes (0 if not tracked). */
+    std::uint64_t evict(const LayerId &layer);
+
+    /** Bytes currently tracked (resident + in flight). */
+    std::uint64_t residentBytes() const { return _residentBytes; }
+
+    /** High-water mark of tracked bytes. */
+    std::uint64_t peakBytes() const { return _peakBytes; }
+
+    /** Number of tracked layers. */
+    std::size_t residentLayers() const { return _layers.size(); }
+
+    /** Hit/miss accounting (callers classify at dispatch time). */
+    RatioStat &hitStats() { return _hits; }
+    const RatioStat &hitStats() const { return _hits; }
+
+    /**
+     * The least-recently-used layer whose last use is before
+     * @p before; returns false if none. Used for capacity pressure.
+     */
+    bool lruVictim(LayerId &victim, Tick before) const;
+
+    void reset();
+
+  private:
+    std::map<std::uint64_t, ResidentLayer> _layers;
+    std::uint64_t _residentBytes = 0;
+    std::uint64_t _peakBytes = 0;
+    RatioStat _hits;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_MEMORY_GPU_MEMORY_H

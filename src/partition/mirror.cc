@@ -1,0 +1,80 @@
+#include "partition/mirror.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+MirrorPlanner::MirrorPlanner(const SearchSpace &space,
+                             const HomePlacement &placement)
+    : _space(space), _placement(placement)
+{
+}
+
+std::vector<MirrorEntry>
+MirrorPlanner::plan(const Subnet &subnet,
+                    const SubnetPartition &partition) const
+{
+    NASPIPE_ASSERT(partition.numBlocks() == subnet.size(),
+                   "partition does not match subnet");
+    std::vector<MirrorEntry> entries;
+    for (int b = 0; b < subnet.size(); b++) {
+        int exec = partition.stageOf(b);
+        int home = _placement.homeStage(b);
+        if (exec == home)
+            continue;
+        std::uint64_t bytes =
+            _space.spec(b, subnet.choice(b)).paramBytes;
+        if (bytes == 0)
+            continue;  // skip candidates have no state to mirror
+        MirrorEntry entry;
+        entry.layer = subnet.layer(b);
+        entry.homeStage = home;
+        entry.execStage = exec;
+        entry.paramBytes = bytes;
+        entries.push_back(entry);
+    }
+    return entries;
+}
+
+std::uint64_t
+MirrorPlanner::activate(const std::vector<MirrorEntry> &entries)
+{
+    std::uint64_t newBytes = 0;
+    for (const auto &entry : entries) {
+        auto key = std::make_pair(entry.layer.key(), entry.execStage);
+        if (_mirrors.insert(key).second) {
+            _stats.mirrorsCreated++;
+            newBytes += entry.paramBytes;
+        } else {
+            _stats.mirrorsReused++;
+        }
+    }
+    return newBytes;
+}
+
+std::uint64_t
+MirrorPlanner::recordSyncPush(const std::vector<MirrorEntry> &entries)
+{
+    std::uint64_t bytes = 0;
+    for (const auto &entry : entries) {
+        _stats.syncPushes++;
+        _stats.syncBytes += entry.paramBytes;
+        bytes += entry.paramBytes;
+    }
+    return bytes;
+}
+
+bool
+MirrorPlanner::isMirrored(const LayerId &layer, int stage) const
+{
+    return _mirrors.count(std::make_pair(layer.key(), stage)) > 0;
+}
+
+void
+MirrorPlanner::reset()
+{
+    _mirrors.clear();
+    _stats = MirrorStats();
+}
+
+} // namespace naspipe

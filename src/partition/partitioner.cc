@@ -1,0 +1,187 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+SubnetPartition::SubnetPartition(std::vector<int> firstBlock,
+                                 int numBlocks)
+    : _firstBlock(std::move(firstBlock)), _numBlocks(numBlocks)
+{
+    NASPIPE_ASSERT(!_firstBlock.empty(), "partition needs >= 1 stage");
+    NASPIPE_ASSERT(_firstBlock.front() == 0,
+                   "stage 0 must start at block 0");
+    for (std::size_t s = 1; s < _firstBlock.size(); s++) {
+        NASPIPE_ASSERT(_firstBlock[s] >= _firstBlock[s - 1],
+                       "stage starts must be non-decreasing");
+        NASPIPE_ASSERT(_firstBlock[s] <= numBlocks,
+                       "stage start beyond block count");
+    }
+}
+
+int
+SubnetPartition::firstBlock(int stage) const
+{
+    NASPIPE_ASSERT(stage >= 0 && stage < numStages(),
+                   "stage ", stage, " out of range");
+    return _firstBlock[static_cast<std::size_t>(stage)];
+}
+
+int
+SubnetPartition::lastBlock(int stage) const
+{
+    NASPIPE_ASSERT(stage >= 0 && stage < numStages(),
+                   "stage ", stage, " out of range");
+    int next = (stage + 1 < numStages())
+                   ? _firstBlock[static_cast<std::size_t>(stage) + 1]
+                   : _numBlocks;
+    return next - 1;
+}
+
+int
+SubnetPartition::blockCount(int stage) const
+{
+    return lastBlock(stage) - firstBlock(stage) + 1;
+}
+
+int
+SubnetPartition::stageOf(int block) const
+{
+    NASPIPE_ASSERT(block >= 0 && block < _numBlocks,
+                   "block ", block, " out of range");
+    // Find the last stage whose first block is <= block.
+    auto it = std::upper_bound(_firstBlock.begin(), _firstBlock.end(),
+                               block);
+    return static_cast<int>(it - _firstBlock.begin()) - 1;
+}
+
+double
+PartitionCost::imbalance() const
+{
+    if (totalMs <= 0.0 || stageMs.empty())
+        return 1.0;
+    double mean = totalMs / static_cast<double>(stageMs.size());
+    return mean > 0.0 ? maxMs / mean : 1.0;
+}
+
+Partitioner::Partitioner(const SearchSpace &space, int batch)
+    : _space(space), _batch(batch)
+{
+    NASPIPE_ASSERT(batch > 0, "batch must be positive");
+}
+
+std::vector<double>
+Partitioner::blockCosts(const Subnet &subnet) const
+{
+    std::vector<double> costs(
+        static_cast<std::size_t>(subnet.size()));
+    for (int b = 0; b < subnet.size(); b++) {
+        const LayerSpec &spec = _space.spec(b, subnet.choice(b));
+        costs[static_cast<std::size_t>(b)] =
+            spec.fwdMsAt(_batch, _space.referenceBatch()) +
+            spec.bwdMsAt(_batch, _space.referenceBatch());
+    }
+    return costs;
+}
+
+SubnetPartition
+Partitioner::balanced(const Subnet &subnet, int numStages) const
+{
+    NASPIPE_ASSERT(numStages >= 1, "need >= 1 stage");
+    const int m = subnet.size();
+    const int d = numStages;
+    std::vector<double> costs = blockCosts(subnet);
+
+    // Prefix sums for O(1) range cost.
+    std::vector<double> prefix(static_cast<std::size_t>(m) + 1, 0.0);
+    for (int b = 0; b < m; b++) {
+        prefix[static_cast<std::size_t>(b) + 1] =
+            prefix[static_cast<std::size_t>(b)] +
+            costs[static_cast<std::size_t>(b)];
+    }
+    auto rangeCost = [&](int lo, int hi) {  // blocks [lo, hi)
+        return prefix[static_cast<std::size_t>(hi)] -
+               prefix[static_cast<std::size_t>(lo)];
+    };
+
+    const double inf = std::numeric_limits<double>::infinity();
+    // best[s][b]: minimal bottleneck splitting blocks [0, b) into
+    // s+1 stages; cut[s][b]: first block of the last stage.
+    std::vector<std::vector<double>> best(
+        static_cast<std::size_t>(d),
+        std::vector<double>(static_cast<std::size_t>(m) + 1, inf));
+    std::vector<std::vector<int>> cut(
+        static_cast<std::size_t>(d),
+        std::vector<int>(static_cast<std::size_t>(m) + 1, 0));
+
+    for (int b = 0; b <= m; b++)
+        best[0][static_cast<std::size_t>(b)] = rangeCost(0, b);
+    for (int s = 1; s < d; s++) {
+        for (int b = 0; b <= m; b++) {
+            for (int k = 0; k <= b; k++) {
+                double candidate = std::max(
+                    best[static_cast<std::size_t>(s) - 1]
+                        [static_cast<std::size_t>(k)],
+                    rangeCost(k, b));
+                // Strict improvement keeps the earliest cut, which
+                // makes the DP result unique and deterministic.
+                if (candidate <
+                    best[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(b)]) {
+                    best[static_cast<std::size_t>(s)]
+                        [static_cast<std::size_t>(b)] = candidate;
+                    cut[static_cast<std::size_t>(s)]
+                       [static_cast<std::size_t>(b)] = k;
+                }
+            }
+        }
+    }
+
+    // Reconstruct stage starts from the cut table.
+    std::vector<int> firstBlock(static_cast<std::size_t>(d), 0);
+    int b = m;
+    for (int s = d - 1; s >= 1; s--) {
+        int k = cut[static_cast<std::size_t>(s)]
+                   [static_cast<std::size_t>(b)];
+        firstBlock[static_cast<std::size_t>(s)] = k;
+        b = k;
+    }
+    return SubnetPartition(std::move(firstBlock), m);
+}
+
+SubnetPartition
+Partitioner::even(int numBlocks, int numStages)
+{
+    NASPIPE_ASSERT(numBlocks >= 1 && numStages >= 1,
+                   "even partition needs positive sizes");
+    std::vector<int> firstBlock(static_cast<std::size_t>(numStages));
+    for (int s = 0; s < numStages; s++) {
+        firstBlock[static_cast<std::size_t>(s)] = static_cast<int>(
+            (static_cast<long long>(numBlocks) * s) / numStages);
+    }
+    return SubnetPartition(std::move(firstBlock), numBlocks);
+}
+
+PartitionCost
+Partitioner::cost(const Subnet &subnet,
+                  const SubnetPartition &partition) const
+{
+    std::vector<double> costs = blockCosts(subnet);
+    PartitionCost out;
+    out.stageMs.resize(
+        static_cast<std::size_t>(partition.numStages()), 0.0);
+    for (int b = 0; b < subnet.size(); b++) {
+        out.stageMs[static_cast<std::size_t>(partition.stageOf(b))] +=
+            costs[static_cast<std::size_t>(b)];
+    }
+    for (double ms : out.stageMs) {
+        out.maxMs = std::max(out.maxMs, ms);
+        out.totalMs += ms;
+    }
+    return out;
+}
+
+} // namespace naspipe

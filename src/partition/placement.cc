@@ -1,0 +1,29 @@
+#include "partition/placement.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+HomePlacement::HomePlacement(const SearchSpace &space, int numStages)
+    : _space(space),
+      _partition(Partitioner::even(space.numBlocks(), numStages))
+{
+    _stageBytes.assign(static_cast<std::size_t>(numStages), 0);
+    for (int b = 0; b < space.numBlocks(); b++) {
+        std::uint64_t blockBytes = 0;
+        for (int c = 0; c < space.choicesPerBlock(); c++)
+            blockBytes += space.spec(b, c).paramBytes;
+        _stageBytes[static_cast<std::size_t>(homeStage(b))] +=
+            blockBytes;
+    }
+}
+
+std::uint64_t
+HomePlacement::stageParamBytes(int stage) const
+{
+    NASPIPE_ASSERT(stage >= 0 && stage < numStages(),
+                   "stage ", stage, " out of range");
+    return _stageBytes[static_cast<std::size_t>(stage)];
+}
+
+} // namespace naspipe

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static home placement of supernet layers.
+ *
+ * NASPipe "by default initializes supernet layers with a partition
+ * based on their choice block hierarchy, with each partition
+ * initialized in each stage's pinned CPU storage" (§4.2). The home
+ * placement maps every choice block to the stage whose host CPU
+ * stores its candidate layers; it is also the static operator
+ * placement the baseline systems execute under.
+ */
+
+#ifndef NASPIPE_PARTITION_PLACEMENT_H
+#define NASPIPE_PARTITION_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "supernet/search_space.h"
+
+namespace naspipe {
+
+/**
+ * Block-hierarchy home placement: block b's candidates live on stage
+ * homeStage(b), with blocks split evenly across stages.
+ */
+class HomePlacement
+{
+  public:
+    /**
+     * @param space the search space being placed
+     * @param numStages pipeline depth D
+     */
+    HomePlacement(const SearchSpace &space, int numStages);
+
+    int numStages() const { return _partition.numStages(); }
+
+    /** Home stage of choice block @p block. */
+    int homeStage(int block) const { return _partition.stageOf(block); }
+
+    /** Blocks homed on @p stage as an inclusive range. */
+    int firstBlock(int stage) const
+    {
+        return _partition.firstBlock(stage);
+    }
+    int lastBlock(int stage) const
+    {
+        return _partition.lastBlock(stage);
+    }
+
+    /** Total candidate parameter bytes homed on @p stage. */
+    std::uint64_t stageParamBytes(int stage) const;
+
+    /** The even partition underlying the placement. */
+    const SubnetPartition &partition() const { return _partition; }
+
+  private:
+    const SearchSpace &_space;
+    SubnetPartition _partition;
+    std::vector<std::uint64_t> _stageBytes;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_PARTITION_PLACEMENT_H

@@ -1,0 +1,5 @@
+#include "runtime/messages.h"
+
+// Message types are plain data; this translation unit exists so the
+// header has a home in the library and future marshalling logic has a
+// place to live.

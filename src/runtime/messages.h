@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Inter-stage pipeline messages.
+ *
+ * Forward messages carry a subnet's boundary activations to the next
+ * stage; backward messages carry gradients to the previous stage
+ * plus the pending-backward metadata the predictor consumes (§3.3:
+ * "the received backward tasks ... carry the information of pending
+ * backward tasks from the last stage").
+ */
+
+#ifndef NASPIPE_RUNTIME_MESSAGES_H
+#define NASPIPE_RUNTIME_MESSAGES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "schedule/predictor.h"
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/** Activation message: stage k -> k+1. */
+struct FwdMessage {
+    SubnetId id = -1;
+    std::uint64_t bytes = 0;
+};
+
+/** Gradient message: stage k+1 -> k. */
+struct BwdMessage {
+    SubnetId id = -1;
+    std::uint64_t bytes = 0;
+    std::vector<PendingBackward> nextBwds;
+};
+
+/**
+ * Sizes of the boundary tensors a pipeline ships between stages.
+ */
+struct MessageSizer
+{
+    std::uint64_t boundaryBytesPerSample = 0;
+    int batch = 1;
+
+    /** Bytes of one forward activation message. */
+    std::uint64_t
+    fwdBytes() const
+    {
+        return boundaryBytesPerSample *
+               static_cast<std::uint64_t>(batch);
+    }
+
+    /** Bytes of one backward gradient message (same shape). */
+    std::uint64_t bwdBytes() const { return fwdBytes(); }
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_RUNTIME_MESSAGES_H

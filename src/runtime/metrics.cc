@@ -1,0 +1,47 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace naspipe {
+
+std::string
+RunMetrics::summary() const
+{
+    std::ostringstream oss;
+    oss << finishedSubnets << " subnets in "
+        << formatFixed(simSeconds, 2) << "s, "
+        << formatFixed(samplesPerSec, 1) << " samples/s, bubble "
+        << formatFixed(bubbleRatio, 2) << ", ALU "
+        << formatFactor(totalAluUtilization, 1) << ", cache "
+        << (cacheHitRate < 0.0 ? std::string("N/A")
+                               : formatPercent(cacheHitRate));
+    return oss.str();
+}
+
+double
+RunMetrics::aluImbalance() const
+{
+    if (perGpuAlu.empty())
+        return 1.0;
+    double lo = perGpuAlu.front(), hi = perGpuAlu.front();
+    for (double u : perGpuAlu) {
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    return lo > 0.0 ? hi / lo : 1.0;
+}
+
+double
+kernelEfficiency(int batch, int overheadBatch)
+{
+    NASPIPE_ASSERT(batch > 0, "batch must be positive");
+    NASPIPE_ASSERT(overheadBatch >= 0, "overhead must be >= 0");
+    return static_cast<double>(batch) /
+           static_cast<double>(batch + overheadBatch);
+}
+
+} // namespace naspipe

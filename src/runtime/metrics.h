@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-of-run metrics: everything Table 2, Figures 5-7 and the
+ * reproducibility tables report about one training run.
+ */
+
+#ifndef NASPIPE_RUNTIME_METRICS_H
+#define NASPIPE_RUNTIME_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+
+/** Aggregate metrics of one simulated training run. */
+struct RunMetrics {
+    // Progress.
+    int finishedSubnets = 0;
+    int batch = 0;
+    double simSeconds = 0.0;
+
+    // Throughput.
+    double samplesPerSec = 0.0;
+    double subnetsPerHour = 0.0;
+
+    // Pipeline quality.
+    double bubbleRatio = 0.0;       ///< mean idle fraction (Table 2)
+    double meanExecSeconds = 0.0;   ///< per-subnet busy time (Exec.)
+    double totalAluUtilization = 0.0;  ///< sum over GPUs (Fig 7)
+    std::vector<double> perGpuAlu;     ///< per-GPU utilization
+    /** Max over min per-GPU ALU: the imbalance §5.4 blames for the
+     * baselines' poor scaling (1.0 = perfectly even). */
+    double aluImbalance() const;
+
+    // Memory.
+    double gpuMemFactor = 0.0;      ///< total GPU mem / one GPU (7.8x)
+    std::uint64_t cpuMemBytes = 0;  ///< pinned CPU storage
+    std::uint64_t reportedParamBytes = 0;  ///< "Para." column
+
+    // Context management.
+    double cacheHitRate = 0.0;      ///< -1 when not applicable
+    std::uint64_t prefetchedBytes = 0;
+    std::uint64_t syncFetchedBytes = 0;
+    std::uint64_t mirrorSyncBytes = 0;
+    std::uint64_t mirrorsCreated = 0;
+
+    // Dispatch diagnostics: how often a free stage found nothing to
+    // run, by cause.
+    std::uint64_t stallEmptyQueues = 0;   ///< no arrived tasks at all
+    std::uint64_t stallDependency = 0;    ///< Algorithm 2 blocked all
+    std::uint64_t stallMirrorWait = 0;    ///< waiting on mirror push
+
+    // Training quality (numeric engine).
+    double finalLoss = 0.0;
+    double finalScore = 0.0;
+    std::uint64_t supernetHash = 0;
+    int causalViolations = 0;  ///< layers w/ non-sequential history
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+/**
+ * Useful-ALU efficiency of a kernel at @p batch given the fixed
+ * overhead expressed as @p overheadBatch: batch / (batch + overhead).
+ * Captures why tiny batches burn wall-clock without filling the SMs.
+ */
+double kernelEfficiency(int batch, int overheadBatch);
+
+} // namespace naspipe
+
+#endif // NASPIPE_RUNTIME_METRICS_H

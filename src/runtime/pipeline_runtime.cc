@@ -1,0 +1,818 @@
+#include "runtime/pipeline_runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/stage.h"
+#include "schedule/csp_scheduler.h"
+#include "sim/simulator.h"
+#include "tensor/loss.h"
+
+namespace naspipe {
+
+namespace {
+
+double
+defaultScoreScale(SpaceFamily family)
+{
+    // BLEU-like scale for NLP, top-5-percent-like scale for CV.
+    return family == SpaceFamily::Nlp ? 24.0 : 90.0;
+}
+
+} // namespace
+
+/**
+ * All run state lives here; the event callbacks capture `this`.
+ */
+struct PipelineRuntime::Impl {
+    const SearchSpace &space;
+    RuntimeConfig config;
+    SystemModel model;
+    int numStages;
+    ActivationModel activation;
+    double scoreScale;
+
+    Simulator sim;
+    std::unique_ptr<Cluster> cluster;
+    std::vector<std::unique_ptr<Stage>> stages;
+    std::unique_ptr<SchedulerPolicy> policy;
+    std::unique_ptr<SubnetSampler> sampler;
+    std::unique_ptr<Partitioner> partitioner;
+    std::unique_ptr<HomePlacement> placement;
+    std::unique_ptr<MirrorPlanner> mirrors;
+    std::unique_ptr<FlushController> flushCtl;
+    std::shared_ptr<ParameterStore> store;
+    std::unique_ptr<NumericExecutor> exec;
+    std::unique_ptr<ConvergenceTracker> tracker;
+    std::shared_ptr<Trace> trace;
+    SwapModel swap;
+
+    CapacityPlan plan;
+    int batch = 1;
+    UpdateSemantics semantics = UpdateSemantics::Immediate;
+    MessageSizer sizer;
+
+    // Bookkeeping.
+    std::map<SubnetId, Subnet> subnets;  ///< never GC'd (vs deps)
+    std::map<SubnetId, SubnetPartition> partitions;
+    /// Mirror entries grouped per (subnet, exec stage).
+    std::map<SubnetId, std::map<int, std::vector<MirrorEntry>>>
+        mirrorEntries;
+    /// Last WRITE to a layer: (completion tick, writer stage).
+    std::map<std::uint64_t, std::pair<Tick, int>> lastWrite;
+    /// Subnets that activated a layer, in ascending sequence ID.
+    std::map<std::uint64_t, std::vector<SubnetId>> activators;
+    /// Number of parameter updates applied per layer so far.
+    std::map<std::uint64_t, std::size_t> writesApplied;
+    std::map<SubnetId, double> execBusySec;
+    std::map<SubnetId, float> lossAtCompute;
+    std::map<SubnetId, float> losses;
+    std::vector<SubnetId> pendingFinish;  ///< Deferred: await flush
+    SubnetId nextScoreToReport = 0;
+    std::map<SubnetId, double> scoreBuffer;
+
+    int injected = 0;
+    int finished = 0;
+    int inflight = 0;
+    std::uint64_t stallEmptyQueues = 0;
+    std::map<std::pair<int, SubnetId>, Tick> fwdArrival;
+    std::uint64_t stallDependency = 0;
+    std::uint64_t stallMirrorWait = 0;
+
+    Impl(const SearchSpace &s, const RuntimeConfig &c)
+        : space(s), config(c), model(c.system),
+          numStages(c.numStages),
+          activation(c.activation.bytesPerSample
+                         ? c.activation
+                         : defaultActivationModel(s.family())),
+          scoreScale(c.scoreScale > 0.0
+                         ? c.scoreScale
+                         : defaultScoreScale(s.family())),
+          swap(c.cluster.gpu.pcieBytesPerSec, c.cluster.gpu.pcieLatency)
+    {
+        NASPIPE_ASSERT(numStages >= 1, "need >= 1 stage");
+        NASPIPE_ASSERT(c.totalSubnets >= 1, "need >= 1 subnet");
+    }
+
+    const Subnet &
+    subnetOf(SubnetId id) const
+    {
+        auto it = subnets.find(id);
+        NASPIPE_ASSERT(it != subnets.end(), "unknown SN", id);
+        return it->second;
+    }
+
+    std::pair<int, int>
+    blockRange(int stage, SubnetId id) const
+    {
+        auto it = partitions.find(id);
+        NASPIPE_ASSERT(it != partitions.end(), "no partition for SN",
+                       id);
+        const SubnetPartition &p = it->second;
+        int lo = p.firstBlock(stage);
+        int hi = p.lastBlock(stage);
+        return {lo, hi};  // lo > hi means the stage owns no blocks
+    }
+
+    bool setup();
+    bool upstreamWritesDone(int stage, SubnetId id) const;
+    void injectSubnets();
+    void tryDispatch(int k);
+    void startForward(int k, SubnetId id);
+    void startBackward(int k, SubnetId id);
+    void onSubnetComplete(int k, SubnetId id, Tick end);
+    int effectiveFeedbackLag() const;
+    void deliverScoresBelow(SubnetId maxIdExclusive);
+    Tick taskDuration(const Subnet &sn, int lo, int hi,
+                      TaskType type) const;
+    Tick mirrorPushDelay(int writerStage, int readerStage,
+                         std::uint64_t bytes) const;
+    Tick readAvailable(const LayerId &layer, int readerStage) const;
+    std::vector<PendingBackward> pendingMeta(int k) const;
+    RunResult collect();
+};
+
+bool
+PipelineRuntime::Impl::setup()
+{
+    // Capacity planning decides whether this system can run at all
+    // and at which batch size; an explicitly pinned batch (the
+    // reproducibility methodology) is checked against capacity too.
+    CapacityPlanner planner(space, config.cluster.gpu, activation);
+    plan = config.batch > 0
+               ? planner.planWithBatch(model, numStages, config.batch)
+               : planner.plan(model, numStages);
+    if (!plan.fits)
+        return false;
+    batch = plan.batch;
+
+    ClusterConfig cc = config.cluster;
+    cc.numStages = numStages;
+    cluster = std::make_unique<Cluster>(sim, cc);
+
+    policy = makePolicy(model);
+    if (config.samplerFactory) {
+        sampler = config.samplerFactory(space, config.seed);
+        NASPIPE_ASSERT(sampler, "sampler factory returned null");
+    } else if (config.hybridStreams > 0) {
+        sampler = std::make_unique<HybridSampler>(
+            space, config.seed, config.hybridStreams);
+    } else if (config.evolutionSearch) {
+        sampler = std::make_unique<EvolutionSampler>(space, config.seed);
+    } else {
+        sampler = std::make_unique<UniformSampler>(space, config.seed);
+    }
+    partitioner = std::make_unique<Partitioner>(space, batch);
+    placement = std::make_unique<HomePlacement>(space, numStages);
+    mirrors = std::make_unique<MirrorPlanner>(space, *placement);
+    if (model.bulkFlush) {
+        flushCtl = std::make_unique<FlushController>(
+            model.effectiveBulk(numStages));
+    }
+    store = std::make_shared<ParameterStore>(space, config.seed);
+    store->accessLog().enabled(config.numeric);
+    NumericExecutor::Config ec;
+    ec.dataSeed = deriveSeed(config.seed, "data");
+    ec.sgd = config.sgd;
+    ec.batch = batch;
+    exec = std::make_unique<NumericExecutor>(*store, ec);
+    tracker = std::make_unique<ConvergenceTracker>(scoreScale);
+    trace = std::make_shared<Trace>();
+    trace->enabled(config.traceEnabled);
+
+    if (model.weightStash)
+        semantics = UpdateSemantics::WeightStash;
+    else if (model.bulkFlush && model.policy != PolicyKind::Csp)
+        semantics = UpdateSemantics::Deferred;
+    else
+        semantics = UpdateSemantics::Immediate;
+
+    sizer.boundaryBytesPerSample = activation.boundaryBytesPerSample;
+    sizer.batch = batch;
+
+    for (int k = 0; k < numStages; k++) {
+        Stage::Hooks hooks;
+        hooks.blockRange = [this, k](SubnetId id) {
+            return blockRange(k, id);
+        };
+        hooks.upstreamWritesDone = [this, k](SubnetId id) {
+            return upstreamWritesDone(k, id);
+        };
+        // The §4.2 memory-limit check. The planned footprint covers
+        // the ~3 moving contexts of §3.3 (previous/current/next);
+        // contexts awaiting their backward pass also linger, so the
+        // enforced cap is 3x the plan — under pressure the LRU
+        // awaiting-backward contexts are evicted and re-fetched by
+        // the predictor's released-backward path.
+        std::uint64_t cacheBudget =
+            model.memory == MemoryMode::AllResident
+                ? 0
+                : 3 * plan.residentParamBytesPerGpu;
+        stages.push_back(std::make_unique<Stage>(
+            sim, space, cluster->gpu(k), k, numStages, model.memory,
+            std::move(hooks), cacheBudget));
+    }
+    return true;
+}
+
+bool
+PipelineRuntime::Impl::upstreamWritesDone(int stage, SubnetId id) const
+{
+    const Subnet &sn = subnetOf(id);
+    auto [lo, hi] = blockRange(stage, id);
+    for (int b = lo; b <= hi; b++) {
+        if (!space.parameterized(b, sn.choice(b)))
+            continue;
+        std::uint64_t key = sn.layer(b).key();
+        auto actIt = activators.find(key);
+        NASPIPE_ASSERT(actIt != activators.end(),
+                       "candidate's own activation missing");
+        const auto &ids = actIt->second;
+        auto earlier = static_cast<std::size_t>(
+            std::lower_bound(ids.begin(), ids.end(), id) -
+            ids.begin());
+        auto wIt = writesApplied.find(key);
+        std::size_t applied = wIt == writesApplied.end() ? 0
+                                                         : wIt->second;
+        if (applied < earlier)
+            return false;
+    }
+    return true;
+}
+
+Tick
+PipelineRuntime::Impl::taskDuration(const Subnet &sn, int lo, int hi,
+                                    TaskType type) const
+{
+    // An empty stage range still costs a kernel-launch-scale hop.
+    if (lo > hi)
+        return ticksFromMs(0.2);
+    double ms = 0.0;
+    for (int b = lo; b <= hi; b++) {
+        const LayerSpec &spec = space.spec(b, sn.choice(b));
+        if (type == TaskType::Forward) {
+            ms += spec.fwdMs;
+        } else {
+            ms += spec.bwdMs;
+            // Activation recomputation replays the forward pass.
+            if (model.recompute)
+                ms += spec.fwdMs;
+        }
+    }
+    // Kernel time scales with (overhead + batch), calibrated against
+    // the family's reference batch.
+    double factor =
+        static_cast<double>(activation.overheadBatch + batch) /
+        static_cast<double>(activation.overheadBatch +
+                            space.referenceBatch());
+    ms *= factor * activation.computeScale;
+    return ticksFromMs(ms);
+}
+
+Tick
+PipelineRuntime::Impl::mirrorPushDelay(int writerStage,
+                                       int readerStage,
+                                       std::uint64_t bytes) const
+{
+    if (writerStage == readerStage)
+        return 0;
+    // The active push travels GPU-to-GPU (peer DMA within a host,
+    // Ethernet across hosts) without staging through host memory.
+    Tick delay = 0;
+    const InterconnectConfig &ic = config.cluster.interconnect;
+    bool cross = cluster->hostOf(writerStage) !=
+                 cluster->hostOf(readerStage);
+    double bw =
+        cross ? ic.crossHostBytesPerSec : ic.intraHostBytesPerSec;
+    delay += (cross ? ic.crossHostLatency : ic.intraHostLatency) +
+             ticksFromSec(static_cast<double>(bytes) / bw);
+    return delay;
+}
+
+Tick
+PipelineRuntime::Impl::readAvailable(const LayerId &layer,
+                                     int readerStage) const
+{
+    auto it = lastWrite.find(layer.key());
+    if (it == lastWrite.end())
+        return 0;
+    auto [when, writerStage] = it->second;
+    return when + mirrorPushDelay(writerStage, readerStage,
+                                  space.spec(layer).paramBytes);
+}
+
+std::vector<PendingBackward>
+PipelineRuntime::Impl::pendingMeta(int k) const
+{
+    // Forwards queued (not yet run) on this stage will produce
+    // backwards later; their context can be prefetched by earlier
+    // stages once the matching forward passes there (§3.3).
+    std::vector<PendingBackward> meta;
+    for (SubnetId id : stages[static_cast<std::size_t>(k)]
+                           ->fwdCandidates()) {
+        meta.push_back(PendingBackward{id, id});
+    }
+    return meta;
+}
+
+void
+PipelineRuntime::Impl::injectSubnets()
+{
+    int limit = model.effectiveInflight(numStages);
+    int lag = effectiveFeedbackLag();
+    while (injected < config.totalSubnets && inflight < limit) {
+        SubnetId nextId = injected;
+        if (flushCtl && !flushCtl->canInject(nextId))
+            break;
+        if (lag > 0) {
+            // Feedback-driven samplers see *exactly* the scores of
+            // subnets <= i - lag before drawing subnet i, so their
+            // draws replay identically on any cluster.
+            deliverScoresBelow(nextId - lag + 1);
+            if (nextId - nextScoreToReport >= lag)
+                break;  // required scores not yet available
+        }
+        Subnet sn = sampler->next();
+        NASPIPE_ASSERT(sn.id() == nextId, "sampler IDs out of sync");
+
+        subnets.emplace(sn.id(), sn);
+        for (int b = 0; b < sn.size(); b++) {
+            if (space.parameterized(b, sn.choice(b)))
+                activators[sn.layer(b).key()].push_back(sn.id());
+        }
+        SubnetPartition part =
+            model.balancedPartition
+                ? partitioner->balanced(sn, numStages)
+                : Partitioner::even(sn.size(), numStages);
+        partitions.emplace(sn.id(), std::move(part));
+
+        if (model.mirroring) {
+            auto entries =
+                mirrors->plan(sn, partitions.at(sn.id()));
+            mirrors->activate(entries);
+            auto &grouped = mirrorEntries[sn.id()];
+            for (auto &entry : entries)
+                grouped[entry.execStage].push_back(entry);
+        }
+
+        for (auto &stage : stages)
+            stage->registerSubnet(sn);
+        if (config.numeric)
+            exec->beginSubnet(sn);
+
+        fwdArrival[{0, sn.id()}] = sim.now();
+        // Retrieval kicks off the context fetch for the entry stage
+        // (§3.3: the fetch schedule starts when a subnet is known) —
+        // but only within the cache budget of ~3 subnet contexts, so
+        // a backed-up entry queue does not balloon GPU memory.
+        if (model.predictor &&
+            stages[0]->fwdCandidates().size() < 3) {
+            auto [lo, hi] = blockRange(0, sn.id());
+            if (lo <= hi)
+                stages[0]->ctx().prefetch(sn, lo, hi);
+        }
+
+        stages[0]->pushFwd(sn.id());
+        injected++;
+        inflight++;
+    }
+    tryDispatch(0);
+}
+
+void
+PipelineRuntime::Impl::tryDispatch(int k)
+{
+    Stage &st = *stages[static_cast<std::size_t>(k)];
+    if (!st.gpu().compute().freeBy(sim.now()))
+        return;  // busy; the completion event re-triggers dispatch
+    Decision d = policy->pick(st);
+    if (!d.valid()) {
+        // Classify the stall for the diagnostics of Table 2's bubble.
+        if (st.fwdCandidates().empty() && st.bwdCandidates().empty()) {
+            stallEmptyQueues++;
+        } else if (model.policy == PolicyKind::Csp &&
+                   CspPolicy::schedulableForward(st, -1, false) >= 0) {
+            stallMirrorWait++;
+        } else {
+            stallDependency++;
+        }
+        return;
+    }
+    if (d.kind == Decision::Kind::Backward)
+        startBackward(k, d.subnet);
+    else
+        startForward(k, d.subnet);
+}
+
+void
+PipelineRuntime::Impl::startForward(int k, SubnetId id)
+{
+    Stage &st = *stages[static_cast<std::size_t>(k)];
+    st.popFwd(id);
+    const Subnet &sn = subnetOf(id);
+    auto [lo, hi] = blockRange(k, id);
+
+    // Algorithm 1 line 21: predictor runs after the pop, before the
+    // forward executes.
+    if (model.predictor) {
+        st.predictor().beforeForward(
+            st, id,
+            [this](const Task &t, PredictReason) {
+                auto [plo, phi] = blockRange(t.stage, t.subnet);
+                if (plo <= phi) {
+                    stages[static_cast<std::size_t>(t.stage)]
+                        ->ctx()
+                        .prefetch(subnetOf(t.subnet), plo, phi);
+                }
+            });
+    }
+
+    // Pipeline-forwarding prediction: this subnet's activations head
+    // to stage k+1 next, so that stage prefetches its share of the
+    // context while this stage computes ("status passed from other
+    // stages", §3.3).
+    if (model.predictor && k + 1 < numStages) {
+        auto [nlo, nhi] = blockRange(k + 1, id);
+        if (nlo <= nhi) {
+            stages[static_cast<std::size_t>(k) + 1]->ctx().prefetch(
+                sn, nlo, nhi);
+        }
+    }
+
+    Tick ready = sim.now();
+    if (lo <= hi)
+        ready = std::max(ready, st.ctx().ensureResident(sn, lo, hi));
+    if (model.policy == PolicyKind::Csp && lo <= hi) {
+        // CSP: a read of a shared layer must see the precedent
+        // subnet's write, including the mirror push when the writer
+        // ran on another stage (§4.2). Parameter-free skip layers
+        // have no state to wait for.
+        for (int b = lo; b <= hi; b++) {
+            if (space.parameterized(b, sn.choice(b)))
+                ready = std::max(ready, readAvailable(sn.layer(b), k));
+        }
+    }
+
+    Tick duration = taskDuration(sn, lo, hi, TaskType::Forward);
+    Tick start = st.gpu().compute().reserveFrom(ready, duration);
+    Tick end = start + duration;
+
+    // The numeric READ happens at task start: parameters are sampled
+    // when the kernel launches.
+    if (config.numeric) {
+        sim.scheduleAt(start, [this, k, id, lo, hi] {
+            const Subnet &subnet = subnetOf(id);
+            if (lo <= hi)
+                exec->forwardStage(subnet, lo, hi, semantics);
+            if (k == numStages - 1)
+                lossAtCompute[id] = exec->computeLoss(subnet);
+        });
+    }
+
+    sim.scheduleAt(
+        end,
+        [this, k, id, start, end] {
+            {
+                TraceRecord rec{start, end, k, TraceKind::Forward,
+                                id, ""};
+                auto it = fwdArrival.find({k, id});
+                if (it != fwdArrival.end()) {
+                    rec.detail = "wait_ms=" + std::to_string(
+                        ticksToMs(start - it->second));
+                }
+                trace->add(rec);
+            }
+            execBusySec[id] += ticksToSec(end - start);
+            if (k + 1 < numStages) {
+                Tick arrival =
+                    cluster->link(k, k + 1).sendFrom(
+                        end, sizer.fwdBytes());
+                sim.scheduleAt(
+                    arrival,
+                    [this, k, id] {
+                        fwdArrival[{k + 1, id}] = sim.now();
+                        stages[static_cast<std::size_t>(k) + 1]
+                            ->pushFwd(id);
+                        tryDispatch(k + 1);
+                    },
+                    EventPriority::Transfer);
+            } else {
+                // The last stage turns the forward around into the
+                // backward pass.
+                stages[static_cast<std::size_t>(k)]->pushBwd(id, {});
+            }
+            tryDispatch(k);
+        },
+        EventPriority::Completion);
+}
+
+void
+PipelineRuntime::Impl::startBackward(int k, SubnetId id)
+{
+    Stage &st = *stages[static_cast<std::size_t>(k)];
+    std::vector<PendingBackward> meta = st.popBwd(id);
+    const Subnet &sn = subnetOf(id);
+    auto [lo, hi] = blockRange(k, id);
+
+    // Algorithm 1 line 6: predictor runs before the backward.
+    if (model.predictor) {
+        st.predictor().beforeBackward(
+            st, id, meta,
+            [this](const Task &t, PredictReason) {
+                auto [plo, phi] = blockRange(t.stage, t.subnet);
+                if (plo <= phi) {
+                    stages[static_cast<std::size_t>(t.stage)]
+                        ->ctx()
+                        .prefetch(subnetOf(t.subnet), plo, phi);
+                }
+            });
+    }
+
+    Tick ready = sim.now();
+    if (lo <= hi)
+        ready = std::max(ready, st.ctx().ensureResident(sn, lo, hi));
+
+    Tick duration = taskDuration(sn, lo, hi, TaskType::Backward);
+    Tick start = st.gpu().compute().reserveFrom(ready, duration);
+    Tick end = start + duration;
+
+    sim.scheduleAt(
+        end,
+        [this, k, id, lo, hi, start, end] {
+            Stage &stage = *stages[static_cast<std::size_t>(k)];
+            const Subnet &subnet = subnetOf(id);
+            trace->add(TraceRecord{start, end, k, TraceKind::Backward,
+                                   id, ""});
+            execBusySec[id] += ticksToSec(end - start);
+
+            // The numeric WRITE (optimizer step) lands at completion.
+            if (config.numeric && lo <= hi)
+                exec->backwardStage(subnet, lo, hi, semantics);
+            if (lo <= hi && semantics != UpdateSemantics::Deferred) {
+                for (int b = lo; b <= hi; b++) {
+                    if (!space.parameterized(b, subnet.choice(b)))
+                        continue;
+                    std::uint64_t key = subnet.layer(b).key();
+                    lastWrite[key] = {end, k};
+                    writesApplied[key]++;
+                }
+            }
+
+            // Mirror push: updated mirrored parameters travel to the
+            // other replicas (§4.2).
+            if (model.mirroring) {
+                auto subIt = mirrorEntries.find(id);
+                if (subIt != mirrorEntries.end()) {
+                    auto stIt = subIt->second.find(k);
+                    if (stIt != subIt->second.end())
+                        mirrors->recordSyncPush(stIt->second);
+                }
+            }
+
+            stage.mutableDeps().markFinished(id);
+            if (lo <= hi)
+                stage.ctx().evictSubnet(subnet, lo, hi);
+
+            if (k > 0) {
+                Tick arrival = cluster->link(k, k - 1).sendFrom(
+                    end, sizer.bwdBytes());
+                auto carried = pendingMeta(k);
+                sim.scheduleAt(
+                    arrival,
+                    [this, k, id, carried] {
+                        stages[static_cast<std::size_t>(k) - 1]
+                            ->pushBwd(id, carried);
+                        tryDispatch(k - 1);
+                    },
+                    EventPriority::Transfer);
+            } else {
+                onSubnetComplete(k, id, end);
+            }
+            if (model.policy == PolicyKind::Csp) {
+                // Newly visible writes may unblock forward
+                // candidates on any stage (mirror pushes).
+                for (int s = 0; s < numStages; s++)
+                    tryDispatch(s);
+            } else {
+                tryDispatch(k);
+            }
+        },
+        EventPriority::Completion);
+}
+
+void
+PipelineRuntime::Impl::onSubnetComplete(int, SubnetId id, Tick end)
+{
+    inflight--;
+    finished++;
+
+    float loss = 0.0f;
+    if (config.numeric) {
+        if (semantics == UpdateSemantics::Deferred) {
+            // Weights update only at the flush; the loss is already
+            // known from the last forward stage.
+            loss = lossAtCompute.at(id);
+            pendingFinish.push_back(id);
+        } else {
+            loss = exec->finishSubnet(subnetOf(id));
+        }
+    }
+    losses[id] = loss;
+    tracker->addSample(ticksToSec(end), loss);
+    scoreBuffer[id] = lossToScore(loss, scoreScale);
+    if (effectiveFeedbackLag() == 0)
+        deliverScoresBelow(config.totalSubnets);
+
+    if (flushCtl) {
+        if (flushCtl->onSubnetComplete(id)) {
+            // BSP flush: apply the bulk's deferred updates together,
+            // in sequence-ID order, then release the next bulk.
+            if (config.numeric &&
+                semantics == UpdateSemantics::Deferred) {
+                exec->applyDeferredUpdates(pendingFinish);
+                for (SubnetId fid : pendingFinish) {
+                    const Subnet &fsn = subnetOf(fid);
+                    for (int b = 0; b < fsn.size(); b++) {
+                        if (space.parameterized(b, fsn.choice(b)))
+                            writesApplied[fsn.layer(b).key()]++;
+                    }
+                    exec->finishSubnet(fsn);
+                }
+                pendingFinish.clear();
+            }
+            trace->add(TraceRecord{end, end, 0, TraceKind::Flush, id,
+                                   "bulk flush"});
+            injectSubnets();
+        }
+    } else {
+        injectSubnets();
+    }
+}
+
+int
+PipelineRuntime::Impl::effectiveFeedbackLag() const
+{
+    if (config.feedbackLag != 0)
+        return std::max(0, config.feedbackLag);
+    return config.evolutionSearch ? 32 : 0;
+}
+
+void
+PipelineRuntime::Impl::deliverScoresBelow(SubnetId maxIdExclusive)
+{
+    // Deliver quality feedback to the exploration algorithm in
+    // sequence-ID order, never past the cap, so feedback-driven
+    // samplers stay deterministic regardless of completion
+    // interleavings.
+    while (nextScoreToReport < maxIdExclusive) {
+        auto it = scoreBuffer.find(nextScoreToReport);
+        if (it == scoreBuffer.end())
+            break;
+        sampler->reportScore(it->first, it->second);
+        scoreBuffer.erase(it);
+        nextScoreToReport++;
+    }
+}
+
+RunResult
+PipelineRuntime::Impl::collect()
+{
+    RunResult out;
+    out.plan = plan;
+    out.losses = losses;
+    out.store = store;
+    out.trace = trace;
+
+    out.sampled.reserve(subnets.size());
+    for (const auto &[id, sn] : subnets)
+        out.sampled.push_back(sn);
+
+    RunMetrics &m = out.metrics;
+    m.finishedSubnets = finished;
+    m.batch = batch;
+    m.simSeconds = ticksToSec(sim.now());
+    if (m.simSeconds > 0.0) {
+        m.samplesPerSec = static_cast<double>(finished) * batch /
+                          m.simSeconds;
+        m.subnetsPerHour =
+            static_cast<double>(finished) / m.simSeconds * 3600.0;
+    }
+    m.bubbleRatio = cluster->meanBubbleRatio();
+    double eff = kernelEfficiency(batch, activation.overheadBatch);
+    m.totalAluUtilization =
+        cluster->totalAluUtilization(m.simSeconds) * eff;
+    for (int s = 0; s < numStages; s++) {
+        m.perGpuAlu.push_back(
+            cluster->gpu(s).aluUtilization(m.simSeconds) * eff);
+    }
+
+    double busyTotal = 0.0;
+    for (const auto &[id, sec] : execBusySec)
+        busyTotal += sec;
+    if (finished > 0)
+        m.meanExecSeconds = busyTotal / finished;
+
+    m.gpuMemFactor =
+        static_cast<double>(plan.residentParamBytesPerGpu +
+                            plan.activationBytesPerGpu +
+                            CapacityPlanner::kReserveBytes) /
+        static_cast<double>(config.cluster.gpu.memoryBytes) *
+        numStages;
+    m.cpuMemBytes = plan.cpuMemBytesTotal;
+    m.reportedParamBytes = plan.reportedParamBytes;
+
+    if (model.memory == MemoryMode::AllResident) {
+        m.cacheHitRate = -1.0;
+    } else {
+        std::uint64_t hits = 0, misses = 0;
+        for (const auto &stage : stages) {
+            hits += stage->ctx().memory().hitStats().hits();
+            misses += stage->ctx().memory().hitStats().misses();
+        }
+        m.cacheHitRate =
+            (hits + misses)
+                ? static_cast<double>(hits) / (hits + misses)
+                : 0.0;
+        for (const auto &stage : stages) {
+            m.prefetchedBytes += stage->ctx().stats().prefetchedBytes;
+            m.syncFetchedBytes +=
+                stage->ctx().stats().syncFetchedBytes;
+        }
+    }
+    if (model.mirroring) {
+        m.mirrorSyncBytes = mirrors->stats().syncBytes;
+        m.mirrorsCreated = mirrors->stats().mirrorsCreated;
+    }
+
+    m.stallEmptyQueues = stallEmptyQueues;
+    m.stallDependency = stallDependency;
+    m.stallMirrorWait = stallMirrorWait;
+
+    // The "supernet loss" is the trailing-window mean over the last
+    // subnets *by sequence ID* (not completion order), so the metric
+    // itself is invariant across GPU counts whenever the per-subnet
+    // losses are.
+    if (!losses.empty()) {
+        std::size_t window = std::min<std::size_t>(16, losses.size());
+        double total = 0.0;
+        auto it = losses.end();
+        for (std::size_t i = 0; i < window; i++)
+            total += (--it)->second;
+        m.finalLoss = total / static_cast<double>(window);
+        m.finalScore = lossToScore(m.finalLoss, scoreScale);
+    }
+    out.curve = tracker->curve(64);
+
+    if (config.numeric) {
+        out.supernetHash = store->supernetHash();
+        m.supernetHash = out.supernetHash;
+        int violations = 0;
+        for (const LayerId &layer : store->accessLog().touchedLayers()) {
+            if (!store->accessLog().sequentiallyEquivalent(layer))
+                violations++;
+        }
+        m.causalViolations = violations;
+
+        SearchResult search =
+            searchBestSubnet(*exec, out.sampled, scoreScale,
+                             deriveSeed(config.seed, "search"));
+        out.bestSubnet = search.best.id();
+        out.searchAccuracy = search.accuracy;
+    }
+    return out;
+}
+
+PipelineRuntime::PipelineRuntime(const SearchSpace &space,
+                                 const RuntimeConfig &config)
+    : _impl(std::make_unique<Impl>(space, config)),
+      _scoreScale(_impl->scoreScale)
+{
+}
+
+PipelineRuntime::~PipelineRuntime() = default;
+
+RunResult
+PipelineRuntime::run()
+{
+    if (!_impl->setup()) {
+        RunResult out;
+        out.oom = true;
+        out.plan = _impl->plan;
+        return out;
+    }
+    _impl->injectSubnets();
+    _impl->sim.run();
+    NASPIPE_ASSERT(_impl->finished == _impl->config.totalSubnets,
+                   "run ended with ", _impl->finished, " of ",
+                   _impl->config.totalSubnets, " subnets finished");
+    return _impl->collect();
+}
+
+RunResult
+runTraining(const SearchSpace &space, const RuntimeConfig &config)
+{
+    PipelineRuntime runtime(space, config);
+    return runtime.run();
+}
+
+} // namespace naspipe

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The pipeline runtime: executes one supernet training run of any
+ * SystemModel (NASPipe, GPipe, PipeDream, VPipe or an ablation) over
+ * the simulated cluster, driving the numeric training engine in the
+ * exact interleaving the schedule produces.
+ *
+ * This is Algorithm 1 as an event-driven simulation: stages dispatch
+ * tasks when their GPU frees, forward activations and backward
+ * gradients travel over the stage links, the context manager swaps
+ * layer parameters guided by the predictor, and every parameter READ
+ * and WRITE lands on the shared ParameterStore so the run's training
+ * result is a real, bitwise-comparable set of weights.
+ */
+
+#ifndef NASPIPE_RUNTIME_PIPELINE_RUNTIME_H
+#define NASPIPE_RUNTIME_PIPELINE_RUNTIME_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "memory/swap_model.h"
+#include "partition/mirror.h"
+#include "partition/partitioner.h"
+#include "partition/placement.h"
+#include "runtime/messages.h"
+#include "runtime/metrics.h"
+#include "schedule/bsp_scheduler.h"
+#include "schedule/scheduler.h"
+#include "sim/trace.h"
+#include "supernet/sampler.h"
+#include "train/convergence.h"
+#include "train/numeric_executor.h"
+
+namespace naspipe {
+
+/** Configuration of one training run. */
+struct RuntimeConfig {
+    SystemModel system;
+    int numStages = 8;         ///< pipeline depth D == GPU count
+    int totalSubnets = 64;     ///< training steps (one batch each)
+    int batch = 0;             ///< 0: derive from the capacity planner
+    std::uint64_t seed = 7;    ///< master seed (sampler, init, data)
+    bool numeric = true;       ///< drive the numeric training engine
+    bool traceEnabled = false; ///< record the task timeline
+    bool evolutionSearch = false;  ///< evolution sampler (else SPOS)
+    /**
+     * Hybrid multi-space traversal (§5.5): > 0 explores that many
+     * sub-search-spaces simultaneously via HybridSampler (requires a
+     * space with a skip candidate). Overrides evolutionSearch.
+     */
+    int hybridStreams = 0;
+    /**
+     * Custom exploration frontend: when set, the runtime retrieves
+     * its subnet stream from this factory's sampler instead of the
+     * built-in ones (the Retiarii-frontend role of §3.1). Overrides
+     * hybridStreams and evolutionSearch. The factory is called once
+     * per run with the space and the run's master seed; determinism
+     * is the sampler's responsibility.
+     */
+    std::function<std::unique_ptr<SubnetSampler>(
+        const SearchSpace &, std::uint64_t)>
+        samplerFactory;
+    /**
+     * Logical feedback lag for feedback-driven samplers (evolution):
+     * subnet i is not retrieved until the scores of all subnets
+     * <= i - lag have been delivered. This makes the sampler's view
+     * a pure function of (seed, losses-by-ID) — independent of GPU
+     * count and completion timing — extending Definition 1's
+     * reproducibility to feedback-driven search. 0 picks the default
+     * (32 when evolutionSearch, disabled otherwise); negative
+     * disables explicitly.
+     */
+    int feedbackLag = 0;
+    SgdConfig sgd;
+    ClusterConfig cluster;     ///< numStages is overridden
+    /** Workload calibration; bytesPerSample==0 => family default. */
+    ActivationModel activation;
+    double scoreScale = 0.0;   ///< 0: family default (24 / 90)
+};
+
+/** Everything a run produces. */
+struct RunResult {
+    bool oom = false;          ///< capacity planner rejected the run
+    CapacityPlan plan;
+    RunMetrics metrics;
+    std::vector<ConvergencePoint> curve;
+    std::map<SubnetId, float> losses;  ///< per-subnet training loss
+    std::vector<Subnet> sampled;       ///< subnets in sequence order
+    SubnetId bestSubnet = -1;          ///< post-training search winner
+    double searchAccuracy = 0.0;
+    std::uint64_t supernetHash = 0;    ///< bitwise weight fingerprint
+    std::shared_ptr<ParameterStore> store;  ///< weights + access log
+    std::shared_ptr<Trace> trace;      ///< when traceEnabled
+};
+
+/**
+ * Runs one training simulation.
+ */
+class PipelineRuntime
+{
+  public:
+    /**
+     * @param space the search space (must outlive the runtime)
+     * @param config run configuration
+     */
+    PipelineRuntime(const SearchSpace &space,
+                    const RuntimeConfig &config);
+
+    ~PipelineRuntime();
+
+    PipelineRuntime(const PipelineRuntime &) = delete;
+    PipelineRuntime &operator=(const PipelineRuntime &) = delete;
+
+    /** Execute the run to completion and collect the results. */
+    RunResult run();
+
+    /** Effective score scale (family default applied). */
+    double scoreScale() const { return _scoreScale; }
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+    double _scoreScale;
+};
+
+/** Convenience wrapper: configure and run in one call. */
+RunResult runTraining(const SearchSpace &space,
+                      const RuntimeConfig &config);
+
+} // namespace naspipe
+
+#endif // NASPIPE_RUNTIME_PIPELINE_RUNTIME_H

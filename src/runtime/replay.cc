@@ -1,0 +1,76 @@
+#include "runtime/replay.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+ScheduleSignature::ScheduleSignature(const Trace &trace)
+{
+    for (const TraceRecord &r : trace.taskTimeline()) {
+        ScheduleStep step;
+        step.start = r.start;
+        step.stage = r.stage;
+        step.type = r.kind == TraceKind::Forward ? TaskType::Forward
+                                                 : TaskType::Backward;
+        step.subnet = r.subnet;
+        _steps.push_back(step);
+    }
+}
+
+std::uint64_t
+ScheduleSignature::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    for (const ScheduleStep &s : _steps) {
+        mix(s.start);
+        mix(static_cast<std::uint64_t>(s.stage));
+        mix(static_cast<std::uint64_t>(s.type));
+        mix(static_cast<std::uint64_t>(s.subnet));
+    }
+    return h;
+}
+
+RunComparison
+compareRuns(const RunResult &a, const RunResult &b)
+{
+    RunComparison cmp;
+    cmp.sameWeights =
+        a.supernetHash == b.supernetHash && a.supernetHash != 0;
+
+    cmp.sameLosses = a.losses.size() == b.losses.size();
+    if (cmp.sameLosses) {
+        for (const auto &[id, loss] : a.losses) {
+            auto it = b.losses.find(id);
+            if (it == b.losses.end() || it->second != loss) {
+                cmp.lossMismatches++;
+            }
+        }
+        cmp.sameLosses = cmp.lossMismatches == 0;
+    } else {
+        cmp.lossMismatches = -1;
+    }
+
+    cmp.sameSearch = a.bestSubnet == b.bestSubnet &&
+                     a.searchAccuracy == b.searchAccuracy;
+    return cmp;
+}
+
+std::string
+describeComparison(const RunComparison &cmp)
+{
+    std::ostringstream oss;
+    oss << "weights " << (cmp.sameWeights ? "MATCH" : "DIFFER")
+        << ", losses " << (cmp.sameLosses ? "MATCH" : "DIFFER")
+        << ", search " << (cmp.sameSearch ? "MATCH" : "DIFFER")
+        << " => "
+        << (cmp.reproducible() ? "REPRODUCIBLE" : "NOT reproducible");
+    return oss.str();
+}
+
+} // namespace naspipe

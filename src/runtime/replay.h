@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic replay support.
+ *
+ * A run's *schedule signature* is the ordered list of compute tasks
+ * it executed (start time, stage, type, subnet). Replaying a
+ * configuration must reproduce the signature exactly — that is the
+ * "simple and deterministic training replay" the paper promises —
+ * and two CSP runs on different GPU counts must agree on the
+ * *training outcome* (weights, per-subnet losses) even though their
+ * schedules differ. This module extracts signatures and compares
+ * runs at both levels.
+ */
+
+#ifndef NASPIPE_RUNTIME_REPLAY_H
+#define NASPIPE_RUNTIME_REPLAY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/pipeline_runtime.h"
+#include "sim/trace.h"
+
+namespace naspipe {
+
+/** One step of a schedule signature. */
+struct ScheduleStep {
+    Tick start = 0;
+    int stage = -1;
+    TaskType type = TaskType::Forward;
+    SubnetId subnet = -1;
+
+    bool operator==(const ScheduleStep &) const = default;
+};
+
+/** Ordered compute-task schedule of one run. */
+class ScheduleSignature
+{
+  public:
+    ScheduleSignature() = default;
+
+    /** Extract the signature from a recorded trace. */
+    explicit ScheduleSignature(const Trace &trace);
+
+    const std::vector<ScheduleStep> &steps() const { return _steps; }
+    std::size_t size() const { return _steps.size(); }
+
+    /** Order-sensitive fingerprint of the schedule. */
+    std::uint64_t hash() const;
+
+    bool operator==(const ScheduleSignature &) const = default;
+
+  private:
+    std::vector<ScheduleStep> _steps;
+};
+
+/** Outcome-level comparison of two runs (Definition 1). */
+struct RunComparison {
+    bool sameWeights = false;   ///< bitwise supernet equality
+    bool sameLosses = false;    ///< per-subnet losses identical
+    bool sameSearch = false;    ///< same best subnet found
+    int lossMismatches = 0;
+
+    /** All three levels agree. */
+    bool
+    reproducible() const
+    {
+        return sameWeights && sameLosses && sameSearch;
+    }
+};
+
+/**
+ * Compare the training outcomes of two runs (typically the same
+ * configuration on different GPU counts).
+ */
+RunComparison compareRuns(const RunResult &a, const RunResult &b);
+
+/** Human-readable verdict line for reports. */
+std::string describeComparison(const RunComparison &cmp);
+
+} // namespace naspipe
+
+#endif // NASPIPE_RUNTIME_REPLAY_H

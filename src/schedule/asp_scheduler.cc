@@ -1,0 +1,55 @@
+#include "schedule/asp_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+void
+WeightStash::onForward(SubnetId id, std::uint64_t bytes)
+{
+    NASPIPE_ASSERT(!_stash.count(id), "SN", id, " already stashed");
+    _stash.emplace(id, bytes);
+    _liveBytes += bytes;
+    _peakBytes = std::max(_peakBytes, _liveBytes);
+}
+
+std::uint64_t
+WeightStash::onBackward(SubnetId id)
+{
+    auto it = _stash.find(id);
+    NASPIPE_ASSERT(it != _stash.end(), "SN", id, " has no stash");
+    std::uint64_t bytes = it->second;
+    _liveBytes -= bytes;
+    _stash.erase(it);
+    return bytes;
+}
+
+double
+WeightStash::stashFactor(int stage, int numStages)
+{
+    NASPIPE_ASSERT(stage >= 0 && stage < numStages,
+                   "stage out of range");
+    return static_cast<double>(numStages - stage - 1);
+}
+
+double
+WeightStash::meanStashFactor(int numStages)
+{
+    NASPIPE_ASSERT(numStages >= 1, "need >= 1 stage");
+    double total = 0.0;
+    for (int s = 0; s < numStages; s++)
+        total += stashFactor(s, numStages);
+    return total / static_cast<double>(numStages);
+}
+
+void
+WeightStash::reset()
+{
+    _stash.clear();
+    _liveBytes = 0;
+    _peakBytes = 0;
+}
+
+} // namespace naspipe

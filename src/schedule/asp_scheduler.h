@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Asynchronous-parallel (PipeDream-style) support: weight stashing.
+ *
+ * PipeDream interleaves forward and backward computation with
+ * asynchronous parameter updates (ASP). To keep a batch's backward
+ * mathematically consistent with its forward despite intervening
+ * updates, each stage *stashes* the weight version its forward used
+ * and restores it for the backward. The stash multiplies the
+ * parameter memory of early stages (one version per in-flight batch)
+ * — a major reason PipeDream's supported batch size in Table 2 is
+ * roughly half of GPipe's.
+ */
+
+#ifndef NASPIPE_SCHEDULE_ASP_SCHEDULER_H
+#define NASPIPE_SCHEDULE_ASP_SCHEDULER_H
+
+#include <cstdint>
+#include <map>
+
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/**
+ * Bookkeeping of stashed weight versions on one stage.
+ */
+class WeightStash
+{
+  public:
+    WeightStash() = default;
+
+    /**
+     * Record that @p id's forward ran with @p bytes of stage
+     * parameters (a version is stashed).
+     */
+    void onForward(SubnetId id, std::uint64_t bytes);
+
+    /**
+     * Record that @p id's backward consumed its stashed version.
+     * @return the bytes released.
+     */
+    std::uint64_t onBackward(SubnetId id);
+
+    /** Versions currently stashed. */
+    std::size_t liveVersions() const { return _stash.size(); }
+
+    /** Bytes currently held by stashed versions. */
+    std::uint64_t liveBytes() const { return _liveBytes; }
+
+    /** High-water mark of stashed bytes. */
+    std::uint64_t peakBytes() const { return _peakBytes; }
+
+    /**
+     * Planning estimate of the stash multiplier for stage @p stage of
+     * a depth-@p numStages pipeline: stage s holds up to
+     * (numStages - s) weight versions simultaneously (PipeDream's
+     * 1F1B steady state), i.e. the *extra* resident parameter factor
+     * is (numStages - s - 1).
+     */
+    static double stashFactor(int stage, int numStages);
+
+    /** Mean extra resident factor across all stages. */
+    static double meanStashFactor(int numStages);
+
+    void reset();
+
+  private:
+    std::map<SubnetId, std::uint64_t> _stash;
+    std::uint64_t _liveBytes = 0;
+    std::uint64_t _peakBytes = 0;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SCHEDULE_ASP_SCHEDULER_H

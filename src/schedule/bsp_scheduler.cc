@@ -1,0 +1,61 @@
+#include "schedule/bsp_scheduler.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+FlushController::FlushController(int bulkSize) : _bulkSize(bulkSize)
+{
+    NASPIPE_ASSERT(bulkSize >= 1, "bulk size must be >= 1");
+}
+
+std::int64_t
+FlushController::bulkOf(SubnetId id) const
+{
+    NASPIPE_ASSERT(id >= 0, "invalid subnet ID");
+    return id / _bulkSize;
+}
+
+bool
+FlushController::canInject(SubnetId id) const
+{
+    return bulkOf(id) == _currentBulk;
+}
+
+bool
+FlushController::onSubnetComplete(SubnetId id)
+{
+    NASPIPE_ASSERT(bulkOf(id) == _currentBulk,
+                   "completion for SN", id, " outside current bulk ",
+                   _currentBulk);
+    _completedInBulk++;
+    NASPIPE_ASSERT(_completedInBulk <= _bulkSize,
+                   "more completions than bulk members");
+    if (_completedInBulk == _bulkSize) {
+        _completedInBulk = 0;
+        _currentBulk++;
+        _flushes++;
+        return true;
+    }
+    return false;
+}
+
+std::vector<SubnetId>
+FlushController::bulkMembers(std::int64_t bulk) const
+{
+    std::vector<SubnetId> members;
+    members.reserve(static_cast<std::size_t>(_bulkSize));
+    for (int i = 0; i < _bulkSize; i++)
+        members.push_back(bulk * _bulkSize + i);
+    return members;
+}
+
+void
+FlushController::reset()
+{
+    _currentBulk = 0;
+    _completedInBulk = 0;
+    _flushes = 0;
+}
+
+} // namespace naspipe

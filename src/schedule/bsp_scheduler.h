@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bulk-synchronous-parallel flush control (GPipe / VPipe / Retiarii
+ * style, and the "NASPipe w/o scheduler" ablation).
+ *
+ * BSP systems process subnets in bulks: a bulk of B subnets is
+ * injected into the pipeline, and a synchronization barrier (flush)
+ * after the bulk applies all parameter updates together before the
+ * next bulk may start (§2.3). The flush is what breaks causal
+ * dependencies *within* a bulk — reads of every member happen against
+ * pre-bulk weights — and what inflates the bubble ratio, since the
+ * pipeline drains at every barrier.
+ */
+
+#ifndef NASPIPE_SCHEDULE_BSP_SCHEDULER_H
+#define NASPIPE_SCHEDULE_BSP_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/**
+ * Tracks bulk membership and completion for one BSP run.
+ */
+class FlushController
+{
+  public:
+    /** @param bulkSize subnets per bulk (B). */
+    explicit FlushController(int bulkSize);
+
+    int bulkSize() const { return _bulkSize; }
+
+    /** Bulk index of subnet @p id. */
+    std::int64_t bulkOf(SubnetId id) const;
+
+    /** Currently executing bulk. */
+    std::int64_t currentBulk() const { return _currentBulk; }
+
+    /** Whether @p id may be injected (its bulk is the current one). */
+    bool canInject(SubnetId id) const;
+
+    /**
+     * Record that subnet @p id finished its full pipeline traversal.
+     * @return true when this completion closes the current bulk (a
+     *         flush happens and the next bulk is released).
+     */
+    bool onSubnetComplete(SubnetId id);
+
+    /** Members of the current bulk that already completed. */
+    int completedInBulk() const { return _completedInBulk; }
+
+    /** Number of flushes performed so far. */
+    std::uint64_t flushes() const { return _flushes; }
+
+    /** Subnet IDs belonging to bulk @p bulk, in sequence order. */
+    std::vector<SubnetId> bulkMembers(std::int64_t bulk) const;
+
+    void reset();
+
+  private:
+    int _bulkSize;
+    std::int64_t _currentBulk = 0;
+    int _completedInBulk = 0;
+    std::uint64_t _flushes = 0;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SCHEDULE_BSP_SCHEDULER_H

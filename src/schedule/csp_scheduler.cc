@@ -1,0 +1,49 @@
+#include "schedule/csp_scheduler.h"
+
+#include <algorithm>
+
+namespace naspipe {
+
+Decision
+CspPolicy::pick(const StageInfo &stage) const
+{
+    // Heuristic (1): backward tasks have the highest priority.
+    const auto &bwd = stage.bwdCandidates();
+    if (!bwd.empty())
+        return Decision::backward(*std::min_element(bwd.begin(),
+                                                    bwd.end()));
+
+    SubnetId fwd = schedulableForward(stage, -1, true);
+    if (fwd >= 0)
+        return Decision::forward(fwd);
+    return Decision::none();
+}
+
+SubnetId
+CspPolicy::schedulableForward(const StageInfo &stage,
+                              SubnetId assumeFinished,
+                              bool requireWritesVisible)
+{
+    // Walk L_q in ascending sequence-ID order (lower ID first).
+    std::vector<SubnetId> queue = stage.fwdCandidates();
+    std::sort(queue.begin(), queue.end());
+
+    for (SubnetId qval : queue) {
+        const Subnet &candidate = stage.subnet(qval);
+        auto [lo, hi] = stage.blockRange(qval);
+        bool ok;
+        if (assumeFinished >= 0) {
+            ok = stage.deps().satisfiedAssuming(candidate, lo, hi,
+                                                assumeFinished);
+        } else {
+            ok = stage.deps().satisfied(candidate, lo, hi);
+        }
+        if (ok && requireWritesVisible)
+            ok = stage.upstreamWritesDone(qval);
+        if (ok)
+            return qval;
+    }
+    return -1;
+}
+
+} // namespace naspipe

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CSP scheduling policy (paper Algorithms 1 and 2).
+ *
+ * Backward tasks always run first ("backward tasks can remove the
+ * precedence constraints on the following tasks, making a larger
+ * scheduling search space"); among forward candidates, the policy
+ * walks the queue in ascending sequence-ID order and returns the
+ * first whose stage-local layers do not intersect any unfinished
+ * earlier subnet — exactly Algorithm 2's SCHEDULE().
+ */
+
+#ifndef NASPIPE_SCHEDULE_CSP_SCHEDULER_H
+#define NASPIPE_SCHEDULE_CSP_SCHEDULER_H
+
+#include "schedule/scheduler.h"
+
+namespace naspipe {
+
+/** The dependency-preserving policy of NASPipe. */
+class CspPolicy : public SchedulerPolicy
+{
+  public:
+    Decision pick(const StageInfo &stage) const override;
+    const char *name() const override { return "csp"; }
+
+    /**
+     * Algorithm 2 as a standalone call: the lowest-ID forward
+     * candidate that satisfies CSP, or -1.
+     *
+     * @param stage the stage view
+     * @param assumeFinished optional subnet to pretend finished
+     *        (Algorithm 3's pre-add of a received backward), -1 for
+     *        the plain check
+     * @param requireWritesVisible also require the stage's mirror
+     *        copies to be current (dispatch needs this; prediction
+     *        deliberately looks past it, since the pending write is
+     *        exactly what it anticipates)
+     */
+    static SubnetId schedulableForward(const StageInfo &stage,
+                                       SubnetId assumeFinished = -1,
+                                       bool requireWritesVisible =
+                                           false);
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SCHEDULE_CSP_SCHEDULER_H

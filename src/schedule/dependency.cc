@@ -1,0 +1,144 @@
+#include "schedule/dependency.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+void
+DependencyTracker::registerSubnet(const Subnet &subnet)
+{
+    NASPIPE_ASSERT(subnet.id() == _nextExpected,
+                   "subnets must register in sequence order: got ",
+                   subnet.id(), " expected ", _nextExpected);
+    _subnets.emplace(subnet.id(), subnet);
+    _nextExpected++;
+}
+
+bool
+DependencyTracker::knows(SubnetId id) const
+{
+    return _subnets.count(id) > 0;
+}
+
+const Subnet &
+DependencyTracker::subnet(SubnetId id) const
+{
+    auto it = _subnets.find(id);
+    NASPIPE_ASSERT(it != _subnets.end(), "unknown subnet SN", id);
+    return it->second;
+}
+
+void
+DependencyTracker::markFinished(SubnetId id)
+{
+    NASPIPE_ASSERT(id >= _frontier, "subnet SN", id,
+                   " already eliminated");
+    NASPIPE_ASSERT(!_finished.count(id), "subnet SN", id,
+                   " finished twice");
+    _finished.insert(id);
+    // Elimination scheme: advance the frontier over the finished
+    // prefix and drop those subnets from both lists.
+    while (_finished.count(_frontier)) {
+        _finished.erase(_frontier);
+        _subnets.erase(_frontier);
+        _frontier++;
+    }
+}
+
+bool
+DependencyTracker::finished(SubnetId id) const
+{
+    return id < _frontier || _finished.count(id) > 0;
+}
+
+bool
+DependencyTracker::blockedBy(const Subnet &candidate, int firstBlock,
+                             int lastBlock, SubnetId earlier) const
+{
+    // A stage that owns no blocks of the candidate (firstBlock >
+    // lastBlock under a skewed partition) touches no layers and can
+    // never be blocked.
+    if (firstBlock > lastBlock)
+        return false;
+    const Subnet &other = subnet(earlier);
+    if (!_space)
+        return candidate.sharesLayerInRange(other, firstBlock,
+                                            lastBlock);
+    // Skip-aware check: equal choices only conflict when the shared
+    // candidate actually holds parameters.
+    for (int b = firstBlock; b <= lastBlock; b++) {
+        if (candidate.choice(b) == other.choice(b) &&
+            _space->parameterized(b, candidate.choice(b))) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+DependencyTracker::satisfied(const Subnet &candidate, int firstBlock,
+                             int lastBlock) const
+{
+    return firstBlocker(candidate, firstBlock, lastBlock) < 0;
+}
+
+SubnetId
+DependencyTracker::firstBlocker(const Subnet &candidate, int firstBlock,
+                                int lastBlock) const
+{
+    for (SubnetId w = _frontier; w < candidate.id(); w++) {
+        if (_finished.count(w))
+            continue;
+        NASPIPE_ASSERT(knows(w), "dependency check against unknown SN",
+                       w, "; register subnets in order");
+        if (blockedBy(candidate, firstBlock, lastBlock, w))
+            return w;
+    }
+    return -1;
+}
+
+bool
+DependencyTracker::satisfiedWithStaleness(const Subnet &candidate,
+                                          int firstBlock,
+                                          int lastBlock,
+                                          SubnetId staleness) const
+{
+    NASPIPE_ASSERT(staleness >= 0, "staleness must be >= 0");
+    for (SubnetId w = _frontier;
+         w < candidate.id() - staleness; w++) {
+        if (_finished.count(w))
+            continue;
+        NASPIPE_ASSERT(knows(w), "dependency check against unknown SN",
+                       w, "; register subnets in order");
+        if (blockedBy(candidate, firstBlock, lastBlock, w))
+            return false;
+    }
+    return true;
+}
+
+bool
+DependencyTracker::satisfiedAssuming(const Subnet &candidate,
+                                     int firstBlock, int lastBlock,
+                                     SubnetId hypothetical) const
+{
+    for (SubnetId w = _frontier; w < candidate.id(); w++) {
+        if (w == hypothetical || _finished.count(w))
+            continue;
+        NASPIPE_ASSERT(knows(w), "dependency check against unknown SN",
+                       w, "; register subnets in order");
+        if (blockedBy(candidate, firstBlock, lastBlock, w))
+            return false;
+    }
+    return true;
+}
+
+void
+DependencyTracker::reset()
+{
+    _subnets.clear();
+    _finished.clear();
+    _frontier = 0;
+    _nextExpected = 0;
+}
+
+} // namespace naspipe

@@ -1,0 +1,195 @@
+#include "schedule/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "schedule/csp_scheduler.h"
+#include "schedule/ssp_scheduler.h"
+
+namespace naspipe {
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Csp:
+        return "csp";
+      case PolicyKind::Greedy:
+        return "greedy";
+      case PolicyKind::Ssp:
+        return "ssp";
+    }
+    return "?";
+}
+
+const char *
+memoryModeName(MemoryMode mode)
+{
+    switch (mode) {
+      case MemoryMode::AllResident:
+        return "all-resident";
+      case MemoryMode::SwapOnDemand:
+        return "swap-on-demand";
+      case MemoryMode::PredictivePrefetch:
+        return "predictive-prefetch";
+    }
+    return "?";
+}
+
+Decision
+GreedyPolicy::pick(const StageInfo &stage) const
+{
+    // Backward first, lowest sequence ID.
+    const auto &bwd = stage.bwdCandidates();
+    if (!bwd.empty())
+        return Decision::backward(*std::min_element(bwd.begin(),
+                                                    bwd.end()));
+    const auto &fwd = stage.fwdCandidates();
+    if (!fwd.empty())
+        return Decision::forward(*std::min_element(fwd.begin(),
+                                                   fwd.end()));
+    return Decision::none();
+}
+
+int
+SystemModel::effectiveBulk(int numStages) const
+{
+    NASPIPE_ASSERT(numStages >= 1, "need >= 1 stage");
+    return bulkSize > 0 ? bulkSize : numStages;
+}
+
+int
+SystemModel::effectiveInflight(int numStages) const
+{
+    NASPIPE_ASSERT(numStages >= 1, "need >= 1 stage");
+    // PipeDream's 1F1B discipline keeps exactly D batches in flight;
+    // other systems default to 2D so the scheduler has slack.
+    int limit = maxInflight > 0
+                    ? maxInflight
+                    : (weightStash ? numStages : 2 * numStages);
+    if (bulkFlush)
+        limit = std::max(limit, effectiveBulk(numStages));
+    return limit;
+}
+
+const char *
+SystemModel::syncName() const
+{
+    if (policy == PolicyKind::Csp)
+        return "CSP";
+    if (policy == PolicyKind::Ssp)
+        return "SSP";
+    return bulkFlush ? "BSP" : "ASP";
+}
+
+std::unique_ptr<SchedulerPolicy>
+makePolicy(const SystemModel &model)
+{
+    if (model.policy == PolicyKind::Csp)
+        return std::make_unique<CspPolicy>();
+    if (model.policy == PolicyKind::Ssp)
+        return std::make_unique<SspPolicy>(model.staleness);
+    return std::make_unique<GreedyPolicy>();
+}
+
+SystemModel
+naspipeSystem()
+{
+    SystemModel m;
+    m.name = "NASPipe";
+    m.policy = PolicyKind::Csp;
+    m.memory = MemoryMode::PredictivePrefetch;
+    m.bulkFlush = false;
+    m.balancedPartition = true;
+    m.mirroring = true;
+    m.weightStash = false;
+    m.recompute = true;
+    m.predictor = true;
+    return m;
+}
+
+SystemModel
+gpipeSystem()
+{
+    SystemModel m;
+    m.name = "GPipe";
+    m.policy = PolicyKind::Greedy;
+    m.memory = MemoryMode::AllResident;
+    m.bulkFlush = true;
+    m.balancedPartition = false;  // static operator placement
+    m.mirroring = false;
+    m.weightStash = false;
+    m.recompute = true;  // "most compact memory ... rematerialization"
+    m.predictor = false;
+    return m;
+}
+
+SystemModel
+pipedreamSystem()
+{
+    SystemModel m;
+    m.name = "PipeDream";
+    m.policy = PolicyKind::Greedy;
+    m.memory = MemoryMode::AllResident;
+    m.bulkFlush = false;  // ASP: asynchronous parameter updates
+    m.balancedPartition = false;
+    m.mirroring = false;
+    m.weightStash = true;  // per-batch weight versions
+    m.recompute = false;   // paper: baselines except PipeDream remat
+    m.predictor = false;
+    return m;
+}
+
+SystemModel
+vpipeSystem()
+{
+    SystemModel m;
+    m.name = "VPipe";
+    m.policy = PolicyKind::Greedy;
+    m.memory = MemoryMode::SwapOnDemand;
+    m.bulkFlush = true;  // "GPipe and VPipe are all configured w/ BSP"
+    m.balancedPartition = false;
+    m.mirroring = false;
+    m.weightStash = false;
+    m.recompute = true;
+    m.predictor = false;
+    return m;
+}
+
+SystemModel
+naspipeWithoutScheduler()
+{
+    // "NASPipe w/o scheduler had to finish the execution of a
+    // pipeline before injecting the next pipeline" (§5.3): CSP
+    // dependency preservation stays, but a bulk barrier is added so
+    // pipelines never overlap.
+    SystemModel m = naspipeSystem();
+    m.name = "NASPipe w/o scheduler";
+    m.bulkFlush = true;
+    return m;
+}
+
+SystemModel
+naspipeWithoutPredictor()
+{
+    // "the whole supernet was stored inside GPU memory" (§5.3).
+    SystemModel m = naspipeSystem();
+    m.name = "NASPipe w/o predictor";
+    m.memory = MemoryMode::AllResident;
+    m.predictor = false;
+    return m;
+}
+
+SystemModel
+naspipeWithoutMirroring()
+{
+    // Context manager disabled: subnets execute under the static
+    // placement, so per-subnet partitions are no longer balanced.
+    SystemModel m = naspipeSystem();
+    m.name = "NASPipe w/o mirroring";
+    m.balancedPartition = false;
+    m.mirroring = false;
+    return m;
+}
+
+} // namespace naspipe

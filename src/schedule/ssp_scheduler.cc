@@ -1,0 +1,52 @@
+#include "schedule/ssp_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+SspPolicy::SspPolicy(int staleness) : _staleness(staleness)
+{
+    NASPIPE_ASSERT(staleness >= 0, "staleness must be >= 0");
+}
+
+Decision
+SspPolicy::pick(const StageInfo &stage) const
+{
+    const auto &bwd = stage.bwdCandidates();
+    if (!bwd.empty())
+        return Decision::backward(*std::min_element(bwd.begin(),
+                                                    bwd.end()));
+
+    std::vector<SubnetId> queue = stage.fwdCandidates();
+    std::sort(queue.begin(), queue.end());
+    for (SubnetId qval : queue) {
+        const Subnet &candidate = stage.subnet(qval);
+        auto [lo, hi] = stage.blockRange(qval);
+        if (stage.deps().satisfiedWithStaleness(candidate, lo, hi,
+                                                _staleness)) {
+            return Decision::forward(qval);
+        }
+    }
+    return Decision::none();
+}
+
+SystemModel
+sspSystem(int staleness)
+{
+    SystemModel m;
+    m.name = "SSP(s=" + std::to_string(staleness) + ")";
+    m.policy = PolicyKind::Ssp;
+    m.staleness = staleness;
+    m.memory = MemoryMode::PredictivePrefetch;
+    m.bulkFlush = false;
+    m.balancedPartition = true;
+    m.mirroring = true;
+    m.weightStash = false;
+    m.recompute = true;
+    m.predictor = true;
+    return m;
+}
+
+} // namespace naspipe

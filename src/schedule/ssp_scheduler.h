@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Stale-synchronous-parallel (SSP) policy.
+ *
+ * §2.3 of the paper lists SSP (Ho et al.) among the synchronization
+ * methods "not designed to tackle causal dependencies in supernet
+ * training". This implementation makes the point quantitative: SSP
+ * with staleness bound s tolerates reads that are at most s subnets
+ * stale — a candidate's forward may proceed while blockers within
+ * sequence-distance s are still unfinished. s = 0 degenerates to
+ * Algorithm 2's check (without the mirror-visibility wait CSP adds);
+ * s = infinity degenerates to ASP. The sync-spectrum ablation bench
+ * sweeps s to chart throughput gained per reproducibility lost.
+ */
+
+#ifndef NASPIPE_SCHEDULE_SSP_SCHEDULER_H
+#define NASPIPE_SCHEDULE_SSP_SCHEDULER_H
+
+#include "schedule/scheduler.h"
+
+namespace naspipe {
+
+/** Bounded-staleness dependency policy. */
+class SspPolicy : public SchedulerPolicy
+{
+  public:
+    /** @param staleness tolerated blocker distance (>= 0). */
+    explicit SspPolicy(int staleness);
+
+    Decision pick(const StageInfo &stage) const override;
+    const char *name() const override { return "ssp"; }
+
+    int staleness() const { return _staleness; }
+
+  private:
+    int _staleness;
+};
+
+/**
+ * A NASPipe-like system (predictive memory, balanced partitions,
+ * mirroring) whose scheduler tolerates @p staleness: the sync
+ * spectrum between CSP and ASP.
+ */
+SystemModel sspSystem(int staleness);
+
+} // namespace naspipe
+
+#endif // NASPIPE_SCHEDULE_SSP_SCHEDULER_H

@@ -1,0 +1,21 @@
+#include "schedule/task.h"
+
+#include <sstream>
+
+namespace naspipe {
+
+const char *
+taskTypeName(TaskType type)
+{
+    return type == TaskType::Forward ? "fwd" : "bwd";
+}
+
+std::string
+Task::toString() const
+{
+    std::ostringstream oss;
+    oss << taskTypeName(type) << "(SN" << subnet << "@" << stage << ")";
+    return oss.str();
+}
+
+} // namespace naspipe

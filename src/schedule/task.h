@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Task model: the minimal unit of scheduling and execution.
+ *
+ * "The basic scheduling and execution unit in NASPipe's runtime is a
+ * task, which is defined as either a subnet stage i's forward pass or
+ * backward pass on processing one input batch. Each task is
+ * identified by a task property (forward or backward), subnet ID, and
+ * stage ID." (§3.2)
+ */
+
+#ifndef NASPIPE_SCHEDULE_TASK_H
+#define NASPIPE_SCHEDULE_TASK_H
+
+#include <string>
+
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/** Execution property of a task. */
+enum class TaskType {
+    Forward,
+    Backward,
+};
+
+/** Printable task-type name ("fwd"/"bwd"). */
+const char *taskTypeName(TaskType type);
+
+/** One schedulable task. */
+struct Task {
+    TaskType type = TaskType::Forward;
+    SubnetId subnet = -1;
+    int stage = -1;
+
+    bool operator==(const Task &) const = default;
+    auto operator<=>(const Task &) const = default;
+
+    /** Display string ("fwd(SN3@2)"). */
+    std::string toString() const;
+};
+
+/**
+ * Scheduling decision returned by a policy: run a task now, or
+ * nothing is runnable.
+ */
+struct Decision {
+    enum class Kind { None, Forward, Backward };
+
+    Kind kind = Kind::None;
+    SubnetId subnet = -1;
+
+    static Decision none() { return Decision{}; }
+    static Decision forward(SubnetId id)
+    {
+        return Decision{Kind::Forward, id};
+    }
+    static Decision backward(SubnetId id)
+    {
+        return Decision{Kind::Backward, id};
+    }
+
+    bool valid() const { return kind != Kind::None; }
+
+    bool operator==(const Decision &) const = default;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SCHEDULE_TASK_H

@@ -1,0 +1,65 @@
+#include "schedule/vpipe_scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+VpipeSwapPlanner::VpipeSwapPlanner(const SearchSpace &space, int stage)
+    : _space(space), _stage(stage)
+{
+    NASPIPE_ASSERT(stage >= 0, "stage must be non-negative");
+}
+
+SwapPlan
+VpipeSwapPlanner::plan(const Subnet &subnet, int firstBlock,
+                       int lastBlock)
+{
+    NASPIPE_ASSERT(firstBlock >= 0 && lastBlock < subnet.size() &&
+                       firstBlock <= lastBlock,
+                   "bad block range");
+
+    SwapPlan out;
+    std::vector<std::uint64_t> next;
+    next.reserve(static_cast<std::size_t>(lastBlock - firstBlock + 1));
+
+    for (int b = firstBlock; b <= lastBlock; b++) {
+        if (_space.spec(b, subnet.choice(b)).paramBytes == 0)
+            continue;  // skip candidates have no context
+        LayerId layer = subnet.layer(b);
+        std::uint64_t key = layer.key();
+        next.push_back(key);
+        if (std::binary_search(_resident.begin(), _resident.end(),
+                               key)) {
+            out.hitLayers++;
+        } else {
+            out.missLayers++;
+            out.fetchBytes +=
+                _space.spec(b, subnet.choice(b)).paramBytes;
+        }
+    }
+
+    // Everything from the previous context that the new subnet does
+    // not reuse is evicted (written back: parameters are dirty after
+    // the previous backward pass).
+    std::sort(next.begin(), next.end());
+    for (std::uint64_t key : _resident) {
+        if (!std::binary_search(next.begin(), next.end(), key)) {
+            auto block = static_cast<int>(key >> 32);
+            auto choice = static_cast<int>(key & 0xffffffffULL);
+            out.evictBytes += _space.spec(block, choice).paramBytes;
+        }
+    }
+
+    _resident = std::move(next);
+    return out;
+}
+
+void
+VpipeSwapPlanner::reset()
+{
+    _resident.clear();
+}
+
+} // namespace naspipe

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * VPipe-style on-demand swap planning.
+ *
+ * VPipe keeps exactly one subnet's stage parameters resident per GPU
+ * and swaps subnet contexts between CPU and GPU memory around each
+ * execution — without a predictor, so nearly every first access to a
+ * layer is a miss that stalls for a synchronous swap-in (the ~1-8 %
+ * cache-hit column of Table 2: hits happen only when consecutive
+ * subnets coincidentally share a layer on the same stage). This
+ * module sizes those swaps and estimates the stall they add to a
+ * stage execution.
+ */
+
+#ifndef NASPIPE_SCHEDULE_VPIPE_SCHEDULER_H
+#define NASPIPE_SCHEDULE_VPIPE_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "supernet/search_space.h"
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/** One planned swap around a VPipe stage execution. */
+struct SwapPlan {
+    std::uint64_t fetchBytes = 0;  ///< layers to bring in (misses)
+    std::uint64_t evictBytes = 0;  ///< previous context to push out
+    int hitLayers = 0;             ///< layers already resident
+    int missLayers = 0;            ///< layers requiring swap-in
+};
+
+/**
+ * Plans VPipe's per-execution swaps on one stage.
+ */
+class VpipeSwapPlanner
+{
+  public:
+    /**
+     * @param space the search space
+     * @param stage the stage this planner serves
+     */
+    VpipeSwapPlanner(const SearchSpace &space, int stage);
+
+    /**
+     * Plan the swap for executing @p subnet's blocks
+     * [@p firstBlock, @p lastBlock] on this stage, given that the
+     * previously executed subnet's layers are still resident.
+     */
+    SwapPlan plan(const Subnet &subnet, int firstBlock, int lastBlock);
+
+    /** Layers currently resident on this stage's GPU. */
+    std::size_t residentLayers() const { return _resident.size(); }
+
+    void reset();
+
+  private:
+    const SearchSpace &_space;
+    int _stage;
+    std::vector<std::uint64_t> _resident;  ///< layer keys, sorted
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SCHEDULE_VPIPE_SCHEDULER_H

@@ -1,0 +1,85 @@
+#include "sim/event.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+Tick
+ticksFromMs(double ms)
+{
+    NASPIPE_ASSERT(ms >= 0.0, "negative duration");
+    return static_cast<Tick>(std::llround(ms * 1e6));
+}
+
+Tick
+ticksFromSec(double sec)
+{
+    NASPIPE_ASSERT(sec >= 0.0, "negative duration");
+    return static_cast<Tick>(std::llround(sec * 1e9));
+}
+
+double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / 1e9;
+}
+
+double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+bool
+EventQueue::Compare::operator()(const Event &a, const Event &b) const
+{
+    // std::priority_queue is a max-heap; invert for min ordering.
+    if (a.when != b.when)
+        return a.when > b.when;
+    if (a.priority != b.priority)
+        return static_cast<int>(a.priority) > static_cast<int>(b.priority);
+    return a.sequence > b.sequence;
+}
+
+std::uint64_t
+EventQueue::push(Tick when, EventPriority priority,
+                 std::function<void()> action)
+{
+    NASPIPE_ASSERT(action, "event must have an action");
+    Event ev;
+    ev.when = when;
+    ev.priority = priority;
+    ev.sequence = _nextSequence++;
+    ev.action = std::move(action);
+    _heap.push(std::move(ev));
+    return _heap.size();
+}
+
+Tick
+EventQueue::nextTime() const
+{
+    NASPIPE_ASSERT(!_heap.empty(), "nextTime on empty queue");
+    return _heap.top().when;
+}
+
+Event
+EventQueue::pop()
+{
+    NASPIPE_ASSERT(!_heap.empty(), "pop on empty queue");
+    // priority_queue::top() is const; move via const_cast is the
+    // standard workaround and safe because we pop immediately.
+    Event ev = std::move(const_cast<Event &>(_heap.top()));
+    _heap.pop();
+    return ev;
+}
+
+void
+EventQueue::clear()
+{
+    while (!_heap.empty())
+        _heap.pop();
+}
+
+} // namespace naspipe

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Event primitives of the deterministic discrete-event simulator.
+ *
+ * Simulated time is kept in integer nanoseconds (Tick) so that event
+ * ordering never depends on floating-point rounding; ties are broken
+ * by an explicit (priority, insertion sequence) pair, which makes the
+ * whole simulation bit-reproducible — the substrate property NASPipe's
+ * reproducibility experiments rely on.
+ */
+
+#ifndef NASPIPE_SIM_EVENT_H
+#define NASPIPE_SIM_EVENT_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace naspipe {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per microsecond/millisecond/second. */
+constexpr Tick kTicksPerUs = 1000;
+constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;
+constexpr Tick kTicksPerSec = 1000 * kTicksPerMs;
+
+/** Convert milliseconds (possibly fractional) to ticks. */
+Tick ticksFromMs(double ms);
+
+/** Convert seconds (possibly fractional) to ticks. */
+Tick ticksFromSec(double sec);
+
+/** Convert ticks to fractional seconds (for reporting only). */
+double ticksToSec(Tick t);
+
+/** Convert ticks to fractional milliseconds (for reporting only). */
+double ticksToMs(Tick t);
+
+/**
+ * Event priorities: lower value runs first at equal time. Completion
+ * events run before scheduling decisions so a freed engine is visible
+ * to the scheduler examining the same instant.
+ */
+enum class EventPriority : int {
+    Completion = 0,
+    Transfer = 1,
+    Schedule = 2,
+    Default = 3,
+};
+
+/** One pending event: a callback at a time with a tie-break key. */
+struct Event {
+    Tick when = 0;
+    EventPriority priority = EventPriority::Default;
+    std::uint64_t sequence = 0;
+    std::function<void()> action;
+};
+
+/**
+ * Min-ordered queue of events keyed by (when, priority, sequence).
+ * The sequence counter is assigned at insertion, so two events at the
+ * same time and priority run in insertion order.
+ */
+class EventQueue
+{
+  public:
+    /** Insert an event; returns the assigned sequence number. */
+    std::uint64_t push(Tick when, EventPriority priority,
+                       std::function<void()> action);
+
+    /** True when no events remain. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return _heap.size(); }
+
+    /** Time of the earliest event; queue must be non-empty. */
+    Tick nextTime() const;
+
+    /** Remove and return the earliest event. */
+    Event pop();
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Compare {
+        bool operator()(const Event &a, const Event &b) const;
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Compare> _heap;
+    std::uint64_t _nextSequence = 0;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SIM_EVENT_H

@@ -1,0 +1,67 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+SerialEngine::SerialEngine(Simulator &sim, std::string name)
+    : _sim(sim), _name(std::move(name))
+{
+}
+
+Tick
+SerialEngine::reserve(Tick duration)
+{
+    return reserveFrom(_sim.now(), duration);
+}
+
+Tick
+SerialEngine::reserveFrom(Tick earliest, Tick duration)
+{
+    Tick start = std::max({earliest, _freeAt, _sim.now()});
+    _freeAt = start + duration;
+    if (duration > 0)
+        _util.addBusy(ticksToSec(start), ticksToSec(_freeAt));
+    return start;
+}
+
+void
+SerialEngine::reset()
+{
+    _freeAt = 0;
+    _util.reset();
+}
+
+Channel::Channel(Simulator &sim, std::string name, double bytesPerSec,
+                 Tick latency)
+    : _engine(sim, std::move(name)), _bytesPerSec(bytesPerSec),
+      _latency(latency)
+{
+    NASPIPE_ASSERT(bytesPerSec > 0.0, "channel bandwidth must be positive");
+}
+
+Tick
+Channel::transferTime(std::uint64_t bytes) const
+{
+    double sec = static_cast<double>(bytes) / _bytesPerSec;
+    return _latency + ticksFromSec(sec);
+}
+
+Tick
+Channel::transferFrom(Tick earliest, std::uint64_t bytes)
+{
+    Tick duration = transferTime(bytes);
+    Tick start = _engine.reserveFrom(earliest, duration);
+    return start + duration;
+}
+
+Tick
+Channel::transfer(std::uint64_t bytes)
+{
+    return transferFrom(0, bytes);
+}
+
+} // namespace naspipe

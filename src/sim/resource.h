@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Serially-occupied resources (engines) for the hardware models.
+ */
+
+#ifndef NASPIPE_SIM_RESOURCE_H
+#define NASPIPE_SIM_RESOURCE_H
+
+#include <string>
+
+#include "common/stats.h"
+#include "sim/event.h"
+#include "sim/simulator.h"
+
+namespace naspipe {
+
+/**
+ * An exclusive engine that serializes work items and records its busy
+ * intervals. GPU compute units, H2D/D2H copy engines and network
+ * links are all instances of this.
+ *
+ * The engine does not queue callbacks itself; callers reserve time on
+ * it and receive the (start, end) of their slot, then schedule their
+ * own completion events. This keeps the scheduling *policy* (which
+ * task next) entirely outside the hardware model, which matters here
+ * because the whole point of the reproduction is comparing policies.
+ */
+class SerialEngine
+{
+  public:
+    /**
+     * @param sim owning simulator (for utilization timestamps)
+     * @param name diagnostic name ("gpu3.compute")
+     */
+    SerialEngine(Simulator &sim, std::string name);
+
+    /** Time at which the engine next becomes free. */
+    Tick freeAt() const { return _freeAt; }
+
+    /** Whether the engine is free at @p when. */
+    bool freeBy(Tick when) const { return _freeAt <= when; }
+
+    /**
+     * Reserve @p duration of engine time starting no earlier than now.
+     * @return the start time of the granted slot (>= now).
+     */
+    Tick reserve(Tick duration);
+
+    /**
+     * Reserve @p duration starting no earlier than @p earliest.
+     * @return the start time of the granted slot.
+     */
+    Tick reserveFrom(Tick earliest, Tick duration);
+
+    /** Busy-interval statistics (for ALU utilization / bubbles). */
+    const UtilizationTracker &utilization() const { return _util; }
+
+    /** Clear statistics and availability (used between runs). */
+    void reset();
+
+    const std::string &name() const { return _name; }
+
+  private:
+    Simulator &_sim;
+    std::string _name;
+    Tick _freeAt = 0;
+    UtilizationTracker _util;
+};
+
+/**
+ * A bandwidth-and-latency channel: transfers are serialized on the
+ * channel and each takes latency + bytes/bandwidth.
+ */
+class Channel
+{
+  public:
+    /**
+     * @param sim owning simulator
+     * @param name diagnostic name ("pcie.h2d")
+     * @param bytesPerSec sustained bandwidth
+     * @param latency fixed per-transfer latency in ticks
+     */
+    Channel(Simulator &sim, std::string name, double bytesPerSec,
+            Tick latency);
+
+    /** Duration of a @p bytes transfer excluding queueing. */
+    Tick transferTime(std::uint64_t bytes) const;
+
+    /**
+     * Reserve the channel for a @p bytes transfer starting no earlier
+     * than @p earliest.
+     * @return the completion time of the transfer.
+     */
+    Tick transferFrom(Tick earliest, std::uint64_t bytes);
+
+    /** Completion time for a transfer started as soon as possible. */
+    Tick transfer(std::uint64_t bytes);
+
+    /** Underlying engine (for utilization statistics). */
+    const SerialEngine &engine() const { return _engine; }
+
+    double bytesPerSec() const { return _bytesPerSec; }
+    Tick latency() const { return _latency; }
+
+    /** Clear statistics and availability. */
+    void reset() { _engine.reset(); }
+
+  private:
+    SerialEngine _engine;
+    double _bytesPerSec;
+    Tick _latency;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SIM_RESOURCE_H

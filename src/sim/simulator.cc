@@ -1,0 +1,65 @@
+#include "sim/simulator.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+void
+Simulator::scheduleAt(Tick when, std::function<void()> action,
+                      EventPriority priority)
+{
+    NASPIPE_ASSERT(when >= _now, "cannot schedule in the past: when=",
+                   when, " now=", _now);
+    _queue.push(when, priority, std::move(action));
+}
+
+void
+Simulator::scheduleAfter(Tick delay, std::function<void()> action,
+                         EventPriority priority)
+{
+    _queue.push(_now + delay, priority, std::move(action));
+}
+
+std::uint64_t
+Simulator::run()
+{
+    return runLoop(false, 0);
+}
+
+std::uint64_t
+Simulator::runUntil(Tick deadline)
+{
+    return runLoop(true, deadline);
+}
+
+std::uint64_t
+Simulator::runLoop(bool bounded, Tick deadline)
+{
+    std::uint64_t executed = 0;
+    while (!_queue.empty()) {
+        if (bounded && _queue.nextTime() > deadline)
+            break;
+        Event ev = _queue.pop();
+        _now = ev.when;
+        ev.action();
+        executed++;
+        _executed++;
+        if (executed > _stepLimit) {
+            panic("simulator exceeded step limit of ", _stepLimit,
+                  " events; likely a zero-delay event loop");
+        }
+    }
+    if (bounded && _now < deadline && _queue.empty())
+        _now = deadline;
+    return executed;
+}
+
+void
+Simulator::reset()
+{
+    _queue.clear();
+    _now = 0;
+    _executed = 0;
+}
+
+} // namespace naspipe

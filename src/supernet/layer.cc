@@ -1,0 +1,89 @@
+#include "supernet/layer.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv3x1:
+        return "Conv 3x1";
+      case LayerKind::SepConv7x1:
+        return "Sep Conv 7x1";
+      case LayerKind::LightConv5x1:
+        return "Light Conv 5x1";
+      case LayerKind::Attention8Head:
+        return "8 Head Attention";
+      case LayerKind::FeedForward:
+        return "Feed Forward";
+      case LayerKind::GatedLinearUnit:
+        return "GLU";
+      case LayerKind::Conv3x3:
+        return "Conv 3x3";
+      case LayerKind::SepConv3x3:
+        return "Sep Conv 3x3";
+      case LayerKind::SepConv5x5:
+        return "Sep Conv 5x5";
+      case LayerKind::DilConv3x3:
+        return "Dil Conv 3x3";
+      case LayerKind::MaxPool3x3:
+        return "Max Pool 3x3";
+      case LayerKind::Identity:
+        return "Identity";
+    }
+    return "?";
+}
+
+bool
+isNlpKind(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv3x1:
+      case LayerKind::SepConv7x1:
+      case LayerKind::LightConv5x1:
+      case LayerKind::Attention8Head:
+      case LayerKind::FeedForward:
+      case LayerKind::GatedLinearUnit:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCvKind(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv3x3:
+      case LayerKind::SepConv3x3:
+      case LayerKind::SepConv5x5:
+      case LayerKind::DilConv3x3:
+      case LayerKind::MaxPool3x3:
+      case LayerKind::Identity:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+LayerSpec::fwdMsAt(int batch, int referenceBatch) const
+{
+    NASPIPE_ASSERT(batch > 0 && referenceBatch > 0,
+                   "batch sizes must be positive");
+    return fwdMs * static_cast<double>(batch) /
+           static_cast<double>(referenceBatch);
+}
+
+double
+LayerSpec::bwdMsAt(int batch, int referenceBatch) const
+{
+    NASPIPE_ASSERT(batch > 0 && referenceBatch > 0,
+                   "batch sizes must be positive");
+    return bwdMs * static_cast<double>(batch) /
+           static_cast<double>(referenceBatch);
+}
+
+} // namespace naspipe

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Candidate-layer model: the kinds of DNN operators a choice block
+ * can hold, together with their cost profile (parameter size, forward
+ * and backward compute time, and swap time).
+ *
+ * The eight "representative" kinds mirror Table 5 of the paper
+ * (Evolved-Transformer ops for NLP, AmoebaNet ops for CV); the extra
+ * kinds round out realistic search spaces (feed-forward blocks, GLUs,
+ * pooling, identity/skip) the same way the original spaces do.
+ */
+
+#ifndef NASPIPE_SUPERNET_LAYER_H
+#define NASPIPE_SUPERNET_LAYER_H
+
+#include <cstdint>
+#include <string>
+
+namespace naspipe {
+
+/** Operator kinds available to choice blocks. */
+enum class LayerKind : std::uint8_t {
+    // NLP (Evolved-Transformer style) kinds; first four are Table 5.
+    Conv3x1,
+    SepConv7x1,
+    LightConv5x1,
+    Attention8Head,
+    FeedForward,
+    GatedLinearUnit,
+    // CV (AmoebaNet style) kinds; first four are Table 5.
+    Conv3x3,
+    SepConv3x3,
+    SepConv5x5,
+    DilConv3x3,
+    MaxPool3x3,
+    Identity,
+};
+
+/** Number of LayerKind values. */
+constexpr int kNumLayerKinds = 12;
+
+/** Short printable name ("Conv 3x1"). */
+const char *layerKindName(LayerKind kind);
+
+/** Whether the kind belongs to the NLP operator family. */
+bool isNlpKind(LayerKind kind);
+
+/** Whether the kind belongs to the CV operator family. */
+bool isCvKind(LayerKind kind);
+
+/**
+ * Identity of one candidate layer inside a supernet: the choice block
+ * it belongs to and its index within the block. Two subnets share a
+ * layer (and thus have a causal dependency) exactly when they pick
+ * the same choice in the same block.
+ */
+struct LayerId {
+    std::uint32_t block = 0;
+    std::uint32_t choice = 0;
+
+    bool operator==(const LayerId &) const = default;
+    auto operator<=>(const LayerId &) const = default;
+
+    /** Dense key usable in hash maps / flat arrays. */
+    std::uint64_t
+    key() const
+    {
+        return (static_cast<std::uint64_t>(block) << 32) | choice;
+    }
+};
+
+/**
+ * Cost profile of one candidate layer at the family's reference input
+ * size (NLP: batch 192 tokens x 1024 dim; CV: batch 64 of 112x112).
+ * Compute times scale linearly with batch relative to the reference;
+ * the swap time is parameter-only and batch independent.
+ */
+struct LayerSpec {
+    LayerKind kind = LayerKind::Identity;
+    std::uint64_t paramBytes = 0;  ///< fp32 parameter footprint
+    double fwdMs = 0.0;            ///< forward time at reference batch
+    double bwdMs = 0.0;            ///< backward time at reference batch
+    double swapMs = 0.0;           ///< CPU->GPU copy time (PCIe 3 x16)
+
+    /** Parameter count assuming fp32 storage. */
+    std::uint64_t params() const { return paramBytes / 4; }
+
+    /** Forward time at an arbitrary batch size. */
+    double fwdMsAt(int batch, int referenceBatch) const;
+
+    /** Backward time at an arbitrary batch size. */
+    double bwdMsAt(int batch, int referenceBatch) const;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SUPERNET_LAYER_H

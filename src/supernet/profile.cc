@@ -1,0 +1,96 @@
+#include "supernet/profile.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+namespace {
+
+/** Parameter bytes implied by a swap time over PCIe 3.0 x16. */
+std::uint64_t
+bytesFromSwapMs(double swapMs)
+{
+    return static_cast<std::uint64_t>(
+        std::llround(swapMs * 1e-3 * kPcieBytesPerSec));
+}
+
+LayerSpec
+makeSpec(LayerKind kind, double fwdMs, double bwdMs, double swapMs)
+{
+    LayerSpec spec;
+    spec.kind = kind;
+    spec.fwdMs = fwdMs;
+    spec.bwdMs = bwdMs;
+    spec.swapMs = swapMs;
+    spec.paramBytes = bytesFromSwapMs(swapMs);
+    return spec;
+}
+
+} // namespace
+
+const LayerProfileDb &
+LayerProfileDb::instance()
+{
+    static LayerProfileDb db;
+    return db;
+}
+
+LayerProfileDb::LayerProfileDb()
+{
+    _specs.resize(kNumLayerKinds);
+
+    auto put = [&](LayerSpec spec) {
+        _specs[static_cast<std::size_t>(spec.kind)] = spec;
+    };
+
+    // --- Table 5, NLP family, input (192, 1024). ---
+    put(makeSpec(LayerKind::Conv3x1, 5.0, 10.0, 1.76));
+    put(makeSpec(LayerKind::SepConv7x1, 4.2, 5.7, 0.56));
+    put(makeSpec(LayerKind::LightConv5x1, 0.68, 1.4, 0.03));
+    put(makeSpec(LayerKind::Attention8Head, 7.9, 13.8, 2.07));
+    // Additional Evolved-Transformer ops (not in Table 5): costs
+    // follow the same compute-per-parameter trend as the table rows.
+    put(makeSpec(LayerKind::FeedForward, 3.6, 6.2, 1.07));
+    put(makeSpec(LayerKind::GatedLinearUnit, 1.5, 2.6, 0.40));
+
+    // --- Table 5, CV family, input (64, 112, 112). ---
+    put(makeSpec(LayerKind::Conv3x3, 7.9, 13.8, 4.6));
+    put(makeSpec(LayerKind::SepConv3x3, 2.8, 4.0, 0.68));
+    put(makeSpec(LayerKind::SepConv5x5, 6.7, 9.9, 2.04));
+    put(makeSpec(LayerKind::DilConv3x3, 2.5, 3.4, 0.58));
+    // Additional AmoebaNet ops: pooling and skip are parameter-free
+    // (swap is effectively instant) but still cost compute.
+    put(makeSpec(LayerKind::MaxPool3x3, 0.9, 1.1, 0.001));
+    put(makeSpec(LayerKind::Identity, 0.05, 0.05, 0.0));
+}
+
+const LayerSpec &
+LayerProfileDb::reference(LayerKind kind) const
+{
+    auto idx = static_cast<std::size_t>(kind);
+    NASPIPE_ASSERT(idx < _specs.size(), "unknown layer kind");
+    return _specs[idx];
+}
+
+LayerSpec
+LayerProfileDb::scaled(LayerKind kind, double scale) const
+{
+    NASPIPE_ASSERT(scale > 0.0, "layer scale must be positive");
+    LayerSpec spec = reference(kind);
+    spec.paramBytes = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(spec.paramBytes) * scale));
+    spec.fwdMs *= scale;
+    spec.bwdMs *= scale;
+    spec.swapMs *= scale;
+    return spec;
+}
+
+int
+LayerProfileDb::referenceBatch(LayerKind kind)
+{
+    return isNlpKind(kind) ? kNlpReferenceBatch : kCvReferenceBatch;
+}
+
+} // namespace naspipe

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Layer cost profile database.
+ *
+ * NASPipe partitions subnets using "pre-profiled statistics of each
+ * layer" (§3.2) and sizes its swap schedule from per-layer parameter
+ * footprints. This database is that profile: for the eight
+ * representative kinds it reproduces Table 5 of the paper verbatim
+ * (compute times and swap times measured at the reference input
+ * sizes); parameter bytes are derived from the measured swap time and
+ * the testbed's PCIe 3.0 x16 bandwidth of 15760 MB/s, keeping the
+ * whole model self-consistent.
+ */
+
+#ifndef NASPIPE_SUPERNET_PROFILE_H
+#define NASPIPE_SUPERNET_PROFILE_H
+
+#include <vector>
+
+#include "supernet/layer.h"
+
+namespace naspipe {
+
+/** Testbed PCIe 3.0 x16 host-to-device bandwidth (paper §5). */
+constexpr double kPcieBytesPerSec = 15760.0 * 1e6;
+
+/** Reference batch for the NLP profile (input (192, 1024)). */
+constexpr int kNlpReferenceBatch = 192;
+
+/** Reference batch for the CV profile (input (64, 112, 112)). */
+constexpr int kCvReferenceBatch = 64;
+
+/**
+ * Immutable database of reference layer profiles, one per LayerKind.
+ */
+class LayerProfileDb
+{
+  public:
+    /** The process-wide profile database. */
+    static const LayerProfileDb &instance();
+
+    /** Reference profile of @p kind. */
+    const LayerSpec &reference(LayerKind kind) const;
+
+    /**
+     * A scaled variant of @p kind: parameter bytes, compute times and
+     * swap time all scale by @p scale, modelling the size diversity
+     * of candidate layers within a search space.
+     */
+    LayerSpec scaled(LayerKind kind, double scale) const;
+
+    /** All reference profiles (Table 5 plus the extra kinds). */
+    const std::vector<LayerSpec> &all() const { return _specs; }
+
+    /** The family's reference batch for @p kind. */
+    static int referenceBatch(LayerKind kind);
+
+  private:
+    LayerProfileDb();
+
+    std::vector<LayerSpec> _specs;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SUPERNET_PROFILE_H

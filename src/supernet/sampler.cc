@@ -1,0 +1,184 @@
+#include "supernet/sampler.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+void
+SubnetSampler::reportScore(SubnetId, double)
+{
+}
+
+namespace {
+
+/**
+ * One skip-aware block draw: the skip candidate (choice 0) gets the
+ * space's skip mass, the rest is uniform over the parameterized
+ * candidates. Exactly one double draw plus at most one integer draw
+ * per block, so the stream consumption is deterministic.
+ */
+std::uint16_t
+drawChoice(const SearchSpace &space, Xoshiro256StarStar &rng)
+{
+    int n = space.choicesPerBlock();
+    if (space.skipMass() > 0.0) {
+        if (rng.nextDouble() < space.skipMass())
+            return 0;
+        return static_cast<std::uint16_t>(
+            1 + rng.nextBelow(static_cast<std::uint64_t>(n - 1)));
+    }
+    return static_cast<std::uint16_t>(
+        rng.nextBelow(static_cast<std::uint64_t>(n)));
+}
+
+} // namespace
+
+UniformSampler::UniformSampler(const SearchSpace &space,
+                               std::uint64_t seed)
+    : _space(space), _rng(deriveSeed(seed, "uniform-sampler"))
+{
+}
+
+Subnet
+UniformSampler::next()
+{
+    std::vector<std::uint16_t> choices(
+        static_cast<std::size_t>(_space.numBlocks()));
+    for (auto &c : choices)
+        c = drawChoice(_space, _rng);
+    return Subnet(allocateId(), std::move(choices));
+}
+
+EvolutionSampler::EvolutionSampler(const SearchSpace &space,
+                                   std::uint64_t seed, int population,
+                                   int tournament)
+    : _space(space), _rng(deriveSeed(seed, "evolution-sampler")),
+      _population(population), _tournament(tournament)
+{
+    NASPIPE_ASSERT(population >= 2, "population must be >= 2");
+    NASPIPE_ASSERT(tournament >= 1 && tournament <= population,
+                   "tournament size must be in [1, population]");
+}
+
+Subnet
+EvolutionSampler::sampleUniform(SubnetId id)
+{
+    std::vector<std::uint16_t> choices(
+        static_cast<std::size_t>(_space.numBlocks()));
+    for (auto &c : choices)
+        c = drawChoice(_space, _rng);
+    return Subnet(id, std::move(choices));
+}
+
+Subnet
+EvolutionSampler::next()
+{
+    SubnetId id = allocateId();
+    Subnet child;
+    if (static_cast<int>(_members.size()) < _population) {
+        // Warm-up phase: fill the population with uniform samples.
+        child = sampleUniform(id);
+    } else {
+        // Tournament selection among random members; unscored members
+        // count as score 0 so early children do not dominate.
+        std::size_t winner = _rng.nextBelow(_members.size());
+        for (int round = 1; round < _tournament; round++) {
+            std::size_t probe = _rng.nextBelow(_members.size());
+            if (_members[probe].score > _members[winner].score)
+                winner = probe;
+        }
+        // Mutate exactly one block of the winner: resample the block
+        // with the skip-aware rule; when the draw lands on the same
+        // candidate, deterministically flip to/from the nearest
+        // alternative so the child always differs.
+        std::vector<std::uint16_t> choices =
+            _members[winner].subnet.choices();
+        auto block = static_cast<std::size_t>(
+            _rng.nextBelow(choices.size()));
+        int n = _space.choicesPerBlock();
+        if (n > 1) {
+            std::uint16_t mutated = drawChoice(_space, _rng);
+            if (mutated == choices[block])
+                mutated = choices[block] == 0 ? 1 : 0;
+            choices[block] = mutated;
+        }
+        child = Subnet(id, std::move(choices));
+        // Aging: the oldest member dies regardless of fitness.
+        _members.pop_front();
+    }
+    _members.push_back(Member{child, 0.0, false});
+    return child;
+}
+
+void
+EvolutionSampler::reportScore(SubnetId id, double score)
+{
+    for (auto &member : _members) {
+        if (member.subnet.id() == id) {
+            member.score = score;
+            member.scored = true;
+            return;
+        }
+    }
+    // The member may have aged out before its score arrived; that is
+    // normal in a pipelined run where training lags sampling.
+}
+
+HybridSampler::HybridSampler(const SearchSpace &space,
+                             std::uint64_t seed, int numStreams)
+    : _space(space), _rng(deriveSeed(seed, "hybrid-sampler")),
+      _numStreams(numStreams)
+{
+    NASPIPE_ASSERT(numStreams >= 1, "need >= 1 stream");
+    NASPIPE_ASSERT(numStreams <= space.numBlocks(),
+                   "more streams than choice blocks");
+    NASPIPE_ASSERT(space.skipMass() > 0.0,
+                   "hybrid traversal requires a skip candidate "
+                   "(space skipMass > 0)");
+}
+
+std::pair<int, int>
+HybridSampler::streamBlocks(int stream) const
+{
+    NASPIPE_ASSERT(stream >= 0 && stream < _numStreams,
+                   "stream out of range");
+    int m = _space.numBlocks();
+    int lo = static_cast<int>(
+        (static_cast<long long>(m) * stream) / _numStreams);
+    int hi = static_cast<int>(
+        (static_cast<long long>(m) * (stream + 1)) / _numStreams) -
+        1;
+    return {lo, hi};
+}
+
+Subnet
+HybridSampler::next()
+{
+    SubnetId id = allocateId();
+    auto [lo, hi] = streamBlocks(streamOf(id));
+    std::vector<std::uint16_t> choices(
+        static_cast<std::size_t>(_space.numBlocks()), 0);
+    for (int b = lo; b <= hi; b++) {
+        choices[static_cast<std::size_t>(b)] =
+            drawChoice(_space, _rng);
+    }
+    return Subnet(id, std::move(choices));
+}
+
+FixedSequenceSampler::FixedSequenceSampler(
+    std::vector<std::vector<std::uint16_t>> sequence)
+    : _sequence(std::move(sequence))
+{
+    NASPIPE_ASSERT(!_sequence.empty(),
+                   "fixed sequence must be non-empty");
+}
+
+Subnet
+FixedSequenceSampler::next()
+{
+    const auto &choices = _sequence[_cursor];
+    _cursor = (_cursor + 1) % _sequence.size();
+    return Subnet(allocateId(), choices);
+}
+
+} // namespace naspipe

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Subnet exploration algorithms (the "frontend" producing the ordered
+ * subnet stream).
+ *
+ * The paper assumes subnets arrive from a NAS exploration algorithm
+ * in a producer-consumer fashion (§3.2); the order the sampler emits
+ * *is* the causal order CSP must preserve. Uniform per-choice-block
+ * sampling (SPOS) is the paper's default; evolution (regularized /
+ * aging evolution) is its default *search* strategy; a fixed-sequence
+ * sampler supports deterministic replay and targeted tests.
+ */
+
+#ifndef NASPIPE_SUPERNET_SAMPLER_H
+#define NASPIPE_SUPERNET_SAMPLER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/**
+ * Abstract producer of the ordered subnet stream.
+ */
+class SubnetSampler
+{
+  public:
+    virtual ~SubnetSampler() = default;
+
+    /** Produce the next subnet; sequence IDs are consecutive from 0. */
+    virtual Subnet next() = 0;
+
+    /**
+     * Feed back the training quality of a finished subnet (used by
+     * search strategies such as evolution; ignored by others).
+     */
+    virtual void reportScore(SubnetId id, double score);
+
+    /** Number of subnets produced so far. */
+    SubnetId produced() const { return _next; }
+
+  protected:
+    /** Allocate the next sequence ID. */
+    SubnetId allocateId() { return _next++; }
+
+  private:
+    SubnetId _next = 0;
+};
+
+/**
+ * SPOS-style uniform sampler: every block picks uniformly among its
+ * candidates (paper §3: "a per choice block uniform sampling
+ * approach, the most representative method").
+ */
+class UniformSampler : public SubnetSampler
+{
+  public:
+    UniformSampler(const SearchSpace &space, std::uint64_t seed);
+
+    Subnet next() override;
+
+  private:
+    const SearchSpace &_space;
+    Xoshiro256StarStar _rng;
+};
+
+/**
+ * Aging-evolution sampler (Real et al.), the paper's default search
+ * strategy: keep a population of the most recent P architectures;
+ * each step runs an S-way tournament on reported scores and emits a
+ * one-block mutation of the winner. Until the population warms up,
+ * subnets are sampled uniformly.
+ */
+class EvolutionSampler : public SubnetSampler
+{
+  public:
+    /**
+     * @param space the search space
+     * @param seed deterministic stream seed
+     * @param population population size P
+     * @param tournament tournament size S
+     */
+    EvolutionSampler(const SearchSpace &space, std::uint64_t seed,
+                     int population = 16, int tournament = 4);
+
+    Subnet next() override;
+
+    void reportScore(SubnetId id, double score) override;
+
+  private:
+    struct Member {
+        Subnet subnet;
+        double score = 0.0;
+        bool scored = false;
+    };
+
+    Subnet sampleUniform(SubnetId id);
+
+    const SearchSpace &_space;
+    Xoshiro256StarStar _rng;
+    int _population;
+    int _tournament;
+    std::deque<Member> _members;
+};
+
+/**
+ * Hybrid multi-space traversal (paper §5.5, Future Applications):
+ * "NASPipe allows the hybrid traverse of multiple search spaces
+ * simultaneously as NASPipe's runtime design is flexible to hold any
+ * number of causal dependency relations."
+ *
+ * The sampler partitions the supernet's choice blocks into
+ * `numStreams` contiguous groups — each group is an independent
+ * sub-search-space — and emits subnets round-robin across streams:
+ * subnet i explores stream (i mod numStreams), activating only that
+ * group's blocks (every other block takes the skip candidate).
+ * Consecutive subnets therefore never share a parameterized layer,
+ * so the CSP scheduler interleaves the streams without dependency
+ * stalls; dependencies only arise within a stream, at numStreams
+ * times the sequence distance.
+ *
+ * Requires a space with a skip candidate (skipMass > 0).
+ */
+class HybridSampler : public SubnetSampler
+{
+  public:
+    /**
+     * @param space the combined search space (skipMass > 0)
+     * @param seed deterministic stream seed
+     * @param numStreams number of simultaneously traversed spaces
+     */
+    HybridSampler(const SearchSpace &space, std::uint64_t seed,
+                  int numStreams);
+
+    Subnet next() override;
+
+    int numStreams() const { return _numStreams; }
+
+    /** Stream the subnet with sequence ID @p id belongs to. */
+    int streamOf(SubnetId id) const
+    {
+        return static_cast<int>(id % _numStreams);
+    }
+
+    /** Block range (inclusive) explored by @p stream. */
+    std::pair<int, int> streamBlocks(int stream) const;
+
+  private:
+    const SearchSpace &_space;
+    Xoshiro256StarStar _rng;
+    int _numStreams;
+};
+
+/**
+ * Replays an explicit, pre-decided list of choice vectors; used for
+ * the dependency-structure unit tests and for replay experiments.
+ * When the list is exhausted the sampler wraps around (with fresh
+ * sequence IDs).
+ */
+class FixedSequenceSampler : public SubnetSampler
+{
+  public:
+    explicit FixedSequenceSampler(
+        std::vector<std::vector<std::uint16_t>> sequence);
+
+    Subnet next() override;
+
+  private:
+    std::vector<std::vector<std::uint16_t>> _sequence;
+    std::size_t _cursor = 0;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SUPERNET_SAMPLER_H

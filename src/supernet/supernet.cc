@@ -1,0 +1,73 @@
+#include "supernet/supernet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+double
+Supernet::shareProbability() const
+{
+    double n = static_cast<double>(_space.choicesPerBlock());
+    double m = static_cast<double>(_space.numBlocks());
+    return 1.0 - std::pow(1.0 - 1.0 / n, m);
+}
+
+double
+Supernet::expectedIndependentRun() const
+{
+    double p = shareProbability();
+    if (p <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 1.0 / p;
+}
+
+double
+Supernet::dependencyDensity(const std::vector<Subnet> &subnets,
+                            int window)
+{
+    NASPIPE_ASSERT(window >= 2, "window must cover at least a pair");
+    std::uint64_t pairs = 0;
+    std::uint64_t dependent = 0;
+    for (std::size_t i = 0; i < subnets.size(); i++) {
+        std::size_t limit =
+            std::min(subnets.size(),
+                     i + static_cast<std::size_t>(window));
+        for (std::size_t j = i + 1; j < limit; j++) {
+            pairs++;
+            if (subnets[i].sharesLayerWith(subnets[j]))
+                dependent++;
+        }
+    }
+    return pairs ? static_cast<double>(dependent) /
+                       static_cast<double>(pairs)
+                 : 0.0;
+}
+
+int
+Supernet::independentPrefixLength(const std::vector<Subnet> &subnets)
+{
+    for (std::size_t i = 1; i < subnets.size(); i++) {
+        for (std::size_t j = 0; j < i; j++) {
+            if (subnets[j].sharesLayerWith(subnets[i]))
+                return static_cast<int>(i);
+        }
+    }
+    return static_cast<int>(subnets.size());
+}
+
+std::vector<Subnet>
+Supernet::drawMany(SubnetSampler &sampler, int count)
+{
+    NASPIPE_ASSERT(count >= 0, "negative draw count");
+    std::vector<Subnet> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; i++)
+        out.push_back(sampler.next());
+    return out;
+}
+
+} // namespace naspipe

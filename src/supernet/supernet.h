@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Supernet-level aggregate queries.
+ *
+ * The CSP scheduler's key insight is statistical: "the larger a
+ * supernet spans, the fewer dependencies manifest between
+ * chronologically close subnets" (§1). This module quantifies that
+ * insight — analytically for uniform sampling and empirically for a
+ * concrete subnet list — so the scheduler's achievable parallelism
+ * can be reasoned about and tested.
+ */
+
+#ifndef NASPIPE_SUPERNET_SUPERNET_H
+#define NASPIPE_SUPERNET_SUPERNET_H
+
+#include <vector>
+
+#include "supernet/sampler.h"
+#include "supernet/search_space.h"
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/**
+ * A supernet: the search space plus dependency statistics over it.
+ */
+class Supernet
+{
+  public:
+    explicit Supernet(const SearchSpace &space) : _space(space) {}
+
+    const SearchSpace &space() const { return _space; }
+
+    /**
+     * Probability that two independently uniform subnets share at
+     * least one layer: 1 - (1 - 1/n)^m.
+     */
+    double shareProbability() const;
+
+    /**
+     * Expected number of independent subnets between two consecutive
+     * dependent ones (geometric mean gap), 1/shareProbability().
+     */
+    double expectedIndependentRun() const;
+
+    /**
+     * Fraction of ordered pairs (x, y), x < y, within a sliding
+     * window of @p window subnets of @p subnets that share a layer.
+     * This is the empirical dependency density the CSP scheduler
+     * faces.
+     */
+    static double dependencyDensity(const std::vector<Subnet> &subnets,
+                                    int window);
+
+    /**
+     * Size of the largest prefix-closed antichain at the head of
+     * @p subnets: the number of leading subnets that are pairwise
+     * independent, an upper bound on immediately available
+     * parallelism.
+     */
+    static int independentPrefixLength(const std::vector<Subnet> &subnets);
+
+    /** Draw @p count subnets from @p sampler into a vector. */
+    static std::vector<Subnet> drawMany(SubnetSampler &sampler,
+                                        int count);
+
+  private:
+    const SearchSpace &_space;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_SUPERNET_SUPERNET_H

@@ -1,0 +1,120 @@
+#include "tensor/layer_math.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace naspipe {
+
+LayerParams::LayerParams()
+    : weight(kLayerDim), bias(kLayerDim)
+{
+}
+
+bool
+LayerParams::bitwiseEqual(const LayerParams &other) const
+{
+    return weight.bitwiseEqual(other.weight) &&
+           bias.bitwiseEqual(other.bias);
+}
+
+std::uint64_t
+LayerParams::contentHash() const
+{
+    // Combine the two hashes order-dependently.
+    std::uint64_t h = weight.contentHash();
+    h ^= bias.contentHash() + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+    return h;
+}
+
+LayerGrads::LayerGrads()
+    : weight(kLayerDim), bias(kLayerDim)
+{
+}
+
+void
+LayerGrads::clear()
+{
+    weight.fill(0.0f);
+    bias.fill(0.0f);
+}
+
+void
+LayerGrads::accumulate(const LayerGrads &other)
+{
+    for (std::size_t i = 0; i < kLayerDim; i++) {
+        weight[i] += other.weight[i];
+        bias[i] += other.bias[i];
+    }
+}
+
+void
+initLayerParams(LayerParams &params, std::uint64_t seed,
+                std::uint32_t block, std::uint32_t choice)
+{
+    Philox4x32 philox(deriveSeed(seed, "layer-init"));
+    std::uint64_t base =
+        (static_cast<std::uint64_t>(block) << 40) |
+        (static_cast<std::uint64_t>(choice) << 20);
+    for (std::size_t i = 0; i < kLayerDim; i++) {
+        // Small symmetric init in (-0.5, 0.5).
+        params.weight[i] =
+            philox.uniformFloat(base + i, 0) - 0.5f;
+        params.bias[i] =
+            0.1f * (philox.uniformFloat(base + i, 1) - 0.5f);
+    }
+}
+
+void
+layerForward(const LayerParams &params, const Tensor &input,
+             Tensor &output)
+{
+    NASPIPE_ASSERT(input.size() == kLayerDim,
+                   "layer input must be kLayerDim wide");
+    if (output.size() != kLayerDim)
+        output = Tensor(kLayerDim);
+    for (std::size_t i = 0; i < kLayerDim; i++) {
+        std::size_t j = (i + 1) % kLayerDim;
+        float z = params.weight[i] * input[i] +
+                  kMixCoeff * params.weight[j] + params.bias[i];
+        output[i] = input[i] + kResidual * std::tanh(z);
+    }
+}
+
+void
+layerBackward(const LayerParams &params, const Tensor &input,
+              const Tensor &gradOutput, Tensor &gradInput,
+              LayerGrads &grads)
+{
+    NASPIPE_ASSERT(input.size() == kLayerDim &&
+                       gradOutput.size() == kLayerDim,
+                   "layer backward shape mismatch");
+    if (gradInput.size() != kLayerDim)
+        gradInput = Tensor(kLayerDim);
+
+    // Recompute z (activation recomputation semantics): the backward
+    // uses the parameter values *current at backward time*, exactly
+    // like PyTorch's checkpoint utility the paper uses.
+    Tensor dz(kLayerDim);
+    for (std::size_t i = 0; i < kLayerDim; i++) {
+        std::size_t j = (i + 1) % kLayerDim;
+        float z = params.weight[i] * input[i] +
+                  kMixCoeff * params.weight[j] + params.bias[i];
+        float t = std::tanh(z);
+        dz[i] = gradOutput[i] * kResidual * (1.0f - t * t);
+    }
+
+    for (std::size_t i = 0; i < kLayerDim; i++) {
+        std::size_t prev = (i + kLayerDim - 1) % kLayerDim;
+        // w_i appears in z_i (times input_i) and in z_{i-1} (times
+        // kMixCoeff).
+        grads.weight[i] += dz[i] * input[i] + kMixCoeff * dz[prev];
+        grads.bias[i] += dz[i];
+        // The identity path contributes gradOutput directly.
+        gradInput[i] = gradOutput[i] + dz[i] * params.weight[i];
+    }
+}
+
+} // namespace naspipe

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Numeric forward/backward surrogate of one candidate layer.
+ *
+ * Every candidate layer is trained with a fixed-width parameter
+ * vector and an elementwise-mixing nonlinearity. The surrogate is
+ * deliberately small — what the reproducibility experiments need is
+ * real floating-point state whose final bits depend on the order of
+ * parameter reads and writes, not a competitive model — but it is a
+ * genuine differentiable layer. Like the transformer and conv blocks
+ * of the real search spaces, it is *residual* — an identity path
+ * plus a learned correction — so signal and gradients survive
+ * arbitrary stacking depth and the supernet actually converges.
+ * Forward computes
+ *
+ *     z_i = w_i * a_i + kMix * w_{(i+1) mod dim} + b_i,
+ *     out_i = a_i + kResidual * tanh(z_i),
+ *
+ * (the w_{i+1} term couples parameters so updates are not separable),
+ * and backward computes exact gradients of that function.
+ */
+
+#ifndef NASPIPE_TENSOR_LAYER_MATH_H
+#define NASPIPE_TENSOR_LAYER_MATH_H
+
+#include "tensor/tensor.h"
+
+namespace naspipe {
+
+/** Width of every surrogate layer's activation/parameter vectors. */
+constexpr std::size_t kLayerDim = 64;
+
+/** Cross-parameter mixing coefficient. */
+constexpr float kMixCoeff = 0.1f;
+
+/** Residual-branch scale. */
+constexpr float kResidual = 0.3f;
+
+/** Parameters of one surrogate layer: weights and bias. */
+struct LayerParams {
+    Tensor weight;  ///< length kLayerDim
+    Tensor bias;    ///< length kLayerDim
+
+    LayerParams();
+
+    /** Total number of scalars. */
+    std::size_t scalarCount() const
+    {
+        return weight.size() + bias.size();
+    }
+
+    bool bitwiseEqual(const LayerParams &other) const;
+    std::uint64_t contentHash() const;
+};
+
+/** Gradients matching LayerParams. */
+struct LayerGrads {
+    Tensor weight;
+    Tensor bias;
+
+    LayerGrads();
+
+    void clear();
+    void accumulate(const LayerGrads &other);
+};
+
+/**
+ * Deterministically initialize @p params from (seed, block, choice) —
+ * every rebuild anywhere yields identical initial weights, the
+ * equivalent of fixing the framework init seed (§4.1).
+ */
+void initLayerParams(LayerParams &params, std::uint64_t seed,
+                     std::uint32_t block, std::uint32_t choice);
+
+/**
+ * Forward pass of the surrogate layer.
+ * @param params layer parameters (READ access)
+ * @param input activation from the previous layer
+ * @param output activation to the next layer (resized to kLayerDim)
+ */
+void layerForward(const LayerParams &params, const Tensor &input,
+                  Tensor &output);
+
+/**
+ * Backward pass: exact gradients of layerForward.
+ * @param params parameters used for the recomputation
+ * @param input the forward input activation
+ * @param gradOutput dL/d output
+ * @param gradInput dL/d input (out)
+ * @param grads dL/d params (accumulated into, must be zeroed by the
+ *        caller if fresh gradients are wanted)
+ */
+void layerBackward(const LayerParams &params, const Tensor &input,
+                   const Tensor &gradOutput, Tensor &gradInput,
+                   LayerGrads &grads);
+
+} // namespace naspipe
+
+#endif // NASPIPE_TENSOR_LAYER_MATH_H

@@ -1,0 +1,39 @@
+#include "tensor/loss.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+float
+mseLoss(const Tensor &pred, const Tensor &target)
+{
+    NASPIPE_ASSERT(pred.size() == target.size() && !pred.empty(),
+                   "loss shape mismatch");
+    float total = 0.0f;
+    for (std::size_t i = 0; i < pred.size(); i++) {
+        float diff = pred[i] - target[i];
+        total += diff * diff;
+    }
+    return total / static_cast<float>(pred.size());
+}
+
+void
+mseLossGrad(const Tensor &pred, const Tensor &target, Tensor &gradPred)
+{
+    NASPIPE_ASSERT(pred.size() == target.size(),
+                   "loss shape mismatch");
+    if (gradPred.size() != pred.size())
+        gradPred = Tensor(pred.size());
+    float scale = 2.0f / static_cast<float>(pred.size());
+    for (std::size_t i = 0; i < pred.size(); i++)
+        gradPred[i] = scale * (pred[i] - target[i]);
+}
+
+double
+lossToScore(double loss, double scale)
+{
+    NASPIPE_ASSERT(loss >= 0.0, "loss must be non-negative");
+    return scale / (1.0 + loss);
+}
+
+} // namespace naspipe

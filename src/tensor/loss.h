@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Loss functions for the surrogate training objective.
+ */
+
+#ifndef NASPIPE_TENSOR_LOSS_H
+#define NASPIPE_TENSOR_LOSS_H
+
+#include "tensor/tensor.h"
+
+namespace naspipe {
+
+/**
+ * Mean-squared-error loss against a target vector.
+ *
+ * loss = (1/n) * sum_i (pred_i - target_i)^2, summed left-to-right.
+ */
+float mseLoss(const Tensor &pred, const Tensor &target);
+
+/** Gradient of mseLoss w.r.t. pred: 2 (pred - target) / n. */
+void mseLossGrad(const Tensor &pred, const Tensor &target,
+                 Tensor &gradPred);
+
+/**
+ * Smooth saturating score in (0, scale): score = scale / (1 + loss).
+ * Used to turn supernet losses into BLEU-like / accuracy-like
+ * numbers for the search-quality reports.
+ */
+double lossToScore(double loss, double scale);
+
+} // namespace naspipe
+
+#endif // NASPIPE_TENSOR_LOSS_H

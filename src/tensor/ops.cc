@@ -1,0 +1,164 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace naspipe {
+namespace ops {
+
+namespace {
+
+void
+checkSameSize(const Tensor &a, const Tensor &b)
+{
+    NASPIPE_ASSERT(a.size() == b.size(), "tensor size mismatch: ",
+                   a.size(), " vs ", b.size());
+}
+
+} // namespace
+
+void
+add(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    checkSameSize(a, b);
+    checkSameSize(a, out);
+    for (std::size_t i = 0; i < a.size(); i++)
+        out[i] = a[i] + b[i];
+}
+
+void
+sub(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    checkSameSize(a, b);
+    checkSameSize(a, out);
+    for (std::size_t i = 0; i < a.size(); i++)
+        out[i] = a[i] - b[i];
+}
+
+void
+mul(const Tensor &a, const Tensor &b, Tensor &out)
+{
+    checkSameSize(a, b);
+    checkSameSize(a, out);
+    for (std::size_t i = 0; i < a.size(); i++)
+        out[i] = a[i] * b[i];
+}
+
+void
+axpy(float alpha, const Tensor &b, Tensor &a)
+{
+    checkSameSize(a, b);
+    for (std::size_t i = 0; i < a.size(); i++)
+        a[i] += alpha * b[i];
+}
+
+void
+scale(Tensor &a, float alpha)
+{
+    for (std::size_t i = 0; i < a.size(); i++)
+        a[i] *= alpha;
+}
+
+void
+tanhInPlace(Tensor &a)
+{
+    for (std::size_t i = 0; i < a.size(); i++)
+        a[i] = std::tanh(a[i]);
+}
+
+float
+sum(const Tensor &a)
+{
+    float total = 0.0f;
+    for (std::size_t i = 0; i < a.size(); i++)
+        total += a[i];
+    return total;
+}
+
+float
+dot(const Tensor &a, const Tensor &b)
+{
+    checkSameSize(a, b);
+    float total = 0.0f;
+    for (std::size_t i = 0; i < a.size(); i++)
+        total += a[i] * b[i];
+    return total;
+}
+
+float
+meanSquare(const Tensor &a)
+{
+    NASPIPE_ASSERT(!a.empty(), "meanSquare of empty tensor");
+    float total = 0.0f;
+    for (std::size_t i = 0; i < a.size(); i++)
+        total += a[i] * a[i];
+    return total / static_cast<float>(a.size());
+}
+
+float
+maxAbs(const Tensor &a)
+{
+    float best = 0.0f;
+    for (std::size_t i = 0; i < a.size(); i++) {
+        float v = std::fabs(a[i]);
+        if (v > best)
+            best = v;
+    }
+    return best;
+}
+
+void
+clamp(Tensor &a, float limit)
+{
+    NASPIPE_ASSERT(limit >= 0.0f, "clamp limit must be non-negative");
+    for (std::size_t i = 0; i < a.size(); i++) {
+        if (a[i] > limit)
+            a[i] = limit;
+        else if (a[i] < -limit)
+            a[i] = -limit;
+    }
+}
+
+void
+matvec(const Tensor &m, const Tensor &v, Tensor &out)
+{
+    NASPIPE_ASSERT(m.cols() == v.size(), "matvec shape mismatch");
+    NASPIPE_ASSERT(out.size() == m.rows(), "matvec output mismatch");
+    for (std::size_t r = 0; r < m.rows(); r++) {
+        float total = 0.0f;
+        for (std::size_t c = 0; c < m.cols(); c++)
+            total += m.at(r, c) * v[c];
+        out[r] = total;
+    }
+}
+
+void
+matvecTransposed(const Tensor &m, const Tensor &v, Tensor &out)
+{
+    NASPIPE_ASSERT(m.rows() == v.size(),
+                   "matvecTransposed shape mismatch");
+    NASPIPE_ASSERT(out.size() == m.cols(),
+                   "matvecTransposed output mismatch");
+    for (std::size_t c = 0; c < m.cols(); c++) {
+        float total = 0.0f;
+        for (std::size_t r = 0; r < m.rows(); r++)
+            total += m.at(r, c) * v[r];
+        out[c] = total;
+    }
+}
+
+void
+outerAccumulate(Tensor &m, float alpha, const Tensor &u,
+                const Tensor &v)
+{
+    NASPIPE_ASSERT(m.rows() == u.size() && m.cols() == v.size(),
+                   "outerAccumulate shape mismatch");
+    for (std::size_t r = 0; r < m.rows(); r++) {
+        for (std::size_t c = 0; c < m.cols(); c++)
+            m.at(r, c) += alpha * u[r] * v[c];
+    }
+}
+
+} // namespace ops
+} // namespace naspipe

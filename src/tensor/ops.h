@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic tensor operations.
+ *
+ * All reductions run sequentially left-to-right; nothing here may be
+ * reordered by data size or thread count, because floating-point
+ * addition is not associative and Definition 1 demands bitwise
+ * reproducibility.
+ */
+
+#ifndef NASPIPE_TENSOR_OPS_H
+#define NASPIPE_TENSOR_OPS_H
+
+#include "tensor/tensor.h"
+
+namespace naspipe {
+namespace ops {
+
+/** out[i] = a[i] + b[i]; sizes must match. */
+void add(const Tensor &a, const Tensor &b, Tensor &out);
+
+/** out[i] = a[i] - b[i]; sizes must match. */
+void sub(const Tensor &a, const Tensor &b, Tensor &out);
+
+/** out[i] = a[i] * b[i]; sizes must match. */
+void mul(const Tensor &a, const Tensor &b, Tensor &out);
+
+/** a[i] += alpha * b[i] (saxpy). */
+void axpy(float alpha, const Tensor &b, Tensor &a);
+
+/** a[i] *= alpha. */
+void scale(Tensor &a, float alpha);
+
+/** a[i] = tanhf(a[i]). */
+void tanhInPlace(Tensor &a);
+
+/** Sequential left-to-right sum. */
+float sum(const Tensor &a);
+
+/** Sequential dot product. */
+float dot(const Tensor &a, const Tensor &b);
+
+/** Sequential mean of squared elements. */
+float meanSquare(const Tensor &a);
+
+/** Largest absolute element (0 for empty). */
+float maxAbs(const Tensor &a);
+
+/** Clamp every element into [-limit, limit]. */
+void clamp(Tensor &a, float limit);
+
+/** out = m (rows x cols) * v (cols); rank-2 matvec, row-major. */
+void matvec(const Tensor &m, const Tensor &v, Tensor &out);
+
+/** out = m^T * v, with m rows x cols and v of length rows. */
+void matvecTransposed(const Tensor &m, const Tensor &v, Tensor &out);
+
+/** Rank-1 outer-product accumulate: m += alpha * u v^T. */
+void outerAccumulate(Tensor &m, float alpha, const Tensor &u,
+                     const Tensor &v);
+
+} // namespace ops
+} // namespace naspipe
+
+#endif // NASPIPE_TENSOR_OPS_H

@@ -1,0 +1,60 @@
+#include "tensor/sgd.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+SgdOptimizer::SgdOptimizer(const SgdConfig &config) : _config(config)
+{
+    NASPIPE_ASSERT(config.learningRate > 0.0f,
+                   "learning rate must be positive");
+    NASPIPE_ASSERT(config.momentum >= 0.0f && config.momentum < 1.0f,
+                   "momentum must be in [0, 1)");
+}
+
+void
+SgdOptimizer::applyOne(Tensor &param, const Tensor &grad,
+                       Tensor *velocity) const
+{
+    NASPIPE_ASSERT(param.size() == grad.size(),
+                   "optimizer shape mismatch");
+    for (std::size_t i = 0; i < param.size(); i++) {
+        float g = grad[i];
+        if (_config.clipNorm > 0.0f) {
+            if (g > _config.clipNorm)
+                g = _config.clipNorm;
+            else if (g < -_config.clipNorm)
+                g = -_config.clipNorm;
+        }
+        if (velocity) {
+            float v = _config.momentum * (*velocity)[i] + g;
+            (*velocity)[i] = v;
+            g = v;
+        }
+        param[i] -= _config.learningRate * g;
+    }
+}
+
+void
+SgdOptimizer::step(LayerParams &params, const LayerGrads &grads,
+                   LayerGrads &velocity) const
+{
+    if (_config.momentum > 0.0f) {
+        applyOne(params.weight, grads.weight, &velocity.weight);
+        applyOne(params.bias, grads.bias, &velocity.bias);
+    } else {
+        applyOne(params.weight, grads.weight, nullptr);
+        applyOne(params.bias, grads.bias, nullptr);
+    }
+}
+
+void
+SgdOptimizer::step(LayerParams &params, const LayerGrads &grads) const
+{
+    NASPIPE_ASSERT(_config.momentum == 0.0f,
+                   "momentum requires a velocity buffer");
+    applyOne(params.weight, grads.weight, nullptr);
+    applyOne(params.bias, grads.bias, nullptr);
+}
+
+} // namespace naspipe

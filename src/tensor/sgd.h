@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Deterministic SGD optimizer.
+ *
+ * Updates are applied in index order with optional momentum and
+ * gradient clipping. Update time is part of the causal-dependency
+ * semantics: a layer's WRITE happens when its optimizer step runs.
+ */
+
+#ifndef NASPIPE_TENSOR_SGD_H
+#define NASPIPE_TENSOR_SGD_H
+
+#include "tensor/layer_math.h"
+#include "tensor/tensor.h"
+
+namespace naspipe {
+
+/** SGD hyperparameters. */
+struct SgdConfig {
+    float learningRate = 0.05f;
+    float momentum = 0.0f;     ///< 0 disables the velocity buffer
+    float clipNorm = 0.0f;     ///< 0 disables elementwise clipping
+};
+
+/**
+ * Plain SGD over one layer's parameters.
+ */
+class SgdOptimizer
+{
+  public:
+    explicit SgdOptimizer(const SgdConfig &config = SgdConfig());
+
+    /**
+     * Apply one step: params -= lr * grads (with momentum/clip if
+     * configured). Velocity buffers are lazily allocated per call
+     * site via @p velocity (pass the same object across steps).
+     */
+    void step(LayerParams &params, const LayerGrads &grads,
+              LayerGrads &velocity) const;
+
+    /** Momentum-free convenience overload. */
+    void step(LayerParams &params, const LayerGrads &grads) const;
+
+    const SgdConfig &config() const { return _config; }
+
+  private:
+    void applyOne(Tensor &param, const Tensor &grad,
+                  Tensor *velocity) const;
+
+    SgdConfig _config;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_TENSOR_SGD_H

@@ -1,0 +1,99 @@
+#include "train/access_log.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+void
+AccessLog::record(const LayerId &layer, SubnetId subnet,
+                  AccessKind kind)
+{
+    if (!_enabled)
+        return;
+    _history[layer.key()].push_back(
+        AccessRecord{_nextOrder++, subnet, kind});
+}
+
+const std::vector<AccessRecord> &
+AccessLog::layerHistory(const LayerId &layer) const
+{
+    static const std::vector<AccessRecord> kEmpty;
+    auto it = _history.find(layer.key());
+    return it == _history.end() ? kEmpty : it->second;
+}
+
+std::string
+AccessLog::renderOrder(const LayerId &layer) const
+{
+    std::ostringstream oss;
+    const auto &history = layerHistory(layer);
+    for (std::size_t i = 0; i < history.size(); i++) {
+        if (i)
+            oss << "-";
+        oss << history[i].subnet
+            << (history[i].kind == AccessKind::Read ? "F" : "B");
+    }
+    return oss.str();
+}
+
+bool
+AccessLog::sequentiallyEquivalent(const LayerId &layer) const
+{
+    const auto &history = layerHistory(layer);
+    // Expect: R(x1) W(x1) R(x2) W(x2) ... with x1 < x2 < ...
+    SubnetId last = -1;
+    std::size_t i = 0;
+    while (i < history.size()) {
+        if (history[i].kind != AccessKind::Read)
+            return false;
+        SubnetId id = history[i].subnet;
+        if (id <= last)
+            return false;
+        if (i + 1 >= history.size() ||
+            history[i + 1].kind != AccessKind::Write ||
+            history[i + 1].subnet != id) {
+            return false;
+        }
+        last = id;
+        i += 2;
+    }
+    return true;
+}
+
+std::vector<LayerId>
+AccessLog::touchedLayers() const
+{
+    std::vector<LayerId> out;
+    out.reserve(_history.size());
+    for (const auto &[key, records] : _history) {
+        (void)records;
+        out.push_back(
+            LayerId{static_cast<std::uint32_t>(key >> 32),
+                    static_cast<std::uint32_t>(key & 0xffffffffULL)});
+    }
+    return out;
+}
+
+bool
+AccessLog::allSequentiallyEquivalent() const
+{
+    for (const auto &[key, records] : _history) {
+        (void)records;
+        LayerId layer{static_cast<std::uint32_t>(key >> 32),
+                      static_cast<std::uint32_t>(key & 0xffffffffULL)};
+        if (!sequentiallyEquivalent(layer))
+            return false;
+    }
+    return true;
+}
+
+void
+AccessLog::clear()
+{
+    _history.clear();
+    _nextOrder = 0;
+}
+
+} // namespace naspipe

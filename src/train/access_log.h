@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-layer parameter access log.
+ *
+ * Records every READ (forward pass) and WRITE (backward pass /
+ * optimizer step) of each candidate layer's parameters in global
+ * order. Table 4 of the paper is a rendering of exactly this log for
+ * one layer ("2F-2B-5F-5B-7F-7B"), and the CSP correctness tests
+ * verify sequential equivalence on it: for every layer, the log must
+ * equal the one produced by training the subnets one at a time in
+ * sequence order.
+ */
+
+#ifndef NASPIPE_TRAIN_ACCESS_LOG_H
+#define NASPIPE_TRAIN_ACCESS_LOG_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "supernet/layer.h"
+#include "supernet/subnet.h"
+
+namespace naspipe {
+
+/** Kind of parameter access. */
+enum class AccessKind {
+    Read,   ///< forward pass
+    Write,  ///< backward pass with optimizer step
+};
+
+/** One access record. */
+struct AccessRecord {
+    std::uint64_t order = 0;  ///< global monotonic sequence
+    SubnetId subnet = -1;
+    AccessKind kind = AccessKind::Read;
+};
+
+/**
+ * Access log over all layers.
+ */
+class AccessLog
+{
+  public:
+    /** Enable/disable recording (on by default). */
+    void enabled(bool on) { _enabled = on; }
+    bool enabled() const { return _enabled; }
+
+    /** Record an access to @p layer by @p subnet. */
+    void record(const LayerId &layer, SubnetId subnet, AccessKind kind);
+
+    /** Accesses of one layer in global order. */
+    const std::vector<AccessRecord> &layerHistory(
+        const LayerId &layer) const;
+
+    /**
+     * Table 4 rendering for one layer: "2F-2B-5F-5B-7F-7B" (nF =
+     * read by subnet n's forward, nB = written by its backward).
+     */
+    std::string renderOrder(const LayerId &layer) const;
+
+    /**
+     * Whether @p layer's history is *sequentially equivalent*: its
+     * accesses appear as R,W pairs in strictly ascending subnet
+     * order (what training one subnet at a time would produce).
+     */
+    bool sequentiallyEquivalent(const LayerId &layer) const;
+
+    /** All layers with at least one access. */
+    std::vector<LayerId> touchedLayers() const;
+
+    /** True if every touched layer is sequentially equivalent. */
+    bool allSequentiallyEquivalent() const;
+
+    /** Total records over all layers. */
+    std::uint64_t totalRecords() const { return _nextOrder; }
+
+    void clear();
+
+  private:
+    bool _enabled = true;
+    std::uint64_t _nextOrder = 0;
+    std::map<std::uint64_t, std::vector<AccessRecord>> _history;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_TRAIN_ACCESS_LOG_H

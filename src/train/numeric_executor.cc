@@ -1,0 +1,313 @@
+#include "train/numeric_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tensor/loss.h"
+
+namespace naspipe {
+
+const char *
+updateSemanticsName(UpdateSemantics semantics)
+{
+    switch (semantics) {
+      case UpdateSemantics::Immediate:
+        return "immediate";
+      case UpdateSemantics::WeightStash:
+        return "weight-stash";
+      case UpdateSemantics::Deferred:
+        return "deferred";
+    }
+    return "?";
+}
+
+namespace {
+
+/** The effective optimizer settings after batch-linear LR scaling. */
+SgdConfig
+effectiveSgd(const NumericExecutor::Config &config,
+             const SearchSpace &space)
+{
+    SgdConfig sgd = config.sgd;
+    if (config.scaleLrWithBatch) {
+        sgd.learningRate *= static_cast<float>(
+            static_cast<double>(config.batch) /
+            space.referenceBatch());
+    }
+    return sgd;
+}
+
+} // namespace
+
+NumericExecutor::NumericExecutor(ParameterStore &store,
+                                 const Config &config)
+    : _store(store), _config(config),
+      _optimizer(effectiveSgd(config, store.space()))
+{
+    NASPIPE_ASSERT(config.batch >= 1, "batch must be >= 1");
+    NASPIPE_ASSERT(config.gradNoise >= 0.0,
+                   "gradient noise must be non-negative");
+}
+
+Tensor
+NumericExecutor::makeDigest(SubnetId id, const char *tag,
+                            std::uint64_t salt) const
+{
+    Philox4x32 philox(deriveSeed(_config.dataSeed, tag));
+    Tensor out(kLayerDim);
+    std::uint64_t base =
+        static_cast<std::uint64_t>(id) * kLayerDim + salt * (1ULL << 40);
+    for (std::size_t i = 0; i < kLayerDim; i++)
+        out[i] = 2.0f * philox.uniformFloat(base + i) - 1.0f;
+    return out;
+}
+
+namespace {
+
+/**
+ * The fixed "teacher": targets are a deterministic elementwise map
+ * of the input, shared across every training step. All subnets
+ * therefore learn toward the same underlying function and shared
+ * layers accumulate consistent signal — the supernet genuinely
+ * converges instead of chasing per-step random targets.
+ */
+Tensor
+teacherTarget(const Tensor &input, std::uint64_t dataSeed)
+{
+    Philox4x32 philox(deriveSeed(dataSeed, "teacher"));
+    Tensor out(kLayerDim);
+    for (std::size_t i = 0; i < kLayerDim; i++) {
+        float a = 0.5f + philox.uniformFloat(i, 0);         // (0.5,1.5)
+        float b = philox.uniformFloat(i, 1) - 0.5f;         // (-.5,.5)
+        out[i] = std::tanh(a * input[i] + b);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+NumericExecutor::beginSubnet(const Subnet &subnet)
+{
+    NASPIPE_ASSERT(!_contexts.count(subnet.id()), "SN", subnet.id(),
+                   " already in flight");
+    SubnetContext ctx;
+    ctx.subnet = subnet;
+    ctx.act.resize(static_cast<std::size_t>(subnet.size()) + 1);
+    ctx.act[0] = makeDigest(subnet.id(), "input", 0);
+    ctx.target = teacherTarget(ctx.act[0], _config.dataSeed);
+    ctx.bwdProgress = subnet.size() - 1;
+    _contexts.emplace(subnet.id(), std::move(ctx));
+}
+
+NumericExecutor::SubnetContext &
+NumericExecutor::context(SubnetId id)
+{
+    auto it = _contexts.find(id);
+    NASPIPE_ASSERT(it != _contexts.end(), "SN", id, " not in flight");
+    return it->second;
+}
+
+void
+NumericExecutor::forwardStage(const Subnet &subnet, int lo, int hi,
+                              UpdateSemantics semantics)
+{
+    SubnetContext &ctx = context(subnet.id());
+    NASPIPE_ASSERT(lo == ctx.fwdProgress,
+                   "forward must be contiguous: expected block ",
+                   ctx.fwdProgress, " got ", lo);
+    NASPIPE_ASSERT(hi < subnet.size(), "block range out of bounds");
+    for (int b = lo; b <= hi; b++) {
+        // Skip candidates are identity passthroughs: no parameters,
+        // no READ, activation flows through unchanged.
+        if (!_store.space().parameterized(b, subnet.choice(b))) {
+            ctx.act[static_cast<std::size_t>(b) + 1] =
+                ctx.act[static_cast<std::size_t>(b)];
+            continue;
+        }
+        LayerId layer = subnet.layer(b);
+        const LayerParams &params = _store.read(layer, subnet.id());
+        if (semantics == UpdateSemantics::WeightStash)
+            ctx.stashed.emplace(b, params);  // snapshot the version
+        layerForward(params, ctx.act[static_cast<std::size_t>(b)],
+                     ctx.act[static_cast<std::size_t>(b) + 1]);
+    }
+    ctx.fwdProgress = hi + 1;
+}
+
+float
+NumericExecutor::computeLoss(const Subnet &subnet)
+{
+    SubnetContext &ctx = context(subnet.id());
+    NASPIPE_ASSERT(ctx.fwdProgress == subnet.size(),
+                   "loss before forward completed");
+    NASPIPE_ASSERT(!ctx.lossComputed, "loss computed twice");
+    const Tensor &out =
+        ctx.act[static_cast<std::size_t>(subnet.size())];
+    ctx.loss = mseLoss(out, ctx.target);
+    mseLossGrad(out, ctx.target, ctx.gradCursor);
+    ctx.lossComputed = true;
+    return ctx.loss;
+}
+
+void
+NumericExecutor::applyUpdate(const Subnet &subnet, int block,
+                             const LayerGrads &grads)
+{
+    LayerParams &params =
+        _store.write(subnet.layer(block), subnet.id());
+    if (_config.gradNoise > 0.0) {
+        // Mini-batch gradient noise: standard error ~ 1/sqrt(batch).
+        float scale = static_cast<float>(
+            _config.gradNoise /
+            std::sqrt(static_cast<double>(_config.batch)));
+        Philox4x32 philox(deriveSeed(_config.dataSeed, "grad-noise"));
+        std::uint64_t base =
+            (static_cast<std::uint64_t>(subnet.id()) << 24) ^
+            (static_cast<std::uint64_t>(block) << 12);
+        LayerGrads noisy = grads;
+        for (std::size_t i = 0; i < kLayerDim; i++) {
+            noisy.weight[i] +=
+                scale *
+                (2.0f * philox.uniformFloat(base + i, 0) - 1.0f);
+            noisy.bias[i] +=
+                scale *
+                (2.0f * philox.uniformFloat(base + i, 1) - 1.0f);
+        }
+        _optimizer.step(params, noisy);
+        return;
+    }
+    _optimizer.step(params, grads);
+}
+
+void
+NumericExecutor::backwardStage(const Subnet &subnet, int lo, int hi,
+                               UpdateSemantics semantics)
+{
+    SubnetContext &ctx = context(subnet.id());
+    NASPIPE_ASSERT(ctx.lossComputed, "backward before loss");
+    NASPIPE_ASSERT(hi == ctx.bwdProgress,
+                   "backward must be contiguous: expected block ",
+                   ctx.bwdProgress, " got ", hi);
+    NASPIPE_ASSERT(lo >= 0, "block range out of bounds");
+
+    for (int b = hi; b >= lo; b--) {
+        // Identity passthrough: the gradient flows through unchanged
+        // and there is nothing to update.
+        if (!_store.space().parameterized(b, subnet.choice(b)))
+            continue;
+        LayerId layer = subnet.layer(b);
+        LayerGrads grads;
+        Tensor gradInput;
+
+        const LayerParams *gradSource;
+        if (semantics == UpdateSemantics::WeightStash) {
+            auto it = ctx.stashed.find(b);
+            NASPIPE_ASSERT(it != ctx.stashed.end(),
+                           "missing stashed weights for block ", b);
+            gradSource = &it->second;
+        } else {
+            // Recompute semantics: gradients use the parameters
+            // current at backward time (PyTorch checkpoint).
+            gradSource = &_store.peek(layer);
+        }
+
+        layerBackward(*gradSource,
+                      ctx.act[static_cast<std::size_t>(b)],
+                      ctx.gradCursor, gradInput, grads);
+        ctx.gradCursor = std::move(gradInput);
+
+        if (semantics == UpdateSemantics::Deferred) {
+            ctx.deferred.emplace(b, std::move(grads));
+        } else {
+            applyUpdate(subnet, b, grads);
+        }
+    }
+    ctx.bwdProgress = lo - 1;
+}
+
+float
+NumericExecutor::finishSubnet(const Subnet &subnet)
+{
+    SubnetContext &ctx = context(subnet.id());
+    NASPIPE_ASSERT(ctx.bwdProgress < 0,
+                   "finish before backward completed");
+    NASPIPE_ASSERT(ctx.deferred.empty(),
+                   "finish with unapplied deferred gradients");
+    float loss = ctx.loss;
+    if (_config.trackLoss)
+        _lossHistory.push_back(loss);
+    _contexts.erase(subnet.id());
+    return loss;
+}
+
+void
+NumericExecutor::applyDeferredUpdates(std::vector<SubnetId> subnets)
+{
+    std::sort(subnets.begin(), subnets.end());
+    for (SubnetId id : subnets) {
+        SubnetContext &ctx = context(id);
+        // std::map iterates blocks in ascending order: a fixed,
+        // documented bulk-update order.
+        for (const auto &[block, grads] : ctx.deferred)
+            applyUpdate(ctx.subnet, block, grads);
+        ctx.deferred.clear();
+    }
+}
+
+float
+NumericExecutor::trainSequential(const Subnet &subnet)
+{
+    beginSubnet(subnet);
+    forwardStage(subnet, 0, subnet.size() - 1,
+                 UpdateSemantics::Immediate);
+    computeLoss(subnet);
+    backwardStage(subnet, 0, subnet.size() - 1,
+                  UpdateSemantics::Immediate);
+    return finishSubnet(subnet);
+}
+
+float
+NumericExecutor::evaluate(const Subnet &subnet, std::uint64_t evalSeed,
+                          int evalBatches)
+{
+    NASPIPE_ASSERT(evalBatches > 0, "need >= 1 eval batch");
+    Philox4x32 philox(deriveSeed(evalSeed, "eval"));
+    float total = 0.0f;
+    for (int e = 0; e < evalBatches; e++) {
+        Tensor act(kLayerDim);
+        std::uint64_t base = static_cast<std::uint64_t>(e) * 2 *
+                             kLayerDim;
+        for (std::size_t i = 0; i < kLayerDim; i++)
+            act[i] = 2.0f * philox.uniformFloat(base + i) - 1.0f;
+        // Held-out inputs, same teacher: a real generalization probe.
+        Tensor target = teacherTarget(act, _config.dataSeed);
+        Tensor next;
+        for (int b = 0; b < subnet.size(); b++) {
+            if (!_store.space().parameterized(b, subnet.choice(b)))
+                continue;  // identity passthrough
+            layerForward(_store.peek(subnet.layer(b)), act, next);
+            act = next;
+        }
+        total += mseLoss(act, target);
+    }
+    return total / static_cast<float>(evalBatches);
+}
+
+double
+NumericExecutor::recentMeanLoss(std::size_t window) const
+{
+    if (_lossHistory.empty())
+        return 0.0;
+    std::size_t n = std::min(window, _lossHistory.size());
+    double total = 0.0;
+    for (std::size_t i = _lossHistory.size() - n;
+         i < _lossHistory.size(); i++) {
+        total += _lossHistory[i];
+    }
+    return total / static_cast<double>(n);
+}
+
+} // namespace naspipe

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Numeric subnet executor.
+ *
+ * Executes subnets' forward/backward passes *numerically* against the
+ * shared ParameterStore, in whatever interleaving the simulated
+ * pipeline produces. The three update semantics map to the three
+ * synchronization disciplines of the paper:
+ *
+ *  - Immediate: the backward pass applies the optimizer step right
+ *    away (NASPipe's CSP, and also plain sequential training).
+ *  - WeightStash: gradients are computed against the parameter
+ *    version snapshotted at forward time, then applied to the
+ *    current parameters (PipeDream's ASP).
+ *  - Deferred: gradients are computed at backward time but the
+ *    parameter WRITE happens only at the bulk flush
+ *    (GPipe/VPipe/Retiarii BSP).
+ *
+ * Each training batch is represented by a deterministic digest vector
+ * derived from (dataSeed, subnet ID) — the moral equivalent of a
+ * seeded DataLoader (§4.1); batch size affects simulated *time*, not
+ * the numeric trajectory, which keeps cross-GPU-count comparisons
+ * meaningful.
+ */
+
+#ifndef NASPIPE_TRAIN_NUMERIC_EXECUTOR_H
+#define NASPIPE_TRAIN_NUMERIC_EXECUTOR_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tensor/sgd.h"
+#include "train/param_store.h"
+
+namespace naspipe {
+
+/** When parameter WRITEs take effect. */
+enum class UpdateSemantics {
+    Immediate,
+    WeightStash,
+    Deferred,
+};
+
+/** Printable name. */
+const char *updateSemanticsName(UpdateSemantics semantics);
+
+/**
+ * Numeric executor over one parameter store.
+ */
+class NumericExecutor
+{
+  public:
+    /** Executor configuration. */
+    struct Config {
+        std::uint64_t dataSeed = 99;  ///< seeded "DataLoader"
+        SgdConfig sgd;
+        bool trackLoss = true;        ///< keep the loss history
+        /**
+         * Batch size the digests stand for. Mini-batch gradients are
+         * noisy estimates whose standard error shrinks as
+         * 1/sqrt(batch); the executor models that with a
+         * deterministic counter-based perturbation of magnitude
+         * gradNoise / sqrt(batch) per update, so systems that only
+         * fit small batches (GPipe, PipeDream) genuinely converge to
+         * worse plateaus per step — the effect behind Figure 4 and
+         * Table 2's Score column. The perturbation is a pure
+         * function of (dataSeed, writer, layer, element): identical
+         * across GPU counts, so CSP reproducibility is untouched.
+         */
+        int batch = 1;
+        double gradNoise = 0.05;  ///< 0 disables the noise model
+        /**
+         * Apply the linear learning-rate scaling rule: the effective
+         * learning rate is sgd.learningRate * batch / the family's
+         * reference batch, so a step over a bigger batch makes
+         * proportionally more progress — the reason Figure 4's
+         * big-batch systems converge faster per wall-clock second.
+         */
+        bool scaleLrWithBatch = true;
+    };
+
+    NumericExecutor(ParameterStore &store, const Config &config);
+
+    /** Allocate the in-flight context of @p subnet (input, target). */
+    void beginSubnet(const Subnet &subnet);
+
+    /**
+     * Forward pass over blocks [lo, hi] (must continue contiguously
+     * from the last forward call of this subnet).
+     */
+    void forwardStage(const Subnet &subnet, int lo, int hi,
+                      UpdateSemantics semantics);
+
+    /**
+     * Compute the loss after the last forward stage and seed the
+     * backward gradient. Returns the loss.
+     */
+    float computeLoss(const Subnet &subnet);
+
+    /**
+     * Backward pass over blocks [lo, hi] (must continue contiguously
+     * downward from the last backward call).
+     */
+    void backwardStage(const Subnet &subnet, int lo, int hi,
+                       UpdateSemantics semantics);
+
+    /** Release @p subnet's context; returns its training loss. */
+    float finishSubnet(const Subnet &subnet);
+
+    /**
+     * BSP flush: apply the deferred gradients of @p subnets in
+     * ascending sequence-ID order ("performs parameter updates in
+     * bulk").
+     */
+    void applyDeferredUpdates(std::vector<SubnetId> subnets);
+
+    /**
+     * Reference semantics: run @p subnet start-to-finish sequentially
+     * with immediate updates. CSP executions must be bitwise
+     * equivalent to a pure sequence of these calls.
+     */
+    float trainSequential(const Subnet &subnet);
+
+    /**
+     * Evaluation-only loss of @p subnet on @p evalBatches held-out
+     * digests (no logging, no updates). Used for subnet scoring.
+     */
+    float evaluate(const Subnet &subnet, std::uint64_t evalSeed,
+                   int evalBatches = 4);
+
+    /** Losses of finished subnets in completion order. */
+    const std::vector<float> &lossHistory() const
+    {
+        return _lossHistory;
+    }
+
+    /** Mean of the last @p window losses (the "supernet loss"). */
+    double recentMeanLoss(std::size_t window) const;
+
+    /** Number of subnets currently in flight. */
+    std::size_t inflight() const { return _contexts.size(); }
+
+    ParameterStore &store() { return _store; }
+
+  private:
+    /** Per-in-flight-subnet training state. */
+    struct SubnetContext {
+        Subnet subnet;
+        std::vector<Tensor> act;   ///< act[b] = input to block b
+        Tensor gradCursor;         ///< dL/d act at the backward front
+        int fwdProgress = 0;       ///< next block to forward
+        int bwdProgress = -1;      ///< next block to backward
+        bool lossComputed = false;
+        float loss = 0.0f;
+        Tensor target;
+        std::map<int, LayerParams> stashed;   ///< WeightStash
+        std::map<int, LayerGrads> deferred;   ///< Deferred
+    };
+
+    SubnetContext &context(SubnetId id);
+    Tensor makeDigest(SubnetId id, const char *tag,
+                      std::uint64_t salt) const;
+    void applyUpdate(const Subnet &subnet, int block,
+                     const LayerGrads &grads);
+
+    ParameterStore &_store;
+    Config _config;
+    SgdOptimizer _optimizer;
+    std::map<SubnetId, SubnetContext> _contexts;
+    std::vector<float> _lossHistory;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_TRAIN_NUMERIC_EXECUTOR_H

@@ -1,0 +1,193 @@
+#include "train/param_store.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4e415350;  // "NASP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return static_cast<bool>(in);
+}
+
+void
+writeTensor(std::ostream &out, const Tensor &t)
+{
+    out.write(reinterpret_cast<const char *>(t.data().data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+bool
+readTensor(std::istream &in, Tensor &t)
+{
+    in.read(reinterpret_cast<char *>(t.data().data()),
+            static_cast<std::streamsize>(t.size() * sizeof(float)));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+ParameterStore::ParameterStore(const SearchSpace &space,
+                               std::uint64_t seed)
+    : _space(space), _seed(seed)
+{
+}
+
+LayerParams &
+ParameterStore::materialize(const LayerId &layer)
+{
+    NASPIPE_ASSERT(static_cast<int>(layer.block) < _space.numBlocks() &&
+                       static_cast<int>(layer.choice) <
+                           _space.choicesPerBlock(),
+                   "layer outside the space");
+    auto it = _params.find(layer.key());
+    if (it == _params.end()) {
+        LayerParams fresh;
+        initLayerParams(fresh, _seed, layer.block, layer.choice);
+        it = _params.emplace(layer.key(), std::move(fresh)).first;
+    }
+    return it->second;
+}
+
+const LayerParams &
+ParameterStore::read(const LayerId &layer, SubnetId reader)
+{
+    _log.record(layer, reader, AccessKind::Read);
+    return materialize(layer);
+}
+
+LayerParams &
+ParameterStore::write(const LayerId &layer, SubnetId writer)
+{
+    _log.record(layer, writer, AccessKind::Write);
+    _versions[layer.key()]++;
+    return materialize(layer);
+}
+
+const LayerParams &
+ParameterStore::peek(const LayerId &layer)
+{
+    return materialize(layer);
+}
+
+std::uint64_t
+ParameterStore::version(const LayerId &layer) const
+{
+    auto it = _versions.find(layer.key());
+    return it == _versions.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ParameterStore::supernetHash()
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int b = 0; b < _space.numBlocks(); b++) {
+        for (int c = 0; c < _space.choicesPerBlock(); c++) {
+            LayerId layer{static_cast<std::uint32_t>(b),
+                          static_cast<std::uint32_t>(c)};
+            std::uint64_t h = materialize(layer).contentHash();
+            hash ^= h + 0x9e3779b97f4a7c15ULL + (hash << 6) +
+                    (hash >> 2);
+        }
+    }
+    return hash;
+}
+
+bool
+ParameterStore::save(std::ostream &out) const
+{
+    writePod(out, kCheckpointMagic);
+    writePod(out, kCheckpointVersion);
+    writePod(out, static_cast<std::uint32_t>(_space.numBlocks()));
+    writePod(out, static_cast<std::uint32_t>(
+                      _space.choicesPerBlock()));
+    writePod(out, _seed);
+    writePod(out, static_cast<std::uint64_t>(_params.size()));
+    for (const auto &[key, params] : _params) {
+        writePod(out, key);
+        writeTensor(out, params.weight);
+        writeTensor(out, params.bias);
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+ParameterStore::saveFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    return out && save(out);
+}
+
+bool
+ParameterStore::load(std::istream &in)
+{
+    std::uint32_t magic = 0, version = 0, blocks = 0, choices = 0;
+    std::uint64_t seed = 0, count = 0;
+    if (!readPod(in, magic) || !readPod(in, version) ||
+        !readPod(in, blocks) || !readPod(in, choices) ||
+        !readPod(in, seed) || !readPod(in, count)) {
+        return false;
+    }
+    if (magic != kCheckpointMagic)
+        return false;
+    if (version != kCheckpointVersion)
+        return false;
+    if (static_cast<int>(blocks) != _space.numBlocks() ||
+        static_cast<int>(choices) != _space.choicesPerBlock() ||
+        seed != _seed) {
+        fatal("checkpoint does not match this store: space ", blocks,
+              "x", choices, " seed ", seed, " vs ",
+              _space.numBlocks(), "x", _space.choicesPerBlock(),
+              " seed ", _seed);
+    }
+    for (std::uint64_t i = 0; i < count; i++) {
+        std::uint64_t key = 0;
+        if (!readPod(in, key))
+            return false;
+        LayerId layer{static_cast<std::uint32_t>(key >> 32),
+                      static_cast<std::uint32_t>(key & 0xffffffffULL)};
+        LayerParams &params = materialize(layer);
+        if (!readTensor(in, params.weight) ||
+            !readTensor(in, params.bias)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ParameterStore::loadFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return in && load(in);
+}
+
+std::uint64_t
+ParameterStore::touchedHash() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    // std::map iterates in key order: deterministic.
+    for (const auto &[key, params] : _params) {
+        std::uint64_t h = params.contentHash() ^ key;
+        hash ^= h + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+    }
+    return hash;
+}
+
+} // namespace naspipe

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared parameter store: the supernet's weights.
+ *
+ * One LayerParams per candidate layer, lazily initialized from a pure
+ * function of (seed, block, choice), with per-layer version counters
+ * and the global access log. All systems — CSP, BSP, ASP — train
+ * against the same store; what differs is *when* each system reads
+ * and writes, which is precisely what reproducibility is about.
+ */
+
+#ifndef NASPIPE_TRAIN_PARAM_STORE_H
+#define NASPIPE_TRAIN_PARAM_STORE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "supernet/search_space.h"
+#include "tensor/layer_math.h"
+#include "train/access_log.h"
+
+namespace naspipe {
+
+/**
+ * The supernet's shared weights plus access bookkeeping.
+ */
+class ParameterStore
+{
+  public:
+    /**
+     * @param space the search space (defines the layer universe)
+     * @param seed initialization seed (the "fixed random seeds" of
+     *        §4.1; two stores with the same seed start bitwise equal)
+     */
+    ParameterStore(const SearchSpace &space, std::uint64_t seed);
+
+    const SearchSpace &space() const { return _space; }
+    std::uint64_t seed() const { return _seed; }
+
+    /**
+     * Read access for a forward pass: returns the layer's current
+     * parameters and logs a READ by @p reader.
+     */
+    const LayerParams &read(const LayerId &layer, SubnetId reader);
+
+    /**
+     * Write access for a backward pass: mutable parameters, a WRITE
+     * log record by @p writer, and a version bump.
+     */
+    LayerParams &write(const LayerId &layer, SubnetId writer);
+
+    /** Peek without logging (evaluation, tests). */
+    const LayerParams &peek(const LayerId &layer);
+
+    /** Number of WRITEs applied to @p layer so far. */
+    std::uint64_t version(const LayerId &layer) const;
+
+    /** The global access log (Table 4 / sequential-equivalence). */
+    AccessLog &accessLog() { return _log; }
+    const AccessLog &accessLog() const { return _log; }
+
+    /**
+     * Deterministic fingerprint of the *entire* supernet's weights
+     * (untouched layers included at their initial values): the
+     * "training result (parameter weights of all layers)" Definition
+     * 1 compares. Forces initialization of every layer.
+     */
+    std::uint64_t supernetHash();
+
+    /** Fingerprint over only the layers touched so far (cheap). */
+    std::uint64_t touchedHash() const;
+
+    /** Number of materialized layers. */
+    std::size_t materializedLayers() const { return _params.size(); }
+
+    /** @name Checkpointing
+     * Persist the trained supernet for post-training analysis (the
+     * GreedyNAS-style trial inspection of §2.1) or transfer to
+     * another process. The binary format stores the space shape and
+     * init seed for a compatibility check on load, then the
+     * materialized layers' raw fp32 bytes; load restores them
+     * bitwise (untouched layers re-materialize from the seed, so a
+     * loaded store is indistinguishable from the original).
+     * @{ */
+    /** Serialize to a stream; returns false on I/O failure. */
+    bool save(std::ostream &out) const;
+
+    /** Serialize to a file. */
+    bool saveFile(const std::string &path) const;
+
+    /**
+     * Restore from a stream produced by save(). Fatal if the
+     * checkpoint's space shape or seed mismatch this store's.
+     * @return false on I/O or format error.
+     */
+    bool load(std::istream &in);
+
+    /** Restore from a file. */
+    bool loadFile(const std::string &path);
+    /** @} */
+
+  private:
+    LayerParams &materialize(const LayerId &layer);
+
+    const SearchSpace &_space;
+    std::uint64_t _seed;
+    std::map<std::uint64_t, LayerParams> _params;
+    std::map<std::uint64_t, std::uint64_t> _versions;
+    AccessLog _log;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_TRAIN_PARAM_STORE_H

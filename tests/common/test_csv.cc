@@ -1,0 +1,68 @@
+/**
+ * @file
+ * CSV writer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.h"
+
+namespace naspipe {
+namespace {
+
+TEST(CsvWriter, BasicDocument)
+{
+    CsvWriter w({"time", "loss"});
+    w.addRow({"0.5", "1.25"});
+    w.addRow({"1.0", "1.10"});
+    EXPECT_EQ(w.render(), "time,loss\n0.5,1.25\n1.0,1.10\n");
+    EXPECT_EQ(w.rows(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriter, EscapedCellsRoundTripInDocument)
+{
+    CsvWriter w({"k", "v"});
+    w.addRow({"x,y", "z"});
+    EXPECT_EQ(w.render(), "k,v\n\"x,y\",z\n");
+}
+
+TEST(CsvWriter, RowWidthMismatchPanics)
+{
+    CsvWriter w({"a", "b"});
+    EXPECT_THROW(w.addRow({"1"}), std::logic_error);
+}
+
+TEST(CsvWriter, WritesFile)
+{
+    CsvWriter w({"x"});
+    w.addRow({"1"});
+    std::string path = ::testing::TempDir() + "naspipe_csv_test.csv";
+    ASSERT_TRUE(w.writeFile(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WriteFileFailsOnBadPath)
+{
+    CsvWriter w({"x"});
+    EXPECT_FALSE(w.writeFile("/nonexistent-dir/impossible.csv"));
+}
+
+} // namespace
+} // namespace naspipe

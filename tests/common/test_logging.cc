@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Logging tests: capture, levels, panic/fatal semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace naspipe {
+namespace {
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        LogConfig::instance().capture(true);
+        LogConfig::instance().threshold(LogLevel::Inform);
+    }
+
+    void TearDown() override
+    {
+        LogConfig::instance().capture(false);
+        LogConfig::instance().threshold(LogLevel::Inform);
+    }
+};
+
+TEST_F(LoggingTest, InformIsCaptured)
+{
+    inform("hello ", 42);
+    std::string out = LogConfig::instance().takeCaptured();
+    EXPECT_EQ(out, "info: hello 42\n");
+}
+
+TEST_F(LoggingTest, WarnIsCaptured)
+{
+    warn("watch out");
+    std::string out = LogConfig::instance().takeCaptured();
+    EXPECT_EQ(out, "warn: watch out\n");
+}
+
+TEST_F(LoggingTest, DebugSuppressedByDefault)
+{
+    debugLog("noise");
+    EXPECT_TRUE(LogConfig::instance().takeCaptured().empty());
+}
+
+TEST_F(LoggingTest, DebugVisibleWhenEnabled)
+{
+    LogConfig::instance().threshold(LogLevel::Debug);
+    debugLog("signal");
+    EXPECT_EQ(LogConfig::instance().takeCaptured(),
+              "debug: signal\n");
+}
+
+TEST_F(LoggingTest, ThresholdSuppressesLowerLevels)
+{
+    LogConfig::instance().threshold(LogLevel::Warn);
+    inform("hidden");
+    EXPECT_TRUE(LogConfig::instance().takeCaptured().empty());
+    warn("shown");
+    EXPECT_FALSE(LogConfig::instance().takeCaptured().empty());
+}
+
+TEST_F(LoggingTest, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("internal bug ", 1), std::logic_error);
+    std::string out = LogConfig::instance().takeCaptured();
+    EXPECT_NE(out.find("panic: internal bug 1"), std::string::npos);
+}
+
+TEST_F(LoggingTest, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("bad config"), std::runtime_error);
+    std::string out = LogConfig::instance().takeCaptured();
+    EXPECT_NE(out.find("fatal: bad config"), std::string::npos);
+}
+
+TEST_F(LoggingTest, AssertMacroPassesOnTrue)
+{
+    NASPIPE_ASSERT(1 + 1 == 2, "never shown");
+    EXPECT_TRUE(LogConfig::instance().takeCaptured().empty());
+}
+
+TEST_F(LoggingTest, AssertMacroPanicsOnFalse)
+{
+    EXPECT_THROW(NASPIPE_ASSERT(false, "broken ", 7),
+                 std::logic_error);
+}
+
+TEST_F(LoggingTest, TakeCapturedClearsBuffer)
+{
+    inform("one");
+    LogConfig::instance().takeCaptured();
+    EXPECT_TRUE(LogConfig::instance().takeCaptured().empty());
+}
+
+TEST(LogLevelName, AllLevelsNamed)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Panic), "panic");
+    EXPECT_STREQ(logLevelName(LogLevel::Fatal), "fatal");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "warn");
+    EXPECT_STREQ(logLevelName(LogLevel::Inform), "info");
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+}
+
+} // namespace
+} // namespace naspipe

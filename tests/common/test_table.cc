@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Text-table rendering tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace naspipe {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"Name", "Value"});
+    t.addRow({"alpha", "1.5"});
+    t.addRow({"beta", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, NumericCellsRightAligned)
+{
+    TextTable t({"K", "V"});
+    t.addRow({"x", "1"});
+    t.addRow({"y", "100"});
+    std::string out = t.render();
+    // "1" must be padded to the width of "100": appears as "  1".
+    EXPECT_NE(out.find("  1"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorInserted)
+{
+    TextTable t({"A"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // Header separator + mid separator = at least two dash lines.
+    std::size_t first = out.find("-\n");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("-\n", first + 2), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    TextTable t({"A", "B"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, WideCellsExpandColumn)
+{
+    TextTable t({"H"});
+    t.addRow({"a-very-long-cell"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("a-very-long-cell"), std::string::npos);
+}
+
+TEST(TextTable, PercentAndFactorCountAsNumeric)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"94.3%", "7.8x"});
+    // Just ensure rendering succeeds and content survives.
+    std::string out = t.render();
+    EXPECT_NE(out.find("94.3%"), std::string::npos);
+    EXPECT_NE(out.find("7.8x"), std::string::npos);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Engine facade tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Engine, ConfigForMirrorsOptions)
+{
+    SearchSpace space = makeTinySpace();
+    Engine::Options options;
+    options.gpus = 3;
+    options.steps = 21;
+    options.seed = 5;
+    options.batch = 12;
+    options.trace = true;
+    options.evolutionSearch = true;
+    Engine engine(space, options);
+    RuntimeConfig config = engine.configFor(gpipeSystem());
+    EXPECT_EQ(config.numStages, 3);
+    EXPECT_EQ(config.totalSubnets, 21);
+    EXPECT_EQ(config.seed, 5u);
+    EXPECT_EQ(config.batch, 12);
+    EXPECT_TRUE(config.traceEnabled);
+    EXPECT_TRUE(config.evolutionSearch);
+    EXPECT_EQ(config.system.name, "GPipe");
+}
+
+TEST(Engine, InvalidOptionsPanic)
+{
+    SearchSpace space = makeTinySpace();
+    Engine::Options bad;
+    bad.gpus = 0;
+    EXPECT_THROW(Engine(space, bad), std::logic_error);
+    Engine::Options badSteps;
+    badSteps.steps = 0;
+    EXPECT_THROW(Engine(space, badSteps), std::logic_error);
+}
+
+TEST(Engine, CommonBatchIsMinAcrossCounts)
+{
+    SearchSpace space = makeNlpC2();
+    int common =
+        Engine::commonBatch(space, naspipeSystem(), {4, 8, 16});
+    CapacityPlanner planner(space, GpuConfig{});
+    for (int gpus : {4, 8, 16})
+        EXPECT_LE(common, planner.plan(naspipeSystem(), gpus).batch);
+    EXPECT_GT(common, 0);
+}
+
+TEST(Engine, CommonBatchZeroWhenAnyCountOoms)
+{
+    SearchSpace space = makeNlpC1();
+    // GPipe cannot hold NLP.c1 on 4 GPUs.
+    EXPECT_EQ(Engine::commonBatch(space, gpipeSystem(), {4, 8}), 0);
+}
+
+TEST(Engine, TrainWithUsesPinnedBatch)
+{
+    SearchSpace space = makeTinySpace();
+    Engine::Options options;
+    options.gpus = 2;
+    options.steps = 6;
+    options.batch = 24;
+    Engine engine(space, options);
+    RunResult r = engine.train();
+    ASSERT_FALSE(r.oom);
+    EXPECT_EQ(r.metrics.batch, 24);
+}
+
+TEST(Engine, VerifyReproducibilityRejectsEmptyCounts)
+{
+    SearchSpace space = makeTinySpace();
+    EXPECT_THROW(Engine::verifyReproducibility(space, naspipeSystem(),
+                                               {}, Engine::Options{}),
+                 std::logic_error);
+}
+
+TEST(Engine, VerifyReproducibilitySingleCountIsVacuous)
+{
+    SearchSpace space = makeTinySpace();
+    Engine::Options options;
+    options.steps = 6;
+    auto comparisons = Engine::verifyReproducibility(
+        space, naspipeSystem(), {2}, options);
+    EXPECT_TRUE(comparisons.empty());
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment-helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Experiment, EvaluatedSystemsPaperOrder)
+{
+    auto systems = evaluatedSystems();
+    ASSERT_EQ(systems.size(), 4u);
+    EXPECT_EQ(systems[0].name, "NASPipe");
+    EXPECT_EQ(systems[1].name, "GPipe");
+    EXPECT_EQ(systems[2].name, "PipeDream");
+    EXPECT_EQ(systems[3].name, "VPipe");
+}
+
+TEST(Experiment, AblationSystemsStartWithFull)
+{
+    auto systems = ablationSystems();
+    ASSERT_EQ(systems.size(), 4u);
+    EXPECT_EQ(systems[0].name, "NASPipe");
+    EXPECT_EQ(systems[1].name, "NASPipe w/o scheduler");
+}
+
+TEST(Experiment, OptionsFromDefaults)
+{
+    EvaluationDefaults d;
+    d.gpus = 12;
+    d.steps = 33;
+    d.seed = 9;
+    d.trace = true;
+    Engine::Options o = optionsFrom(d);
+    EXPECT_EQ(o.gpus, 12);
+    EXPECT_EQ(o.steps, 33);
+    EXPECT_EQ(o.seed, 9u);
+    EXPECT_TRUE(o.trace);
+}
+
+TEST(Experiment, RunExperimentLabelsResult)
+{
+    SearchSpace space = makeTinySpace();
+    EvaluationDefaults d;
+    d.gpus = 2;
+    d.steps = 6;
+    ExperimentResult r = runExperiment(space, vpipeSystem(), d);
+    EXPECT_EQ(r.spaceName, "tiny");
+    EXPECT_EQ(r.systemName, "VPipe");
+    EXPECT_FALSE(r.run.oom);
+}
+
+TEST(Experiment, NormalizedThroughputEdgeCases)
+{
+    RunResult good;
+    good.metrics.samplesPerSec = 100.0;
+    RunResult oom;
+    oom.oom = true;
+    RunResult zero;
+    EXPECT_DOUBLE_EQ(normalizedThroughput(good, oom), 0.0);
+    EXPECT_DOUBLE_EQ(normalizedThroughput(oom, good), 0.0);
+    EXPECT_DOUBLE_EQ(normalizedThroughput(good, zero), 0.0);
+    EXPECT_DOUBLE_EQ(normalizedThroughput(good, good), 1.0);
+}
+
+TEST(Experiment, MatrixKeepsSpaceMajorOrder)
+{
+    EvaluationDefaults d;
+    d.gpus = 2;
+    d.steps = 4;
+    auto results = runEvaluationMatrix(
+        {"CV.c3"}, {naspipeSystem(), vpipeSystem()}, d);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].systemName, "NASPipe");
+    EXPECT_EQ(results[1].systemName, "VPipe");
+    EXPECT_EQ(results[0].spaceName, "CV.c3");
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Report-builder tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace naspipe {
+namespace {
+
+ExperimentResult
+fakeResult(const std::string &space, const std::string &system,
+           bool oom = false)
+{
+    ExperimentResult r;
+    r.spaceName = space;
+    r.systemName = system;
+    r.run.oom = oom;
+    if (!oom) {
+        r.run.metrics.reportedParamBytes = 474ULL << 20;
+        r.run.metrics.batch = 192;
+        r.run.metrics.gpuMemFactor = 7.8;
+        r.run.metrics.totalAluUtilization = 3.9;
+        r.run.metrics.cpuMemBytes = 57ULL << 30;
+        r.run.metrics.meanExecSeconds = 1.13;
+        r.run.metrics.bubbleRatio = 0.39;
+        r.run.metrics.cacheHitRate = 0.864;
+        r.run.metrics.samplesPerSec = 800.0;
+        r.run.metrics.subnetsPerHour = 15000.0;
+        r.run.searchAccuracy = 22.17;
+    }
+    return r;
+}
+
+TEST(Report, Table2RowFormatsPaperStyle)
+{
+    auto row = fakeResult("NLP.c1", "NASPipe");
+    auto cells = table2Row(row);
+    ASSERT_EQ(cells.size(), 11u);
+    EXPECT_EQ(cells[0], "NLP.c1");
+    EXPECT_EQ(cells[2], "124M");      // 474 MB => 124M fp32 params
+    EXPECT_EQ(cells[3], "22.17");     // NLP => BLEU-like
+    EXPECT_EQ(cells[4], "192");
+    EXPECT_EQ(cells[5], "7.8x");
+    EXPECT_EQ(cells[9], "0.39");
+    EXPECT_EQ(cells[10], "86.4%");
+}
+
+TEST(Report, Table2RowOom)
+{
+    auto cells = table2Row(fakeResult("NLP.c0", "GPipe", true));
+    EXPECT_EQ(cells[2], "OOM");
+}
+
+TEST(Report, Table2RowCvUsesPercentScore)
+{
+    auto row = fakeResult("CV.c1", "NASPipe");
+    row.run.searchAccuracy = 82.4;
+    EXPECT_EQ(table2Row(row)[3], "82.4%");
+}
+
+TEST(Report, Table2RowCacheNa)
+{
+    auto row = fakeResult("NLP.c1", "GPipe");
+    row.run.metrics.cacheHitRate = -1.0;
+    EXPECT_EQ(table2Row(row)[10], "N/A");
+}
+
+TEST(Report, BuildTable2SeparatesSpaces)
+{
+    std::vector<ExperimentResult> results = {
+        fakeResult("NLP.c1", "NASPipe"),
+        fakeResult("NLP.c1", "GPipe"),
+        fakeResult("NLP.c2", "NASPipe"),
+    };
+    TextTable table = buildTable2(results);
+    EXPECT_EQ(table.rows(), 3u);
+    // Three dash lines: header + space separator... at least 2.
+    std::string out = table.render();
+    EXPECT_NE(out.find("NLP.c2"), std::string::npos);
+}
+
+TEST(Report, ThroughputTableNormalizesToGpipe)
+{
+    auto naspipe = fakeResult("NLP.c1", "NASPipe");
+    auto gpipe = fakeResult("NLP.c1", "GPipe");
+    gpipe.run.metrics.samplesPerSec = 200.0;
+    TextTable table = buildThroughputTable({naspipe, gpipe});
+    std::string out = table.render();
+    // NASPipe: 800/200 = 4x.
+    EXPECT_NE(out.find("4.00x"), std::string::npos);
+    EXPECT_NE(out.find("1.00x"), std::string::npos);
+}
+
+TEST(Report, ThroughputTableFallsBackWhenGpipeOoms)
+{
+    auto naspipe = fakeResult("NLP.c0", "NASPipe");
+    auto gpipe = fakeResult("NLP.c0", "GPipe", true);
+    TextTable table = buildThroughputTable({naspipe, gpipe});
+    std::string out = table.render();
+    EXPECT_NE(out.find("OOM"), std::string::npos);
+    EXPECT_NE(out.find("1.00x"), std::string::npos);
+}
+
+TEST(Report, Table5HasEightRows)
+{
+    EXPECT_EQ(buildTable5().rows(), 8u);
+}
+
+TEST(Report, Table1HasSevenRows)
+{
+    EXPECT_EQ(buildTable1(defaultSpaceNames()).rows(), 7u);
+}
+
+} // namespace
+} // namespace naspipe

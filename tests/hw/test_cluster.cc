@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Cluster topology tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+
+namespace naspipe {
+namespace {
+
+ClusterConfig
+config8()
+{
+    ClusterConfig c;
+    c.numStages = 8;
+    c.gpusPerHost = 4;
+    return c;
+}
+
+TEST(Cluster, HostAssignmentFillsInOrder)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    EXPECT_EQ(cluster.hostOf(0), 0);
+    EXPECT_EQ(cluster.hostOf(3), 0);
+    EXPECT_EQ(cluster.hostOf(4), 1);
+    EXPECT_EQ(cluster.hostOf(7), 1);
+}
+
+TEST(Cluster, LinksWithinHostArePcie)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    EXPECT_EQ(cluster.link(0, 1).type(), LinkType::IntraHostPcie);
+    EXPECT_EQ(cluster.link(2, 3).type(), LinkType::IntraHostPcie);
+}
+
+TEST(Cluster, LinkAcrossHostsIsEthernet)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    EXPECT_EQ(cluster.link(3, 4).type(), LinkType::CrossHostEther);
+    EXPECT_EQ(cluster.link(4, 3).type(), LinkType::CrossHostEther);
+}
+
+TEST(Cluster, ForwardAndBackwardLinksAreDistinct)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    StageLink &fwd = cluster.link(0, 1);
+    StageLink &bwd = cluster.link(1, 0);
+    EXPECT_NE(&fwd, &bwd);
+    EXPECT_EQ(fwd.fromStage(), 0);
+    EXPECT_EQ(bwd.fromStage(), 1);
+}
+
+TEST(Cluster, NonAdjacentLinkPanics)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    EXPECT_THROW(cluster.link(0, 2), std::logic_error);
+    EXPECT_THROW(cluster.link(5, 5), std::logic_error);
+}
+
+TEST(Cluster, GpuAccessors)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    EXPECT_EQ(cluster.numStages(), 8);
+    EXPECT_EQ(cluster.gpu(5).id(), 5);
+    EXPECT_THROW(cluster.gpu(8), std::logic_error);
+}
+
+TEST(Cluster, TotalAluUtilizationSums)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    cluster.gpu(0).compute().reserve(ticksFromSec(1.0));
+    cluster.gpu(1).compute().reserve(ticksFromSec(0.5));
+    EXPECT_DOUBLE_EQ(cluster.totalAluUtilization(1.0), 1.5);
+}
+
+TEST(Cluster, MeanBubbleRatio)
+{
+    Simulator sim;
+    ClusterConfig cc = config8();
+    cc.numStages = 2;
+    Cluster cluster(sim, cc);
+    // GPU 0: busy 1 of [0,2] active window => bubble 0.5.
+    cluster.gpu(0).compute().reserveFrom(0, ticksFromSec(1.0));
+    cluster.gpu(0).compute().reserveFrom(ticksFromSec(2.0), 0);
+    // reserveFrom with 0 duration records nothing; add real work.
+    cluster.gpu(0).compute().reserveFrom(ticksFromSec(2.0),
+                                         ticksFromSec(0.0001));
+    // GPU 1: fully busy => bubble 0.
+    cluster.gpu(1).compute().reserve(ticksFromSec(1.0));
+    double bubble = cluster.meanBubbleRatio();
+    EXPECT_GT(bubble, 0.2);
+    EXPECT_LT(bubble, 0.3);
+}
+
+TEST(Cluster, SixteenGpusSpanFourHosts)
+{
+    Simulator sim;
+    ClusterConfig cc = config8();
+    cc.numStages = 16;
+    Cluster cluster(sim, cc);
+    EXPECT_EQ(cluster.hostOf(15), 3);
+    EXPECT_EQ(cluster.link(7, 8).type(), LinkType::CrossHostEther);
+    EXPECT_EQ(cluster.link(8, 9).type(), LinkType::IntraHostPcie);
+}
+
+TEST(Cluster, HostMemoryDefault)
+{
+    Simulator sim;
+    Cluster cluster(sim, config8());
+    EXPECT_EQ(cluster.hostMemoryBytes(), 64ULL << 30);
+}
+
+} // namespace
+} // namespace naspipe

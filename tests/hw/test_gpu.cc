@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GPU device model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Gpu, DefaultConfigMatchesTestbed)
+{
+    GpuConfig config;
+    EXPECT_EQ(config.memoryBytes, 11ULL << 30);  // 2080Ti
+    EXPECT_DOUBLE_EQ(config.pcieBytesPerSec, 15760.0 * 1e6);
+}
+
+TEST(Gpu, EnginesAreIndependent)
+{
+    Simulator sim;
+    Gpu gpu(sim, 0, GpuConfig{});
+    // Compute and DMA overlap: reserving one leaves others free.
+    gpu.compute().reserve(ticksFromMs(10));
+    Tick copyDone = gpu.h2d().transfer(1'000'000);
+    EXPECT_LT(copyDone, ticksFromMs(10));
+}
+
+TEST(Gpu, H2dAndD2hAreSeparateEngines)
+{
+    Simulator sim;
+    Gpu gpu(sim, 0, GpuConfig{});
+    Tick up = gpu.h2d().transfer(100'000'000);
+    Tick down = gpu.d2h().transfer(100'000'000);
+    // Same size, both start at 0: they complete simultaneously.
+    EXPECT_EQ(up, down);
+}
+
+TEST(Gpu, AluUtilizationOverWindow)
+{
+    Simulator sim;
+    Gpu gpu(sim, 3, GpuConfig{});
+    gpu.compute().reserve(ticksFromSec(1.0));
+    EXPECT_DOUBLE_EQ(gpu.aluUtilization(2.0), 0.5);
+    EXPECT_EQ(gpu.id(), 3);
+}
+
+TEST(Gpu, ResetClearsEngines)
+{
+    Simulator sim;
+    Gpu gpu(sim, 0, GpuConfig{});
+    gpu.compute().reserve(100);
+    gpu.h2d().transfer(1000);
+    gpu.reset();
+    EXPECT_EQ(gpu.compute().freeAt(), 0u);
+    EXPECT_DOUBLE_EQ(gpu.aluUtilization(1.0), 0.0);
+}
+
+TEST(Gpu, PcieTransferTimeMatchesTable5)
+{
+    // A Conv 3x1's 27.7 MB parameters should swap in ~1.76 ms over
+    // PCIe 3.0 x16 (Table 5).
+    Simulator sim;
+    Gpu gpu(sim, 0, GpuConfig{});
+    std::uint64_t bytes = 27'737'600;  // 1.76 ms * 15760 MB/s
+    Tick done = gpu.h2d().transfer(bytes);
+    EXPECT_NEAR(ticksToMs(done), 1.76, 0.05);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Stage link tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/interconnect.h"
+
+namespace naspipe {
+namespace {
+
+TEST(StageLink, IntraHostIsFast)
+{
+    Simulator sim;
+    InterconnectConfig config;
+    StageLink link(sim, 0, 1, LinkType::IntraHostPcie, config);
+    // 11 MB over 11 GB/s = 1 ms (plus small latency).
+    Tick done = link.send(11'000'000);
+    EXPECT_NEAR(ticksToMs(done), 1.0, 0.1);
+}
+
+TEST(StageLink, CrossHostIsSlow)
+{
+    Simulator sim;
+    InterconnectConfig config;
+    StageLink link(sim, 3, 4, LinkType::CrossHostEther, config);
+    // 8.67 MB over 867 MB/s = 10 ms + 0.17 ms ping.
+    Tick done = link.send(8'670'000);
+    EXPECT_NEAR(ticksToMs(done), 10.17, 0.2);
+}
+
+TEST(StageLink, MessagesSerialize)
+{
+    Simulator sim;
+    InterconnectConfig config;
+    config.intraHostLatency = 0;
+    StageLink link(sim, 0, 1, LinkType::IntraHostPcie, config);
+    Tick first = link.send(11'000'000);
+    Tick second = link.send(11'000'000);
+    EXPECT_EQ(second, 2 * first);
+}
+
+TEST(StageLink, SendFromQueues)
+{
+    Simulator sim;
+    InterconnectConfig config;
+    StageLink link(sim, 0, 1, LinkType::IntraHostPcie, config);
+    Tick wire = link.messageTime(1000);
+    Tick done = link.sendFrom(ticksFromMs(5), 1000);
+    EXPECT_EQ(done, ticksFromMs(5) + wire);
+}
+
+TEST(StageLink, Endpoints)
+{
+    Simulator sim;
+    StageLink link(sim, 2, 3, LinkType::IntraHostPcie,
+                   InterconnectConfig{});
+    EXPECT_EQ(link.fromStage(), 2);
+    EXPECT_EQ(link.toStage(), 3);
+    EXPECT_EQ(link.type(), LinkType::IntraHostPcie);
+}
+
+TEST(LinkTypeName, Named)
+{
+    EXPECT_STREQ(linkTypeName(LinkType::IntraHostPcie), "pcie-p2p");
+    EXPECT_STREQ(linkTypeName(LinkType::CrossHostEther), "ethernet");
+}
+
+} // namespace
+} // namespace naspipe

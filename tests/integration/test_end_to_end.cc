@@ -1,0 +1,124 @@
+/**
+ * @file
+ * End-to-end integration: the Engine facade, experiment helpers and
+ * report builders across modules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ablation.h"
+#include "core/report.h"
+
+namespace naspipe {
+namespace {
+
+TEST(EndToEnd, EngineTrainsOnPaperSpace)
+{
+    SearchSpace space = makeNlpC3();
+    Engine::Options options;
+    options.gpus = 4;
+    options.steps = 24;
+    Engine engine(space, options);
+    RunResult result = engine.train();
+    ASSERT_FALSE(result.oom);
+    EXPECT_EQ(result.metrics.finishedSubnets, 24);
+    EXPECT_GT(result.metrics.samplesPerSec, 0.0);
+    EXPECT_GT(result.metrics.batch, 0);
+    EXPECT_GT(result.searchAccuracy, 0.0);
+    EXPECT_EQ(result.metrics.causalViolations, 0);
+}
+
+TEST(EndToEnd, EvolutionSearchCompletes)
+{
+    SearchSpace space = makeNlpC3();
+    Engine::Options options;
+    options.gpus = 4;
+    options.steps = 24;
+    options.evolutionSearch = true;
+    Engine engine(space, options);
+    RunResult result = engine.train();
+    ASSERT_FALSE(result.oom);
+    EXPECT_EQ(result.metrics.finishedSubnets, 24);
+}
+
+TEST(EndToEnd, EvaluationMatrixCoversAllCells)
+{
+    EvaluationDefaults defaults;
+    defaults.gpus = 4;
+    defaults.steps = 12;
+    auto results = runEvaluationMatrix({"NLP.c3", "CV.c3"},
+                                       evaluatedSystems(), defaults);
+    EXPECT_EQ(results.size(), 8u);
+    int completed = 0;
+    for (const auto &r : results) {
+        if (!r.run.oom) {
+            completed++;
+            EXPECT_EQ(r.run.metrics.finishedSubnets, 12)
+                << r.spaceName << "/" << r.systemName;
+        }
+    }
+    EXPECT_GE(completed, 6);
+}
+
+TEST(EndToEnd, NormalizedThroughputAgainstBaseline)
+{
+    SearchSpace space = makeNlpC3();
+    EvaluationDefaults defaults;
+    defaults.gpus = 4;
+    defaults.steps = 16;
+    auto naspipe = runExperiment(space, naspipeSystem(), defaults);
+    auto gpipe = runExperiment(space, gpipeSystem(), defaults);
+    double norm = normalizedThroughput(naspipe.run, gpipe.run);
+    EXPECT_GT(norm, 0.0);
+    EXPECT_DOUBLE_EQ(normalizedThroughput(gpipe.run, gpipe.run), 1.0);
+}
+
+TEST(EndToEnd, Table2RowsRenderForEverySystem)
+{
+    EvaluationDefaults defaults;
+    defaults.gpus = 4;
+    defaults.steps = 8;
+    SearchSpace space = makeCvC3();
+    std::vector<ExperimentResult> results;
+    for (const auto &system : evaluatedSystems())
+        results.push_back(runExperiment(space, system, defaults));
+    TextTable table = buildTable2(results);
+    std::string out = table.render();
+    EXPECT_NE(out.find("NASPipe"), std::string::npos);
+    EXPECT_NE(out.find("VPipe"), std::string::npos);
+    EXPECT_EQ(table.rows(), 4u);
+}
+
+TEST(EndToEnd, Table1AndTable5Build)
+{
+    TextTable t1 = buildTable1(defaultSpaceNames());
+    EXPECT_EQ(t1.rows(), 7u);
+    TextTable t5 = buildTable5();
+    EXPECT_EQ(t5.rows(), 8u);
+    EXPECT_NE(t5.render().find("8 Head Attention"),
+              std::string::npos);
+}
+
+TEST(EndToEnd, AblationStudyRunsAllVariants)
+{
+    SearchSpace space = makeNlpC3();
+    EvaluationDefaults defaults;
+    defaults.gpus = 4;
+    defaults.steps = 16;
+    auto entries = runAblationStudy(space, defaults);
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_DOUBLE_EQ(entries[0].normalizedThroughput, 1.0);
+    // The flush-gated variant must be slower than full NASPipe.
+    EXPECT_LT(entries[1].normalizedThroughput, 1.0);
+    TextTable table = buildAblationTable(entries);
+    EXPECT_EQ(table.rows(), 4u);
+}
+
+TEST(EndToEnd, ScoreFormatting)
+{
+    EXPECT_EQ(formatScore(22.17, SpaceFamily::Nlp), "22.17");
+    EXPECT_EQ(formatScore(82.4, SpaceFamily::Cv), "82.4%");
+}
+
+} // namespace
+} // namespace naspipe

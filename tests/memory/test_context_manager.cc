@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Context manager tests: prefetch, sync fetch, eviction, hit rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/context_manager.h"
+
+namespace naspipe {
+namespace {
+
+struct ContextFixture : ::testing::Test {
+    ContextFixture()
+        : space("x", SpaceFamily::Nlp, 8, 4, 3),
+          gpu(sim, 0, GpuConfig{})
+    {
+    }
+
+    Subnet
+    subnet(SubnetId id = 0)
+    {
+        return Subnet(id, {0, 1, 2, 3, 0, 1, 2, 3});
+    }
+
+    Simulator sim;
+    SearchSpace space;
+    Gpu gpu;
+};
+
+TEST_F(ContextFixture, AllResidentIsAlwaysReady)
+{
+    ContextManager ctx(sim, space, gpu, MemoryMode::AllResident);
+    Tick ready = ctx.ensureResident(subnet(), 0, 7);
+    EXPECT_EQ(ready, sim.now());
+    EXPECT_EQ(ctx.memory().hitStats().total(), 0u);
+    EXPECT_EQ(ctx.stats().syncFetches, 0u);
+}
+
+TEST_F(ContextFixture, PrefetchMakesLaterAccessAHit)
+{
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch);
+    ctx.prefetch(subnet(), 0, 3);
+    EXPECT_GT(ctx.stats().prefetchedBytes, 0u);
+    Tick ready = ctx.ensureResident(subnet(), 0, 3);
+    // All four layers anticipated: all hits.
+    EXPECT_EQ(ctx.memory().hitStats().hits(), 4u);
+    EXPECT_EQ(ctx.memory().hitStats().misses(), 0u);
+    EXPECT_EQ(ctx.stats().syncFetches, 0u);
+    // The copies still take PCIe time.
+    EXPECT_GT(ready, sim.now());
+}
+
+TEST_F(ContextFixture, ColdAccessIsAMissWithSyncFetch)
+{
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch);
+    ctx.ensureResident(subnet(), 0, 3);
+    EXPECT_EQ(ctx.memory().hitStats().misses(), 4u);
+    EXPECT_EQ(ctx.stats().syncFetches, 4u);
+    EXPECT_DOUBLE_EQ(ctx.cacheHitRate(), 0.0);
+}
+
+TEST_F(ContextFixture, SecondAccessHits)
+{
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch);
+    ctx.ensureResident(subnet(), 0, 3);
+    ctx.ensureResident(subnet(), 0, 3);  // e.g. the backward pass
+    EXPECT_EQ(ctx.memory().hitStats().hits(), 4u);
+    EXPECT_DOUBLE_EQ(ctx.cacheHitRate(), 0.5);
+}
+
+TEST_F(ContextFixture, EvictionFreesAndCopiesBack)
+{
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch);
+    ctx.ensureResident(subnet(), 0, 3);
+    std::uint64_t resident = ctx.memory().residentBytes();
+    ASSERT_GT(resident, 0u);
+    ctx.evictSubnet(subnet(), 0, 3);
+    EXPECT_EQ(ctx.memory().residentBytes(), 0u);
+    EXPECT_EQ(ctx.stats().evictedBytes, resident);
+}
+
+TEST_F(ContextFixture, PrefetchIsNoOpOutsidePredictiveMode)
+{
+    ContextManager ctx(sim, space, gpu, MemoryMode::SwapOnDemand);
+    ctx.prefetch(subnet(), 0, 3);
+    EXPECT_EQ(ctx.stats().prefetchedBytes, 0u);
+    EXPECT_EQ(ctx.memory().residentLayers(), 0u);
+}
+
+TEST_F(ContextFixture, SwapOnDemandEvictsPreviousContext)
+{
+    ContextManager ctx(sim, space, gpu, MemoryMode::SwapOnDemand);
+    Subnet a(0, {0, 0, 0, 0, 0, 0, 0, 0});
+    Subnet b(1, {1, 1, 1, 1, 1, 1, 1, 1});
+    ctx.ensureResident(a, 0, 3);
+    std::uint64_t afterA = ctx.memory().residentBytes();
+    ctx.ensureResident(b, 0, 3);
+    // a's layers were evicted; only b's context remains.
+    EXPECT_GT(ctx.stats().evictedBytes, 0u);
+    EXPECT_EQ(ctx.memory().residentLayers(), 4u);
+    EXPECT_GT(afterA, 0u);
+}
+
+TEST_F(ContextFixture, SwapOnDemandKeepsSharedLayers)
+{
+    ContextManager ctx(sim, space, gpu, MemoryMode::SwapOnDemand);
+    Subnet a(0, {0, 0, 2, 3, 0, 1, 2, 3});
+    Subnet b(1, {0, 0, 1, 1, 0, 1, 2, 3});  // shares blocks 0,1
+    ctx.ensureResident(a, 0, 3);
+    ctx.ensureResident(b, 0, 3);
+    // Blocks 0 and 1 stayed resident => 2 hits.
+    EXPECT_EQ(ctx.memory().hitStats().hits(), 2u);
+}
+
+TEST_F(ContextFixture, SkipLayersNeverTouchTheCache)
+{
+    SearchSpace skippy("s", SpaceFamily::Nlp, 8, 4, 3, 0.4);
+    ContextManager ctx(sim, skippy, gpu,
+                       MemoryMode::PredictivePrefetch);
+    Subnet sn(0, {0, 0, 1, 2, 0, 0, 1, 2});  // 4 skip blocks
+    ctx.ensureResident(sn, 0, 7);
+    EXPECT_EQ(ctx.memory().hitStats().total(), 4u);
+    EXPECT_EQ(ctx.memory().residentLayers(), 4u);
+}
+
+TEST_F(ContextFixture, BudgetForcesLruEviction)
+{
+    // Budget fits roughly half the subnet's context: the memory
+    // limit check (§4.2) must push out idle layers as new ones come.
+    std::uint64_t full = subnet().paramBytes(space);
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch, full / 2);
+    // Touch layers at increasing times so LRU order is well-defined.
+    sim.scheduleAt(0, [&] { ctx.ensureResident(subnet(), 0, 1); });
+    sim.scheduleAt(kTicksPerMs,
+                   [&] { ctx.ensureResident(subnet(), 2, 3); });
+    sim.scheduleAt(2 * kTicksPerMs,
+                   [&] { ctx.ensureResident(subnet(), 4, 7); });
+    sim.run();
+    EXPECT_GT(ctx.stats().forcedEvictions, 0u);
+    EXPECT_LE(ctx.memory().residentBytes(),
+              full / 2 + (64ULL << 20));  // at most one layer over
+}
+
+TEST_F(ContextFixture, BudgetNeverEvictsLayersInUse)
+{
+    // Budget smaller than one task's context: the check must admit
+    // over budget instead of evicting what the task is touching.
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch, 1);
+    ctx.ensureResident(subnet(), 0, 7);
+    EXPECT_EQ(ctx.memory().residentLayers(), 8u);
+    EXPECT_GT(ctx.stats().overBudgetFetches, 0u);
+}
+
+TEST_F(ContextFixture, UnlimitedBudgetNeverForcesEviction)
+{
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch);
+    ctx.ensureResident(subnet(), 0, 7);
+    EXPECT_EQ(ctx.stats().forcedEvictions, 0u);
+    EXPECT_EQ(ctx.stats().overBudgetFetches, 0u);
+}
+
+TEST_F(ContextFixture, StatsCountingCanBeSuppressed)
+{
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch);
+    ctx.ensureResident(subnet(), 0, 3, /*countStats=*/false);
+    EXPECT_EQ(ctx.memory().hitStats().total(), 0u);
+}
+
+TEST_F(ContextFixture, ResetClearsState)
+{
+    ContextManager ctx(sim, space, gpu,
+                       MemoryMode::PredictivePrefetch);
+    ctx.ensureResident(subnet(), 0, 3);
+    ctx.reset();
+    EXPECT_EQ(ctx.memory().residentBytes(), 0u);
+    EXPECT_EQ(ctx.stats().syncFetches, 0u);
+}
+
+} // namespace
+} // namespace naspipe

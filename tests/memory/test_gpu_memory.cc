@@ -1,0 +1,110 @@
+/**
+ * @file
+ * GPU resident-set manager tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/gpu_memory.h"
+
+namespace naspipe {
+namespace {
+
+TEST(GpuMemoryManager, AdmitAndQuery)
+{
+    GpuMemoryManager mem;
+    LayerId layer{1, 2};
+    EXPECT_FALSE(mem.tracked(layer));
+    mem.admit(layer, 100, 50);
+    EXPECT_TRUE(mem.tracked(layer));
+    EXPECT_FALSE(mem.usable(layer, 49));  // copy in flight
+    EXPECT_TRUE(mem.usable(layer, 50));
+    EXPECT_EQ(mem.residentBytes(), 100u);
+}
+
+TEST(GpuMemoryManager, DoubleAdmitKeepsFirstCopy)
+{
+    GpuMemoryManager mem;
+    LayerId layer{0, 0};
+    Tick first = mem.admit(layer, 100, 10);
+    Tick second = mem.admit(layer, 100, 99);
+    EXPECT_EQ(first, 10u);
+    EXPECT_EQ(second, 10u);  // earlier copy wins
+    EXPECT_EQ(mem.residentBytes(), 100u);  // not double counted
+}
+
+TEST(GpuMemoryManager, EvictReleasesBytes)
+{
+    GpuMemoryManager mem;
+    LayerId a{0, 0}, b{0, 1};
+    mem.admit(a, 100, 0);
+    mem.admit(b, 50, 0);
+    EXPECT_EQ(mem.evict(a), 100u);
+    EXPECT_EQ(mem.residentBytes(), 50u);
+    EXPECT_EQ(mem.evict(a), 0u);  // idempotent
+    EXPECT_EQ(mem.residentLayers(), 1u);
+}
+
+TEST(GpuMemoryManager, PeakBytesHighWaterMark)
+{
+    GpuMemoryManager mem;
+    mem.admit(LayerId{0, 0}, 100, 0);
+    mem.admit(LayerId{0, 1}, 100, 0);
+    mem.evict(LayerId{0, 0});
+    mem.admit(LayerId{0, 2}, 50, 0);
+    EXPECT_EQ(mem.peakBytes(), 200u);
+}
+
+TEST(GpuMemoryManager, AvailabilityQueryPanicsOnUnknown)
+{
+    GpuMemoryManager mem;
+    EXPECT_THROW(mem.availableAt(LayerId{9, 9}), std::logic_error);
+}
+
+TEST(GpuMemoryManager, TouchUpdatesLru)
+{
+    GpuMemoryManager mem;
+    LayerId a{0, 0}, b{0, 1};
+    mem.admit(a, 10, 0);
+    mem.admit(b, 10, 0);
+    mem.touch(a, 100);
+    mem.touch(b, 50);
+    LayerId victim;
+    ASSERT_TRUE(mem.lruVictim(victim, 200));
+    EXPECT_EQ(victim, b);  // least recently used
+}
+
+TEST(GpuMemoryManager, LruVictimRespectsCutoff)
+{
+    GpuMemoryManager mem;
+    LayerId a{0, 0};
+    mem.admit(a, 10, 0);
+    mem.touch(a, 100);
+    LayerId victim;
+    EXPECT_FALSE(mem.lruVictim(victim, 50));
+    // A layer used at exactly the cutoff instant is still in use.
+    EXPECT_FALSE(mem.lruVictim(victim, 100));
+    EXPECT_TRUE(mem.lruVictim(victim, 101));
+}
+
+TEST(GpuMemoryManager, HitStatsIntegration)
+{
+    GpuMemoryManager mem;
+    mem.hitStats().hit(9);
+    mem.hitStats().miss();
+    EXPECT_DOUBLE_EQ(mem.hitStats().rate(), 0.9);
+}
+
+TEST(GpuMemoryManager, ResetClearsEverything)
+{
+    GpuMemoryManager mem;
+    mem.admit(LayerId{0, 0}, 10, 0);
+    mem.hitStats().hit();
+    mem.reset();
+    EXPECT_EQ(mem.residentBytes(), 0u);
+    EXPECT_EQ(mem.peakBytes(), 0u);
+    EXPECT_EQ(mem.hitStats().total(), 0u);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Swap-time model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/swap_model.h"
+
+namespace naspipe {
+namespace {
+
+TEST(SwapModel, MatchesTable5Times)
+{
+    SwapModel model;  // PCIe 3.0 x16 default
+    // Conv 3x1: 27.7 MB -> ~1.76 ms (Table 5).
+    const LayerSpec &conv =
+        LayerProfileDb::instance().reference(LayerKind::Conv3x1);
+    EXPECT_NEAR(model.swapMs(conv.paramBytes), conv.swapMs, 0.05);
+    // Attention: ~2.07 ms.
+    const LayerSpec &attn =
+        LayerProfileDb::instance().reference(
+            LayerKind::Attention8Head);
+    EXPECT_NEAR(model.swapMs(attn.paramBytes), attn.swapMs, 0.05);
+}
+
+TEST(SwapModel, ZeroBytesIsInstant)
+{
+    SwapModel model;
+    EXPECT_EQ(model.swapTime(0), 0u);
+}
+
+TEST(SwapModel, LatencyIncluded)
+{
+    SwapModel model(1e9, ticksFromMs(1.0));
+    // 1 MB at 1 GB/s = 1 ms, plus 1 ms latency.
+    EXPECT_NEAR(model.swapMs(1'000'000), 2.0, 0.01);
+}
+
+TEST(SwapModel, InvalidBandwidthPanics)
+{
+    EXPECT_THROW(SwapModel(0.0), std::logic_error);
+}
+
+TEST(ActivationModel, FamilyDefaults)
+{
+    ActivationModel nlp = defaultActivationModel(SpaceFamily::Nlp);
+    ActivationModel cv = defaultActivationModel(SpaceFamily::Cv);
+    EXPECT_EQ(nlp.maxBatch, 192);
+    EXPECT_EQ(cv.maxBatch, 64);
+    EXPECT_GT(cv.bytesPerSample, nlp.bytesPerSample);
+    EXPECT_GT(nlp.overheadBatch, cv.overheadBatch);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mirror planner tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "partition/mirror.h"
+
+namespace naspipe {
+namespace {
+
+struct MirrorFixture : ::testing::Test {
+    MirrorFixture()
+        : space("x", SpaceFamily::Nlp, 8, 4, 3),
+          placement(space, 4), planner(space, placement)
+    {
+    }
+
+    SearchSpace space;
+    HomePlacement placement;
+    MirrorPlanner planner;
+};
+
+TEST_F(MirrorFixture, NoMirrorsUnderHomePartition)
+{
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    // Execute under the exact home partition: nothing to mirror.
+    auto entries = planner.plan(sn, placement.partition());
+    EXPECT_TRUE(entries.empty());
+}
+
+TEST_F(MirrorFixture, ShiftedPartitionCreatesMirrors)
+{
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    // Home: stages of 2 blocks each. Shifted: stage 0 takes 3 blocks.
+    SubnetPartition shifted({0, 3, 5, 7}, 8);
+    auto entries = planner.plan(sn, shifted);
+    ASSERT_FALSE(entries.empty());
+    for (const auto &e : entries) {
+        EXPECT_NE(e.homeStage, e.execStage);
+        EXPECT_GT(e.paramBytes, 0u);
+    }
+}
+
+TEST_F(MirrorFixture, ActivateCountsNewAndReused)
+{
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    SubnetPartition shifted({0, 3, 5, 7}, 8);
+    auto entries = planner.plan(sn, shifted);
+    std::uint64_t bytesFirst = planner.activate(entries);
+    EXPECT_GT(bytesFirst, 0u);
+    EXPECT_EQ(planner.stats().mirrorsCreated, entries.size());
+    // Re-activating the same mirrors is free.
+    std::uint64_t bytesSecond = planner.activate(entries);
+    EXPECT_EQ(bytesSecond, 0u);
+    EXPECT_EQ(planner.stats().mirrorsReused, entries.size());
+}
+
+TEST_F(MirrorFixture, IsMirroredQuery)
+{
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    SubnetPartition shifted({0, 3, 5, 7}, 8);
+    auto entries = planner.plan(sn, shifted);
+    planner.activate(entries);
+    EXPECT_TRUE(planner.isMirrored(entries[0].layer,
+                                   entries[0].execStage));
+    EXPECT_FALSE(planner.isMirrored(entries[0].layer,
+                                    entries[0].homeStage));
+}
+
+TEST_F(MirrorFixture, SyncPushAccountsBytes)
+{
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    SubnetPartition shifted({0, 3, 5, 7}, 8);
+    auto entries = planner.plan(sn, shifted);
+    std::uint64_t expected = 0;
+    for (const auto &e : entries)
+        expected += e.paramBytes;
+    EXPECT_EQ(planner.recordSyncPush(entries), expected);
+    EXPECT_EQ(planner.stats().syncBytes, expected);
+    EXPECT_EQ(planner.stats().syncPushes, entries.size());
+}
+
+TEST_F(MirrorFixture, ResetClearsState)
+{
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    SubnetPartition shifted({0, 3, 5, 7}, 8);
+    planner.activate(planner.plan(sn, shifted));
+    planner.reset();
+    EXPECT_EQ(planner.liveMirrors(), 0u);
+    EXPECT_EQ(planner.stats().mirrorsCreated, 0u);
+}
+
+TEST(MirrorSkip, ParameterFreeLayersNeverMirrored)
+{
+    SearchSpace space("s", SpaceFamily::Nlp, 8, 4, 3, 0.5);
+    HomePlacement placement(space, 4);
+    MirrorPlanner planner(space, placement);
+    // All-skip subnet under a shifted partition: nothing to mirror.
+    Subnet sn(0, {0, 0, 0, 0, 0, 0, 0, 0});
+    SubnetPartition shifted({0, 3, 5, 7}, 8);
+    EXPECT_TRUE(planner.plan(sn, shifted).empty());
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Balanced partitioner tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "partition/partitioner.h"
+#include "supernet/sampler.h"
+
+namespace naspipe {
+namespace {
+
+TEST(SubnetPartition, BasicQueries)
+{
+    SubnetPartition p({0, 3, 5}, 8);
+    EXPECT_EQ(p.numStages(), 3);
+    EXPECT_EQ(p.numBlocks(), 8);
+    EXPECT_EQ(p.firstBlock(0), 0);
+    EXPECT_EQ(p.lastBlock(0), 2);
+    EXPECT_EQ(p.firstBlock(2), 5);
+    EXPECT_EQ(p.lastBlock(2), 7);
+    EXPECT_EQ(p.blockCount(1), 2);
+}
+
+TEST(SubnetPartition, StageOf)
+{
+    SubnetPartition p({0, 3, 5}, 8);
+    EXPECT_EQ(p.stageOf(0), 0);
+    EXPECT_EQ(p.stageOf(2), 0);
+    EXPECT_EQ(p.stageOf(3), 1);
+    EXPECT_EQ(p.stageOf(4), 1);
+    EXPECT_EQ(p.stageOf(7), 2);
+}
+
+TEST(SubnetPartition, EmptyStagesAllowed)
+{
+    SubnetPartition p({0, 2, 2}, 4);
+    EXPECT_EQ(p.blockCount(1), 0);
+    EXPECT_FALSE(p.stageNonEmpty(1));
+    EXPECT_GT(p.firstBlock(1), p.lastBlock(1));
+}
+
+TEST(SubnetPartition, InvalidConstructionPanics)
+{
+    EXPECT_THROW(SubnetPartition({1, 2}, 4), std::logic_error);
+    EXPECT_THROW(SubnetPartition({0, 3, 2}, 4), std::logic_error);
+    EXPECT_THROW(SubnetPartition({0, 9}, 4), std::logic_error);
+}
+
+TEST(Partitioner, EvenPartitionSplitsEqually)
+{
+    SubnetPartition p = Partitioner::even(48, 8);
+    for (int s = 0; s < 8; s++)
+        EXPECT_EQ(p.blockCount(s), 6);
+}
+
+TEST(Partitioner, EvenPartitionHandlesRemainders)
+{
+    SubnetPartition p = Partitioner::even(10, 4);
+    int total = 0;
+    for (int s = 0; s < 4; s++) {
+        total += p.blockCount(s);
+        EXPECT_GE(p.blockCount(s), 2);
+        EXPECT_LE(p.blockCount(s), 3);
+    }
+    EXPECT_EQ(total, 10);
+}
+
+TEST(Partitioner, BalancedNeverWorseThanEven)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 16, 6, 13);
+    Partitioner part(space, space.referenceBatch());
+    UniformSampler sampler(space, 23);
+    for (int i = 0; i < 20; i++) {
+        Subnet sn = sampler.next();
+        auto balanced = part.balanced(sn, 4);
+        auto even = Partitioner::even(sn.size(), 4);
+        double balancedMax = part.cost(sn, balanced).maxMs;
+        double evenMax = part.cost(sn, even).maxMs;
+        EXPECT_LE(balancedMax, evenMax + 1e-9) << sn.toString();
+    }
+}
+
+TEST(Partitioner, BalancedIsOptimalOnSmallInstance)
+{
+    // Brute-force the min-max partition of a small subnet and check
+    // the DP finds the same bottleneck.
+    SearchSpace space("x", SpaceFamily::Nlp, 6, 4, 3);
+    Partitioner part(space, space.referenceBatch());
+    Subnet sn(0, {0, 1, 2, 3, 0, 1});
+    auto costs = part.blockCosts(sn);
+
+    double best = 1e18;
+    // Two cut points over 6 blocks into 3 stages.
+    for (int c1 = 0; c1 <= 6; c1++) {
+        for (int c2 = c1; c2 <= 6; c2++) {
+            double s0 = 0, s1 = 0, s2 = 0;
+            for (int b = 0; b < c1; b++)
+                s0 += costs[static_cast<std::size_t>(b)];
+            for (int b = c1; b < c2; b++)
+                s1 += costs[static_cast<std::size_t>(b)];
+            for (int b = c2; b < 6; b++)
+                s2 += costs[static_cast<std::size_t>(b)];
+            best = std::min(best, std::max({s0, s1, s2}));
+        }
+    }
+    auto partition = part.balanced(sn, 3);
+    EXPECT_NEAR(part.cost(sn, partition).maxMs, best, 1e-9);
+}
+
+TEST(Partitioner, CostTotalsMatchBlockSum)
+{
+    SearchSpace space("x", SpaceFamily::Cv, 8, 4, 3);
+    Partitioner part(space, 32);
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    auto costs = part.blockCosts(sn);
+    double sum = 0;
+    for (double c : costs)
+        sum += c;
+    auto partition = part.balanced(sn, 3);
+    EXPECT_NEAR(part.cost(sn, partition).totalMs, sum, 1e-9);
+}
+
+TEST(Partitioner, ImbalanceMetric)
+{
+    PartitionCost cost;
+    cost.stageMs = {1.0, 1.0, 2.0};
+    cost.maxMs = 2.0;
+    cost.totalMs = 4.0;
+    EXPECT_NEAR(cost.imbalance(), 1.5, 1e-9);
+}
+
+TEST(Partitioner, DeterministicResult)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 24, 8, 5);
+    Partitioner part(space, space.referenceBatch());
+    UniformSampler sampler(space, 3);
+    Subnet sn = sampler.next();
+    EXPECT_EQ(part.balanced(sn, 8), part.balanced(sn, 8));
+}
+
+TEST(Partitioner, MoreStagesThanBlocks)
+{
+    SearchSpace tiny = makeTinySpace();
+    Partitioner part(tiny, tiny.referenceBatch());
+    Subnet sn(0, {0, 1, 2, 0});
+    auto p = part.balanced(sn, 6);
+    // All 4 blocks assigned; at least two stages must be empty (the
+    // DP may also merge cheap blocks, leaving more empties).
+    int total = 0, empty = 0;
+    for (int s = 0; s < 6; s++) {
+        total += p.blockCount(s);
+        empty += p.blockCount(s) == 0;
+    }
+    EXPECT_EQ(total, 4);
+    EXPECT_GE(empty, 2);
+}
+
+} // namespace
+} // namespace naspipe

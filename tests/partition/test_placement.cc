@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Home placement tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "partition/placement.h"
+
+namespace naspipe {
+namespace {
+
+TEST(HomePlacement, BlocksSplitEvenly)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 48, 6, 3);
+    HomePlacement placement(space, 8);
+    for (int s = 0; s < 8; s++) {
+        EXPECT_EQ(placement.lastBlock(s) - placement.firstBlock(s) + 1,
+                  6);
+    }
+    EXPECT_EQ(placement.homeStage(0), 0);
+    EXPECT_EQ(placement.homeStage(47), 7);
+}
+
+TEST(HomePlacement, EveryBlockHasExactlyOneHome)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 10, 4, 3);
+    HomePlacement placement(space, 3);
+    std::vector<int> owned(10, 0);
+    for (int s = 0; s < 3; s++) {
+        for (int b = placement.firstBlock(s);
+             b <= placement.lastBlock(s); b++) {
+            owned[static_cast<std::size_t>(b)]++;
+        }
+    }
+    for (int count : owned)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(HomePlacement, StageBytesSumToSupernet)
+{
+    SearchSpace space("x", SpaceFamily::Cv, 16, 5, 9);
+    HomePlacement placement(space, 4);
+    std::uint64_t total = 0;
+    for (int s = 0; s < 4; s++)
+        total += placement.stageParamBytes(s);
+    EXPECT_EQ(total, space.totalParamBytes());
+}
+
+TEST(HomePlacement, StageBytesRoughlyBalanced)
+{
+    SearchSpace space = makeNlpC2();
+    HomePlacement placement(space, 8);
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (int s = 0; s < 8; s++) {
+        lo = std::min(lo, placement.stageParamBytes(s));
+        hi = std::max(hi, placement.stageParamBytes(s));
+    }
+    // Even block counts with random layer sizes: within 2x.
+    EXPECT_LT(static_cast<double>(hi),
+              2.0 * static_cast<double>(lo));
+}
+
+TEST(HomePlacement, OutOfRangeStagePanics)
+{
+    SearchSpace tiny = makeTinySpace();
+    HomePlacement placement(tiny, 2);
+    EXPECT_THROW(placement.stageParamBytes(2), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

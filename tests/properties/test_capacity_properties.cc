@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Capacity-planner property sweeps: monotonicity and conservation
+ * laws that must hold for every (system, space, depth) combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "memory/swap_model.h"
+#include "runtime/pipeline_runtime.h"
+#include "supernet/sampler.h"
+
+namespace naspipe {
+namespace {
+
+std::vector<SystemModel>
+allSystems()
+{
+    return {naspipeSystem(), gpipeSystem(), pipedreamSystem(),
+            vpipeSystem(), naspipeWithoutPredictor()};
+}
+
+class CapacityProperty
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CapacityProperty, InvariantsHoldForEverySystemAndDepth)
+{
+    SearchSpace space = makeSpaceByName(GetParam());
+    CapacityPlanner planner(space, GpuConfig{});
+    for (const SystemModel &system : allSystems()) {
+        std::uint64_t lastResident = UINT64_MAX;
+        int lastBatch = -1;
+        for (int gpus : {2, 4, 8, 16, 32}) {
+            CapacityPlan plan = planner.plan(system, gpus);
+
+            // Resident parameters per GPU shrink with depth.
+            EXPECT_LE(plan.residentParamBytesPerGpu, lastResident)
+                << system.name << " @ " << gpus;
+            lastResident = plan.residentParamBytesPerGpu;
+
+            if (plan.fits) {
+                // Capacity is never exceeded.
+                EXPECT_LE(plan.residentParamBytesPerGpu +
+                              plan.activationBytesPerGpu +
+                              CapacityPlanner::kReserveBytes,
+                          GpuConfig{}.memoryBytes)
+                    << system.name << " @ " << gpus;
+                // Batch respects the family cap and minimum.
+                EXPECT_GE(plan.batch, 8);
+                EXPECT_LE(plan.batch,
+                          defaultActivationModel(space.family())
+                              .maxBatch);
+                // Once a system fits, more GPUs never shrink the
+                // batch (residency pressure only falls).
+                EXPECT_GE(plan.batch, lastBatch)
+                    << system.name << " @ " << gpus;
+                lastBatch = plan.batch;
+            } else {
+                EXPECT_EQ(plan.batch, 0);
+            }
+
+            // Pinned-batch planning agrees with free planning at the
+            // free plan's own batch.
+            if (plan.fits) {
+                CapacityPlan pinned = planner.planWithBatch(
+                    system, gpus, plan.batch);
+                EXPECT_TRUE(pinned.fits)
+                    << system.name << " @ " << gpus;
+                EXPECT_EQ(pinned.batch, plan.batch);
+                // And a batch twice the free optimum must not fit
+                // unless the cap bound it first.
+                if (plan.batch <
+                    defaultActivationModel(space.family()).maxBatch) {
+                    CapacityPlan doubled = planner.planWithBatch(
+                        system, gpus, plan.batch * 2);
+                    EXPECT_FALSE(doubled.fits)
+                        << system.name << " @ " << gpus;
+                }
+            }
+
+            // CPU memory: exactly the supernet for swap systems.
+            if (system.memory == MemoryMode::AllResident) {
+                EXPECT_EQ(plan.cpuMemBytesTotal, 0u);
+            } else {
+                EXPECT_EQ(plan.cpuMemBytesTotal,
+                          space.totalParamBytes());
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpaces, CapacityProperty,
+                         ::testing::Values("NLP.c0", "NLP.c1",
+                                           "NLP.c2", "NLP.c3",
+                                           "CV.c1", "CV.c2",
+                                           "CV.c3"));
+
+class AdversarialSequence
+    : public ::testing::TestWithParam<int>  // GPU count
+{
+};
+
+TEST_P(AdversarialSequence, FullyDependentStreamSerializesSafely)
+{
+    // Every subnet identical: the adversarial worst case. CSP must
+    // serialize them completely — with D stages the pipeline can at
+    // best keep one subnet in flight, so the bubble approaches
+    // (D-1)/D — and still match sequential training bitwise.
+    int gpus = GetParam();
+    SearchSpace space = makeTinySpace();
+    RuntimeConfig config;
+    config.system = naspipeSystem();
+    config.numStages = gpus;
+    config.totalSubnets = 12;
+    config.seed = 3;
+    config.samplerFactory = [](const SearchSpace &,
+                               std::uint64_t) {
+        return std::make_unique<FixedSequenceSampler>(
+            std::vector<std::vector<std::uint16_t>>{{1, 2, 0, 1}});
+    };
+    RunResult r = runTraining(space, config);
+    ASSERT_FALSE(r.oom);
+    EXPECT_EQ(r.metrics.causalViolations, 0);
+    if (gpus > 1) {
+        EXPECT_GT(r.metrics.bubbleRatio,
+                  0.8 * (gpus - 1.0) / gpus);
+    }
+
+    // Bitwise equivalence with sequential training of the same list.
+    ParameterStore reference(space, 3);
+    NumericExecutor::Config ec;
+    ec.dataSeed = deriveSeed(3, "data");
+    ec.batch = r.metrics.batch;
+    NumericExecutor exec(reference, ec);
+    for (const Subnet &sn : r.sampled)
+        exec.trainSequential(sn);
+    EXPECT_EQ(r.supernetHash, reference.supernetHash());
+}
+
+TEST_P(AdversarialSequence, InterleavedChainsOutrunOneChain)
+{
+    // Three disjoint dependent chains interleaved (the 3-cycle
+    // sequence: subnets at distance 3 are identical, neighbours are
+    // disjoint) must pipeline strictly better than the single fully
+    // dependent chain above — CSP extracts exactly the parallelism
+    // the dependency structure allows.
+    int gpus = GetParam();
+    SearchSpace space = makeTinySpace();
+    auto runWith = [&space, gpus](
+                       std::vector<std::vector<std::uint16_t>> seq) {
+        RuntimeConfig config;
+        config.system = naspipeSystem();
+        config.numStages = gpus;
+        config.totalSubnets = 24;
+        config.seed = 3;
+        config.samplerFactory =
+            [seq](const SearchSpace &, std::uint64_t) {
+                return std::make_unique<FixedSequenceSampler>(seq);
+            };
+        return runTraining(space, config);
+    };
+    RunResult chains = runWith(
+        {{0, 0, 0, 0}, {1, 1, 1, 1}, {2, 2, 2, 2}});
+    RunResult serial = runWith({{1, 2, 0, 1}});
+    ASSERT_FALSE(chains.oom);
+    ASSERT_FALSE(serial.oom);
+    EXPECT_EQ(chains.metrics.causalViolations, 0);
+    if (gpus > 1) {
+        EXPECT_LT(chains.metrics.bubbleRatio,
+                  serial.metrics.bubbleRatio);
+        EXPECT_GT(chains.metrics.subnetsPerHour,
+                  serial.metrics.subnetsPerHour);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, AdversarialSequence,
+                         ::testing::Values(2, 4, 8));
+
+} // namespace
+} // namespace naspipe

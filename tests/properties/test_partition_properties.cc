@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Partitioning property sweeps over random subnets: contiguity,
+ * coverage, optimal bottleneck vs the even baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "partition/partitioner.h"
+#include "supernet/sampler.h"
+
+namespace naspipe {
+namespace {
+
+/// (seed, numBlocks, choices, stages, skipMass)
+using PartCase = std::tuple<std::uint64_t, int, int, int, double>;
+
+class PartitionProperty : public ::testing::TestWithParam<PartCase>
+{
+};
+
+TEST_P(PartitionProperty, BalancedPartitionInvariants)
+{
+    auto [seed, blocks, choices, stages, skip] = GetParam();
+    SearchSpace space("part", SpaceFamily::Nlp, blocks, choices, seed,
+                      skip);
+    Partitioner part(space, space.referenceBatch());
+    UniformSampler sampler(space, seed);
+
+    for (int trial = 0; trial < 10; trial++) {
+        Subnet sn = sampler.next();
+        SubnetPartition p = part.balanced(sn, stages);
+
+        // Coverage: every block owned by exactly one stage, and
+        // stageOf agrees with the ranges.
+        int total = 0;
+        for (int s = 0; s < stages; s++) {
+            for (int b = p.firstBlock(s); b <= p.lastBlock(s); b++) {
+                EXPECT_EQ(p.stageOf(b), s);
+                total++;
+            }
+        }
+        EXPECT_EQ(total, blocks);
+
+        // Monotone contiguity: ranges never interleave.
+        for (int s = 0; s + 1 < stages; s++)
+            EXPECT_LE(p.firstBlock(s), p.firstBlock(s + 1));
+
+        // Optimality vs the static even split.
+        double balancedMax = part.cost(sn, p).maxMs;
+        double evenMax =
+            part.cost(sn, Partitioner::even(blocks, stages)).maxMs;
+        EXPECT_LE(balancedMax, evenMax + 1e-9) << sn.toString();
+
+        // The bottleneck can never undercut totalMs / stages.
+        double totalMs = part.cost(sn, p).totalMs;
+        EXPECT_GE(balancedMax + 1e-9, totalMs / stages);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Values(PartCase{1, 8, 4, 2, 0.0},
+                      PartCase{2, 16, 6, 4, 0.0},
+                      PartCase{3, 24, 8, 8, 0.0},
+                      PartCase{4, 48, 24, 8, 0.37},
+                      PartCase{5, 32, 12, 8, 0.49},
+                      PartCase{6, 9, 3, 5, 0.0},
+                      PartCase{7, 48, 72, 16, 0.37},
+                      PartCase{8, 12, 4, 12, 0.3}));
+
+class BatchInvariance : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchInvariance, PartitionShapeIndependentOfBatch)
+{
+    // Linear batch scaling multiplies every block cost equally, so
+    // the optimal cuts must not move.
+    SearchSpace space("part", SpaceFamily::Cv, 16, 6, 11);
+    UniformSampler sampler(space, 3);
+    Subnet sn = sampler.next();
+    Partitioner atRef(space, space.referenceBatch());
+    Partitioner atB(space, GetParam());
+    EXPECT_EQ(atRef.balanced(sn, 4), atB.balanced(sn, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchInvariance,
+                         ::testing::Values(1, 8, 32, 128, 512));
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Run-metrics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/metrics.h"
+#include "runtime/pipeline_runtime.h"
+#include "supernet/search_space.h"
+
+namespace naspipe {
+namespace {
+
+TEST(KernelEfficiency, SaturatesWithBatch)
+{
+    EXPECT_DOUBLE_EQ(kernelEfficiency(100, 0), 1.0);
+    EXPECT_DOUBLE_EQ(kernelEfficiency(100, 100), 0.5);
+    EXPECT_GT(kernelEfficiency(192, 114), kernelEfficiency(32, 114));
+    EXPECT_THROW(kernelEfficiency(0, 10), std::logic_error);
+}
+
+TEST(RunMetrics, SummaryMentionsKeyNumbers)
+{
+    RunMetrics m;
+    m.finishedSubnets = 42;
+    m.simSeconds = 10.0;
+    m.samplesPerSec = 123.4;
+    m.bubbleRatio = 0.39;
+    m.totalAluUtilization = 3.9;
+    m.cacheHitRate = 0.864;
+    std::string s = m.summary();
+    EXPECT_NE(s.find("42 subnets"), std::string::npos);
+    EXPECT_NE(s.find("123.4"), std::string::npos);
+    EXPECT_NE(s.find("0.39"), std::string::npos);
+    EXPECT_NE(s.find("3.9x"), std::string::npos);
+    EXPECT_NE(s.find("86.4%"), std::string::npos);
+}
+
+TEST(RunMetrics, AluImbalance)
+{
+    RunMetrics m;
+    EXPECT_DOUBLE_EQ(m.aluImbalance(), 1.0);  // no data: even
+    m.perGpuAlu = {0.5, 0.25, 0.5};
+    EXPECT_DOUBLE_EQ(m.aluImbalance(), 2.0);
+    m.perGpuAlu = {0.0, 0.5};
+    EXPECT_DOUBLE_EQ(m.aluImbalance(), 1.0);  // idle GPU: undefined
+}
+
+TEST(RunMetrics, PerGpuAluPopulatedByRuns)
+{
+    SearchSpace space = makeTinySpace();
+    RuntimeConfig config;
+    config.system = naspipeSystem();
+    config.numStages = 3;
+    config.totalSubnets = 6;
+    config.seed = 7;
+    RunResult r = runTraining(space, config);
+    ASSERT_FALSE(r.oom);
+    ASSERT_EQ(r.metrics.perGpuAlu.size(), 3u);
+    double total = 0.0;
+    for (double u : r.metrics.perGpuAlu) {
+        EXPECT_GT(u, 0.0);
+        total += u;
+    }
+    EXPECT_NEAR(total, r.metrics.totalAluUtilization, 1e-9);
+}
+
+TEST(RunMetrics, SummaryShowsNaForAllResidentCache)
+{
+    RunMetrics m;
+    m.cacheHitRate = -1.0;
+    EXPECT_NE(m.summary().find("N/A"), std::string::npos);
+}
+
+} // namespace
+} // namespace naspipe

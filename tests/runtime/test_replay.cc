@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Replay/comparison tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/replay.h"
+#include "supernet/search_space.h"
+
+namespace naspipe {
+namespace {
+
+RunResult
+smallRun(const SystemModel &system, int gpus, std::uint64_t seed = 11)
+{
+    SearchSpace space("small", SpaceFamily::Nlp, 8, 6, 3);
+    RuntimeConfig config;
+    config.system = system;
+    config.numStages = gpus;
+    config.totalSubnets = 10;
+    config.seed = seed;
+    config.batch = 16;  // pinned so cross-GPU runs share a trajectory
+    config.traceEnabled = true;
+    return runTraining(space, config);
+}
+
+TEST(ScheduleSignature, ExtractsTasksInStartOrder)
+{
+    Trace trace;
+    trace.add({20, 30, 1, TraceKind::Forward, 1, ""});
+    trace.add({0, 10, 0, TraceKind::Backward, 0, ""});
+    trace.add({5, 6, 0, TraceKind::Prefetch, 0, ""});
+    ScheduleSignature sig(trace);
+    ASSERT_EQ(sig.size(), 2u);
+    EXPECT_EQ(sig.steps()[0].type, TaskType::Backward);
+    EXPECT_EQ(sig.steps()[1].subnet, 1);
+}
+
+TEST(ScheduleSignature, HashDiscriminates)
+{
+    Trace a, b;
+    a.add({0, 10, 0, TraceKind::Forward, 0, ""});
+    b.add({0, 10, 1, TraceKind::Forward, 0, ""});
+    EXPECT_NE(ScheduleSignature(a).hash(), ScheduleSignature(b).hash());
+    EXPECT_EQ(ScheduleSignature(a).hash(), ScheduleSignature(a).hash());
+}
+
+TEST(Replay, IdenticalConfigReplaysIdenticalSchedule)
+{
+    RunResult a = smallRun(naspipeSystem(), 4);
+    RunResult b = smallRun(naspipeSystem(), 4);
+    EXPECT_EQ(ScheduleSignature(*a.trace), ScheduleSignature(*b.trace));
+    RunComparison cmp = compareRuns(a, b);
+    EXPECT_TRUE(cmp.reproducible());
+}
+
+TEST(Replay, DifferentGpuCountsDifferInScheduleNotOutcome)
+{
+    RunResult a = smallRun(naspipeSystem(), 2);
+    RunResult b = smallRun(naspipeSystem(), 4);
+    EXPECT_NE(ScheduleSignature(*a.trace).hash(),
+              ScheduleSignature(*b.trace).hash());
+    RunComparison cmp = compareRuns(a, b);
+    EXPECT_TRUE(cmp.sameWeights);
+    EXPECT_TRUE(cmp.sameLosses);
+    EXPECT_TRUE(cmp.reproducible());
+}
+
+TEST(Replay, SeedChangeBreaksComparison)
+{
+    RunResult a = smallRun(naspipeSystem(), 4, 11);
+    RunResult b = smallRun(naspipeSystem(), 4, 12);
+    RunComparison cmp = compareRuns(a, b);
+    EXPECT_FALSE(cmp.sameWeights);
+}
+
+TEST(Replay, BspOutcomeVariesWithGpuCount)
+{
+    RunResult a = smallRun(gpipeSystem(), 2);
+    RunResult b = smallRun(gpipeSystem(), 4);
+    RunComparison cmp = compareRuns(a, b);
+    EXPECT_FALSE(cmp.reproducible());
+    EXPECT_FALSE(cmp.sameWeights);
+}
+
+TEST(Replay, DescribeComparison)
+{
+    RunComparison good;
+    good.sameWeights = good.sameLosses = good.sameSearch = true;
+    EXPECT_NE(describeComparison(good).find("REPRODUCIBLE"),
+              std::string::npos);
+    RunComparison bad;
+    EXPECT_NE(describeComparison(bad).find("NOT reproducible"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace naspipe

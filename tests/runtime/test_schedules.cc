@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Schedule-level behavioural tests: each system's discipline must be
+ * visible in the recorded task timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "runtime/pipeline_runtime.h"
+#include "supernet/search_space.h"
+
+namespace naspipe {
+namespace {
+
+RunResult
+tracedRun(const SystemModel &system, int gpus = 4, int subnets = 12)
+{
+    SearchSpace space("sched", SpaceFamily::Nlp, 8, 6, 3);
+    RuntimeConfig config;
+    config.system = system;
+    config.numStages = gpus;
+    config.totalSubnets = subnets;
+    config.seed = 11;
+    config.traceEnabled = true;
+    return runTraining(space, config);
+}
+
+/** Completion tick of subnet @p id's backward at stage 0. */
+Tick
+retireTick(const Trace &trace, SubnetId id)
+{
+    for (const auto &r : trace.records()) {
+        if (r.kind == TraceKind::Backward && r.stage == 0 &&
+            r.subnet == id) {
+            return r.end;
+        }
+    }
+    ADD_FAILURE() << "SN" << id << " never retired";
+    return 0;
+}
+
+TEST(Schedules, BspBulksNeverOverlap)
+{
+    // GPipe with D = 4: bulks {0..3}, {4..7}, {8..11}. No task of
+    // bulk k+1 may start before every member of bulk k retired.
+    RunResult r = tracedRun(gpipeSystem());
+    ASSERT_FALSE(r.oom);
+    for (int bulk = 0; bulk < 2; bulk++) {
+        Tick bulkDone = 0;
+        for (SubnetId id = bulk * 4; id < (bulk + 1) * 4; id++)
+            bulkDone = std::max(bulkDone, retireTick(*r.trace, id));
+        for (const auto &rec : r.trace->taskTimeline()) {
+            if (rec.subnet >= (bulk + 1) * 4 &&
+                rec.subnet < (bulk + 2) * 4) {
+                EXPECT_GE(rec.start, bulkDone)
+                    << traceKindName(rec.kind) << " of SN"
+                    << rec.subnet;
+            }
+        }
+    }
+}
+
+TEST(Schedules, CspOverlapsAcrossBulkBoundaries)
+{
+    // NASPipe has no flush: some subnet >= 4 must start before
+    // subnet 3 retires (with this seed the stream is not fully
+    // serialized).
+    RunResult r = tracedRun(naspipeSystem());
+    ASSERT_FALSE(r.oom);
+    Tick firstBulkDone = 0;
+    for (SubnetId id = 0; id < 4; id++)
+        firstBulkDone =
+            std::max(firstBulkDone, retireTick(*r.trace, id));
+    bool overlapped = false;
+    for (const auto &rec : r.trace->taskTimeline()) {
+        if (rec.subnet >= 4 && rec.start < firstBulkDone)
+            overlapped = true;
+    }
+    EXPECT_TRUE(overlapped);
+}
+
+TEST(Schedules, PipedreamInflightBoundedByDepth)
+{
+    // 1F1B: at no instant are more than D subnets between their
+    // first forward start and their retirement.
+    RunResult r = tracedRun(pipedreamSystem());
+    ASSERT_FALSE(r.oom);
+
+    std::map<SubnetId, Tick> firstStart, retire;
+    for (const auto &rec : r.trace->taskTimeline()) {
+        if (!firstStart.count(rec.subnet))
+            firstStart[rec.subnet] = rec.start;
+        if (rec.kind == TraceKind::Backward && rec.stage == 0)
+            retire[rec.subnet] = rec.end;
+    }
+    for (const auto &[probe, start] : firstStart) {
+        (void)probe;
+        int inflight = 0;
+        for (const auto &[id, s] : firstStart) {
+            if (s <= start && retire.at(id) > start)
+                inflight++;
+        }
+        EXPECT_LE(inflight, 4);
+    }
+}
+
+TEST(Schedules, EveryTaskRunsExactlyOncePerStage)
+{
+    for (const SystemModel &system :
+         {naspipeSystem(), gpipeSystem(), pipedreamSystem(),
+          vpipeSystem()}) {
+        RunResult r = tracedRun(system);
+        ASSERT_FALSE(r.oom) << system.name;
+        std::map<std::tuple<int, int, SubnetId>, int> counts;
+        for (const auto &rec : r.trace->taskTimeline()) {
+            counts[{static_cast<int>(rec.kind), rec.stage,
+                    rec.subnet}]++;
+        }
+        // 12 subnets x 4 stages x {fwd,bwd} = 96 distinct tasks.
+        EXPECT_EQ(counts.size(), 96u) << system.name;
+        for (const auto &[key, count] : counts) {
+            (void)key;
+            EXPECT_EQ(count, 1) << system.name;
+        }
+    }
+}
+
+TEST(Schedules, ForwardPrecedesBackwardPerSubnetStage)
+{
+    RunResult r = tracedRun(naspipeSystem());
+    ASSERT_FALSE(r.oom);
+    std::map<std::pair<int, SubnetId>, Tick> fwdEnd;
+    for (const auto &rec : r.trace->taskTimeline()) {
+        if (rec.kind == TraceKind::Forward)
+            fwdEnd[{rec.stage, rec.subnet}] = rec.end;
+    }
+    for (const auto &rec : r.trace->taskTimeline()) {
+        if (rec.kind == TraceKind::Backward) {
+            EXPECT_GE(rec.start,
+                      fwdEnd.at({rec.stage, rec.subnet}));
+        }
+    }
+}
+
+TEST(Schedules, BackwardCascadesTailToHead)
+{
+    RunResult r = tracedRun(vpipeSystem());
+    ASSERT_FALSE(r.oom);
+    std::map<std::pair<int, SubnetId>, Tick> bwdStart;
+    for (const auto &rec : r.trace->taskTimeline()) {
+        if (rec.kind == TraceKind::Backward)
+            bwdStart[{rec.stage, rec.subnet}] = rec.start;
+    }
+    for (const auto &[key, start] : bwdStart) {
+        auto [stage, id] = key;
+        if (stage + 1 < 4) {
+            EXPECT_GE(start, bwdStart.at({stage + 1, id}));
+        }
+    }
+}
+
+} // namespace
+} // namespace naspipe

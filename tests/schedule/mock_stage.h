@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A scriptable StageInfo for scheduler-policy unit tests.
+ */
+
+#ifndef NASPIPE_TESTS_SCHEDULE_MOCK_STAGE_H
+#define NASPIPE_TESTS_SCHEDULE_MOCK_STAGE_H
+
+#include <map>
+#include <vector>
+
+#include "schedule/scheduler.h"
+
+namespace naspipe {
+
+/**
+ * StageInfo backed by plain containers. Subnets are registered via
+ * addSubnet (in ID order), queued explicitly, and the block range is
+ * the same even split for every subnet unless overridden.
+ */
+class MockStage : public StageInfo
+{
+  public:
+    /**
+     * @param stage this stage's index
+     * @param numStages pipeline depth
+     * @param firstBlock stage's first block (for every subnet)
+     * @param lastBlock stage's last block (inclusive)
+     * @param space optional space for skip-aware dependency checks
+     */
+    MockStage(int stage, int numStages, int firstBlock, int lastBlock,
+              const SearchSpace *space = nullptr)
+        : _stage(stage), _numStages(numStages),
+          _firstBlock(firstBlock), _lastBlock(lastBlock), _deps(space)
+    {
+    }
+
+    int stageIndex() const override { return _stage; }
+    int numStages() const override { return _numStages; }
+    const std::vector<SubnetId> &fwdCandidates() const override
+    {
+        return _fwd;
+    }
+    const std::vector<SubnetId> &bwdCandidates() const override
+    {
+        return _bwd;
+    }
+    const Subnet &subnet(SubnetId id) const override
+    {
+        return _deps.subnet(id);
+    }
+    std::pair<int, int> blockRange(SubnetId id) const override
+    {
+        auto it = _ranges.find(id);
+        if (it != _ranges.end())
+            return it->second;
+        return {_firstBlock, _lastBlock};
+    }
+    const DependencyTracker &deps() const override { return _deps; }
+    bool upstreamWritesDone(SubnetId id) const override
+    {
+        auto it = _writesPending.find(id);
+        return it == _writesPending.end() || !it->second;
+    }
+
+    /** Register a subnet (must arrive in sequence order). */
+    void addSubnet(const Subnet &sn) { _deps.registerSubnet(sn); }
+
+    /** Queue helpers. */
+    void queueFwd(SubnetId id) { _fwd.push_back(id); }
+    void queueBwd(SubnetId id) { _bwd.push_back(id); }
+    void clearQueues()
+    {
+        _fwd.clear();
+        _bwd.clear();
+    }
+
+    /** Mark a subnet's backward finished on this stage. */
+    void finish(SubnetId id) { _deps.markFinished(id); }
+
+    /** Override one subnet's block range. */
+    void setRange(SubnetId id, int lo, int hi)
+    {
+        _ranges[id] = {lo, hi};
+    }
+
+    /** Simulate a pending cross-stage write for @p id. */
+    void setWritesPending(SubnetId id, bool pending)
+    {
+        _writesPending[id] = pending;
+    }
+
+    DependencyTracker &mutableDeps() { return _deps; }
+
+  private:
+    int _stage;
+    int _numStages;
+    int _firstBlock;
+    int _lastBlock;
+    DependencyTracker _deps;
+    std::vector<SubnetId> _fwd;
+    std::vector<SubnetId> _bwd;
+    std::map<SubnetId, std::pair<int, int>> _ranges;
+    std::map<SubnetId, bool> _writesPending;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_TESTS_SCHEDULE_MOCK_STAGE_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * FlushController (BSP bulk) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "schedule/bsp_scheduler.h"
+
+namespace naspipe {
+namespace {
+
+TEST(FlushController, BulkMembership)
+{
+    FlushController ctl(4);
+    EXPECT_EQ(ctl.bulkOf(0), 0);
+    EXPECT_EQ(ctl.bulkOf(3), 0);
+    EXPECT_EQ(ctl.bulkOf(4), 1);
+    EXPECT_EQ(ctl.bulkSize(), 4);
+}
+
+TEST(FlushController, InjectionGatedToCurrentBulk)
+{
+    FlushController ctl(2);
+    EXPECT_TRUE(ctl.canInject(0));
+    EXPECT_TRUE(ctl.canInject(1));
+    EXPECT_FALSE(ctl.canInject(2));
+}
+
+TEST(FlushController, FlushOnLastCompletion)
+{
+    FlushController ctl(3);
+    EXPECT_FALSE(ctl.onSubnetComplete(0));
+    EXPECT_FALSE(ctl.onSubnetComplete(1));
+    EXPECT_EQ(ctl.completedInBulk(), 2);
+    EXPECT_TRUE(ctl.onSubnetComplete(2));  // flush!
+    EXPECT_EQ(ctl.currentBulk(), 1);
+    EXPECT_EQ(ctl.flushes(), 1u);
+    EXPECT_TRUE(ctl.canInject(3));
+}
+
+TEST(FlushController, OutOfOrderCompletionWithinBulk)
+{
+    FlushController ctl(3);
+    EXPECT_FALSE(ctl.onSubnetComplete(2));
+    EXPECT_FALSE(ctl.onSubnetComplete(0));
+    EXPECT_TRUE(ctl.onSubnetComplete(1));
+}
+
+TEST(FlushController, CompletionOutsideBulkPanics)
+{
+    FlushController ctl(2);
+    EXPECT_THROW(ctl.onSubnetComplete(2), std::logic_error);
+}
+
+TEST(FlushController, BulkMembersEnumerated)
+{
+    FlushController ctl(3);
+    EXPECT_EQ(ctl.bulkMembers(2),
+              (std::vector<SubnetId>{6, 7, 8}));
+}
+
+TEST(FlushController, Reset)
+{
+    FlushController ctl(2);
+    ctl.onSubnetComplete(0);
+    ctl.onSubnetComplete(1);
+    ctl.reset();
+    EXPECT_EQ(ctl.currentBulk(), 0);
+    EXPECT_EQ(ctl.flushes(), 0u);
+    EXPECT_TRUE(ctl.canInject(0));
+}
+
+TEST(FlushController, SingleSubnetBulksFlushEveryTime)
+{
+    FlushController ctl(1);
+    for (SubnetId id = 0; id < 5; id++)
+        EXPECT_TRUE(ctl.onSubnetComplete(id));
+    EXPECT_EQ(ctl.flushes(), 5u);
+}
+
+TEST(FlushController, InvalidBulkSizePanics)
+{
+    EXPECT_THROW(FlushController(0), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

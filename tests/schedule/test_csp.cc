@@ -1,0 +1,148 @@
+/**
+ * @file
+ * CSP policy tests (Algorithms 1+2 selection rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mock_stage.h"
+#include "schedule/csp_scheduler.h"
+
+namespace naspipe {
+namespace {
+
+Subnet
+sn(SubnetId id, std::vector<std::uint16_t> choices)
+{
+    return Subnet(id, std::move(choices));
+}
+
+TEST(CspPolicy, BackwardAlwaysFirst)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {1, 1}));
+    stage.queueFwd(1);
+    stage.queueBwd(0);
+    CspPolicy policy;
+    EXPECT_EQ(policy.pick(stage), Decision::backward(0));
+}
+
+TEST(CspPolicy, LowestIdBackwardChosen)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {1, 1}));
+    stage.queueBwd(1);
+    stage.queueBwd(0);
+    CspPolicy policy;
+    EXPECT_EQ(policy.pick(stage), Decision::backward(0));
+}
+
+TEST(CspPolicy, LowestSatisfyingForward)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {0, 1}));  // blocked by 0 (block 0)
+    stage.addSubnet(sn(2, {1, 2}));  // independent
+    stage.queueFwd(1);
+    stage.queueFwd(2);
+    CspPolicy policy;
+    // SN1 blocked => the scheduler advances SN2 past it.
+    EXPECT_EQ(policy.pick(stage), Decision::forward(2));
+    stage.finish(0);
+    EXPECT_EQ(policy.pick(stage), Decision::forward(1));
+}
+
+TEST(CspPolicy, QueueOrderDoesNotTrumpSequenceId)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {1, 1}));
+    // Arrival order 1 then 0; both runnable: lower ID wins.
+    stage.queueFwd(1);
+    stage.queueFwd(0);
+    CspPolicy policy;
+    EXPECT_EQ(policy.pick(stage), Decision::forward(0));
+}
+
+TEST(CspPolicy, NothingRunnableReturnsNone)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {0, 0}));
+    stage.queueFwd(1);
+    CspPolicy policy;
+    EXPECT_EQ(policy.pick(stage), Decision::none());
+}
+
+TEST(CspPolicy, EmptyQueuesReturnNone)
+{
+    MockStage stage(0, 2, 0, 1);
+    CspPolicy policy;
+    EXPECT_FALSE(policy.pick(stage).valid());
+}
+
+TEST(CspPolicy, StageLocalCheckUsesOwnRange)
+{
+    // SN1 shares block 1 with SN0, but stage 0 only owns block 0:
+    // SN1's forward at stage 0 proceeds; stage 1 would block it.
+    MockStage stage0(0, 2, 0, 0);
+    MockStage stage1(1, 2, 1, 1);
+    for (auto *stage : {&stage0, &stage1}) {
+        stage->addSubnet(sn(0, {0, 7}));
+        stage->addSubnet(sn(1, {1, 7}));
+        stage->queueFwd(1);
+    }
+    CspPolicy policy;
+    EXPECT_EQ(policy.pick(stage0), Decision::forward(1));
+    EXPECT_EQ(policy.pick(stage1), Decision::none());
+}
+
+TEST(CspPolicy, MirrorVisibilityGatesDispatch)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {0, 1}));
+    stage.queueFwd(1);
+    stage.finish(0);  // Algorithm 2 satisfied...
+    stage.setWritesPending(1, true);  // ...but the push is in flight.
+    CspPolicy policy;
+    EXPECT_EQ(policy.pick(stage), Decision::none());
+    stage.setWritesPending(1, false);
+    EXPECT_EQ(policy.pick(stage), Decision::forward(1));
+}
+
+TEST(CspPolicy, SchedulableForwardIgnoresWritesWhenAsked)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {1, 1}));
+    stage.queueFwd(1);
+    stage.setWritesPending(1, true);
+    // The predictor's call looks past the pending write...
+    EXPECT_EQ(CspPolicy::schedulableForward(stage, -1, false), 1);
+    // ...while the dispatch call does not.
+    EXPECT_EQ(CspPolicy::schedulableForward(stage, -1, true), -1);
+}
+
+TEST(CspPolicy, SchedulableForwardWithAssumedFinish)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {3, 3}));
+    stage.addSubnet(sn(1, {3, 4}));
+    stage.queueFwd(1);
+    EXPECT_EQ(CspPolicy::schedulableForward(stage), -1);
+    EXPECT_EQ(CspPolicy::schedulableForward(stage, 0), 1);
+}
+
+TEST(CspPolicy, DecisionEqualityHelpers)
+{
+    EXPECT_TRUE(Decision::forward(3).valid());
+    EXPECT_TRUE(Decision::backward(3).valid());
+    EXPECT_FALSE(Decision::none().valid());
+    EXPECT_NE(Decision::forward(3), Decision::backward(3));
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * DependencyTracker tests (Algorithm 2's bookkeeping).
+ */
+
+#include <gtest/gtest.h>
+
+#include "schedule/dependency.h"
+
+namespace naspipe {
+namespace {
+
+Subnet
+sn(SubnetId id, std::vector<std::uint16_t> choices)
+{
+    return Subnet(id, std::move(choices));
+}
+
+TEST(DependencyTracker, RegisterInOrder)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0, 1}));
+    t.registerSubnet(sn(1, {1, 0}));
+    EXPECT_TRUE(t.knows(0));
+    EXPECT_TRUE(t.knows(1));
+    EXPECT_THROW(t.registerSubnet(sn(5, {0, 0})), std::logic_error);
+}
+
+TEST(DependencyTracker, BlockedBySharedLayer)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0, 1, 2}));
+    t.registerSubnet(sn(1, {0, 2, 1}));  // shares block 0
+    EXPECT_FALSE(t.satisfied(t.subnet(1), 0, 0));
+    EXPECT_TRUE(t.satisfied(t.subnet(1), 1, 2));
+    EXPECT_EQ(t.firstBlocker(t.subnet(1), 0, 2), 0);
+}
+
+TEST(DependencyTracker, FinishingUnblocks)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0, 1}));
+    t.registerSubnet(sn(1, {0, 1}));
+    EXPECT_FALSE(t.satisfied(t.subnet(1), 0, 1));
+    t.markFinished(0);
+    EXPECT_TRUE(t.satisfied(t.subnet(1), 0, 1));
+}
+
+TEST(DependencyTracker, LowestBlockerReported)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0, 9}));
+    t.registerSubnet(sn(1, {9, 1}));
+    t.registerSubnet(sn(2, {0, 1}));  // blocked by both 0 and 1
+    EXPECT_EQ(t.firstBlocker(t.subnet(2), 0, 1), 0);
+    t.markFinished(0);
+    EXPECT_EQ(t.firstBlocker(t.subnet(2), 0, 1), 1);
+}
+
+TEST(DependencyTracker, EliminationAdvancesFrontier)
+{
+    DependencyTracker t;
+    for (int i = 0; i < 4; i++)
+        t.registerSubnet(sn(i, {static_cast<std::uint16_t>(i)}));
+    // Finish out of order: 1 first, frontier stays.
+    t.markFinished(1);
+    EXPECT_EQ(t.frontier(), 0);
+    EXPECT_EQ(t.finishedCount(), 1u);
+    t.markFinished(0);
+    // 0 and 1 both done: frontier jumps to 2 and both are dropped.
+    EXPECT_EQ(t.frontier(), 2);
+    EXPECT_EQ(t.finishedCount(), 0u);
+    EXPECT_EQ(t.retained(), 2u);
+    EXPECT_FALSE(t.knows(0));
+}
+
+TEST(DependencyTracker, FinishedQueryCoversEliminated)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0}));
+    t.markFinished(0);
+    EXPECT_TRUE(t.finished(0));
+    EXPECT_FALSE(t.finished(1));
+}
+
+TEST(DependencyTracker, DoubleFinishPanics)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0}));
+    t.registerSubnet(sn(1, {1}));
+    t.markFinished(1);
+    EXPECT_THROW(t.markFinished(1), std::logic_error);
+}
+
+TEST(DependencyTracker, SatisfiedAssumingPreAddsToFinished)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0, 1}));
+    t.registerSubnet(sn(1, {0, 1}));
+    EXPECT_FALSE(t.satisfied(t.subnet(1), 0, 1));
+    // Algorithm 3 pre-adds the received backward.
+    EXPECT_TRUE(t.satisfiedAssuming(t.subnet(1), 0, 1, 0));
+}
+
+TEST(DependencyTracker, EmptyRangeIsAlwaysSatisfied)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0, 1}));
+    t.registerSubnet(sn(1, {0, 1}));
+    // lo > hi encodes an empty stage range.
+    EXPECT_TRUE(t.satisfied(t.subnet(1), 1, 0));
+}
+
+TEST(DependencyTracker, SkipAwareExemptsParameterFreeLayers)
+{
+    SearchSpace space("s", SpaceFamily::Nlp, 2, 4, 3, 0.4);
+    DependencyTracker t(&space);
+    // Both pick the skip candidate (choice 0) in block 0 and distinct
+    // parameterized candidates elsewhere: no dependency.
+    t.registerSubnet(sn(0, {0, 1}));
+    t.registerSubnet(sn(1, {0, 2}));
+    EXPECT_TRUE(t.satisfied(t.subnet(1), 0, 1));
+    // A shared *parameterized* candidate still blocks.
+    t.registerSubnet(sn(2, {1, 2}));
+    EXPECT_FALSE(t.satisfied(t.subnet(2), 0, 1));
+}
+
+TEST(DependencyTracker, ResetRestoresEmptyState)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {0}));
+    t.markFinished(0);
+    t.reset();
+    EXPECT_EQ(t.frontier(), 0);
+    EXPECT_EQ(t.retained(), 0u);
+    t.registerSubnet(sn(0, {0}));  // IDs restart from 0
+    EXPECT_TRUE(t.knows(0));
+}
+
+TEST(DependencyTracker, TransitiveChainsResolveInOrder)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {5, 0}));
+    t.registerSubnet(sn(1, {5, 1}));  // blocked by 0 (block 0)
+    t.registerSubnet(sn(2, {5, 1}));  // blocked by 0 and 1
+    EXPECT_FALSE(t.satisfied(t.subnet(1), 0, 1));
+    EXPECT_FALSE(t.satisfied(t.subnet(2), 0, 1));
+    t.markFinished(0);
+    EXPECT_TRUE(t.satisfied(t.subnet(1), 0, 1));
+    EXPECT_FALSE(t.satisfied(t.subnet(2), 0, 1));
+    t.markFinished(1);
+    EXPECT_TRUE(t.satisfied(t.subnet(2), 0, 1));
+}
+
+} // namespace
+} // namespace naspipe

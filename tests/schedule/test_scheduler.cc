@@ -1,0 +1,144 @@
+/**
+ * @file
+ * SystemModel and GreedyPolicy tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mock_stage.h"
+#include "schedule/scheduler.h"
+
+namespace naspipe {
+namespace {
+
+Subnet
+sn(SubnetId id, std::vector<std::uint16_t> choices)
+{
+    return Subnet(id, std::move(choices));
+}
+
+TEST(GreedyPolicy, IgnoresDependencies)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {0, 0}));  // fully dependent on 0
+    stage.queueFwd(1);
+    GreedyPolicy policy;
+    // Greedy runs it anyway: the violation BSP/ASP systems commit.
+    EXPECT_EQ(policy.pick(stage), Decision::forward(1));
+}
+
+TEST(GreedyPolicy, BackwardFirstLowestId)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {1, 1}));
+    stage.addSubnet(sn(2, {2, 2}));
+    stage.queueFwd(0);
+    stage.queueBwd(2);
+    stage.queueBwd(1);
+    GreedyPolicy policy;
+    EXPECT_EQ(policy.pick(stage), Decision::backward(1));
+}
+
+TEST(SystemModel, PaperSystemsConfiguredCorrectly)
+{
+    SystemModel naspipe = naspipeSystem();
+    EXPECT_EQ(naspipe.policy, PolicyKind::Csp);
+    EXPECT_EQ(naspipe.memory, MemoryMode::PredictivePrefetch);
+    EXPECT_TRUE(naspipe.balancedPartition);
+    EXPECT_TRUE(naspipe.mirroring);
+    EXPECT_TRUE(naspipe.predictor);
+    EXPECT_FALSE(naspipe.bulkFlush);
+    EXPECT_STREQ(naspipe.syncName(), "CSP");
+
+    SystemModel gpipe = gpipeSystem();
+    EXPECT_EQ(gpipe.policy, PolicyKind::Greedy);
+    EXPECT_EQ(gpipe.memory, MemoryMode::AllResident);
+    EXPECT_TRUE(gpipe.bulkFlush);
+    EXPECT_TRUE(gpipe.recompute);
+    EXPECT_STREQ(gpipe.syncName(), "BSP");
+
+    SystemModel pipedream = pipedreamSystem();
+    EXPECT_FALSE(pipedream.bulkFlush);
+    EXPECT_TRUE(pipedream.weightStash);
+    EXPECT_FALSE(pipedream.recompute);
+    EXPECT_STREQ(pipedream.syncName(), "ASP");
+
+    SystemModel vpipe = vpipeSystem();
+    EXPECT_EQ(vpipe.memory, MemoryMode::SwapOnDemand);
+    EXPECT_TRUE(vpipe.bulkFlush);
+    EXPECT_STREQ(vpipe.syncName(), "BSP");
+}
+
+TEST(SystemModel, AblationsFlipOneAxisEach)
+{
+    SystemModel base = naspipeSystem();
+
+    SystemModel noSched = naspipeWithoutScheduler();
+    EXPECT_TRUE(noSched.bulkFlush);
+    EXPECT_EQ(noSched.policy, base.policy);  // CSP preserved
+
+    SystemModel noPred = naspipeWithoutPredictor();
+    EXPECT_EQ(noPred.memory, MemoryMode::AllResident);
+    EXPECT_FALSE(noPred.predictor);
+    EXPECT_EQ(noPred.policy, PolicyKind::Csp);
+
+    SystemModel noMirror = naspipeWithoutMirroring();
+    EXPECT_FALSE(noMirror.mirroring);
+    EXPECT_FALSE(noMirror.balancedPartition);
+    EXPECT_EQ(noMirror.memory, base.memory);
+}
+
+TEST(SystemModel, OnlyCspPreservesDependencies)
+{
+    EXPECT_TRUE(naspipeSystem().preservesDependencies());
+    EXPECT_FALSE(gpipeSystem().preservesDependencies());
+    EXPECT_FALSE(pipedreamSystem().preservesDependencies());
+    EXPECT_FALSE(vpipeSystem().preservesDependencies());
+    EXPECT_TRUE(naspipeWithoutScheduler().preservesDependencies());
+}
+
+TEST(SystemModel, EffectiveBulkDefaultsToDepth)
+{
+    SystemModel m = gpipeSystem();
+    EXPECT_EQ(m.effectiveBulk(8), 8);
+    m.bulkSize = 4;
+    EXPECT_EQ(m.effectiveBulk(8), 4);
+}
+
+TEST(SystemModel, EffectiveInflightRules)
+{
+    SystemModel naspipe = naspipeSystem();
+    EXPECT_EQ(naspipe.effectiveInflight(8), 16);  // 2D
+    SystemModel pipedream = pipedreamSystem();
+    EXPECT_EQ(pipedream.effectiveInflight(8), 8);  // 1F1B: D
+    SystemModel custom = naspipeSystem();
+    custom.maxInflight = 5;
+    EXPECT_EQ(custom.effectiveInflight(8), 5);
+    // BSP never limits below the bulk size.
+    SystemModel gpipe = gpipeSystem();
+    gpipe.maxInflight = 2;
+    EXPECT_EQ(gpipe.effectiveInflight(8), 8);
+}
+
+TEST(MakePolicy, MatchesPolicyKind)
+{
+    EXPECT_STREQ(makePolicy(naspipeSystem())->name(), "csp");
+    EXPECT_STREQ(makePolicy(gpipeSystem())->name(), "greedy");
+}
+
+TEST(Names, EnumsPrintable)
+{
+    EXPECT_STREQ(policyKindName(PolicyKind::Csp), "csp");
+    EXPECT_STREQ(policyKindName(PolicyKind::Greedy), "greedy");
+    EXPECT_STREQ(memoryModeName(MemoryMode::AllResident),
+                 "all-resident");
+    EXPECT_STREQ(memoryModeName(MemoryMode::SwapOnDemand),
+                 "swap-on-demand");
+    EXPECT_STREQ(memoryModeName(MemoryMode::PredictivePrefetch),
+                 "predictive-prefetch");
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SSP (bounded staleness) policy tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mock_stage.h"
+#include "schedule/ssp_scheduler.h"
+
+namespace naspipe {
+namespace {
+
+Subnet
+sn(SubnetId id, std::vector<std::uint16_t> choices)
+{
+    return Subnet(id, std::move(choices));
+}
+
+TEST(SspPolicy, ZeroStalenessMatchesStrictCheck)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {0, 1}));  // blocked by 0
+    stage.queueFwd(1);
+    SspPolicy strict(0);
+    EXPECT_EQ(strict.pick(stage), Decision::none());
+    stage.finish(0);
+    EXPECT_EQ(strict.pick(stage), Decision::forward(1));
+}
+
+TEST(SspPolicy, StalenessToleratesRecentBlockers)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {0, 1}));  // blocker at distance 1
+    stage.queueFwd(1);
+    SspPolicy tolerant(1);
+    // The blocker is within the staleness bound: stale read allowed.
+    EXPECT_EQ(tolerant.pick(stage), Decision::forward(1));
+}
+
+TEST(SspPolicy, DistantBlockersStillBlock)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {7, 7}));
+    stage.addSubnet(sn(1, {1, 1}));
+    stage.addSubnet(sn(2, {2, 2}));
+    stage.addSubnet(sn(3, {7, 3}));  // blocked by 0 (distance 3)
+    stage.queueFwd(3);
+    SspPolicy tolerant(2);
+    EXPECT_EQ(tolerant.pick(stage), Decision::none());
+    SspPolicy lax(3);
+    EXPECT_EQ(lax.pick(stage), Decision::forward(3));
+}
+
+TEST(SspPolicy, BackwardFirst)
+{
+    MockStage stage(0, 2, 0, 1);
+    stage.addSubnet(sn(0, {0, 0}));
+    stage.addSubnet(sn(1, {1, 1}));
+    stage.queueFwd(1);
+    stage.queueBwd(0);
+    SspPolicy policy(4);
+    EXPECT_EQ(policy.pick(stage), Decision::backward(0));
+}
+
+TEST(SspPolicy, NegativeStalenessPanics)
+{
+    EXPECT_THROW(SspPolicy(-1), std::logic_error);
+}
+
+TEST(SspSystem, ModelConfiguredAsNaspipeWithSspPolicy)
+{
+    SystemModel m = sspSystem(3);
+    EXPECT_EQ(m.policy, PolicyKind::Ssp);
+    EXPECT_EQ(m.staleness, 3);
+    EXPECT_EQ(m.memory, MemoryMode::PredictivePrefetch);
+    EXPECT_STREQ(m.syncName(), "SSP");
+    EXPECT_EQ(m.name, "SSP(s=3)");
+    EXPECT_FALSE(m.preservesDependencies());
+    EXPECT_STREQ(makePolicy(m)->name(), "ssp");
+}
+
+TEST(DependencyTracker, SatisfiedWithStaleness)
+{
+    DependencyTracker t;
+    t.registerSubnet(sn(0, {5, 5}));
+    t.registerSubnet(sn(1, {5, 1}));
+    t.registerSubnet(sn(2, {5, 2}));
+    // SN2 blocked by SN0 at distance 2 and SN1 at distance 1.
+    EXPECT_FALSE(t.satisfiedWithStaleness(t.subnet(2), 0, 1, 0));
+    EXPECT_FALSE(t.satisfiedWithStaleness(t.subnet(2), 0, 1, 1));
+    EXPECT_TRUE(t.satisfiedWithStaleness(t.subnet(2), 0, 1, 2));
+    t.markFinished(0);
+    EXPECT_TRUE(t.satisfiedWithStaleness(t.subnet(2), 0, 1, 1));
+}
+
+} // namespace
+} // namespace naspipe

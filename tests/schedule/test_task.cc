@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Task model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "schedule/task.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Task, Identity)
+{
+    Task a{TaskType::Forward, 3, 2};
+    Task b{TaskType::Forward, 3, 2};
+    Task c{TaskType::Backward, 3, 2};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Task, Ordering)
+{
+    Task fwd{TaskType::Forward, 1, 0};
+    Task bwd{TaskType::Backward, 1, 0};
+    EXPECT_LT(fwd, bwd);  // Forward enumerates before Backward
+    Task later{TaskType::Forward, 2, 0};
+    EXPECT_LT(fwd, later);
+}
+
+TEST(Task, ToString)
+{
+    Task t{TaskType::Backward, 7, 3};
+    EXPECT_EQ(t.toString(), "bwd(SN7@3)");
+    Task f{TaskType::Forward, 0, 0};
+    EXPECT_EQ(f.toString(), "fwd(SN0@0)");
+}
+
+TEST(TaskTypeName, Named)
+{
+    EXPECT_STREQ(taskTypeName(TaskType::Forward), "fwd");
+    EXPECT_STREQ(taskTypeName(TaskType::Backward), "bwd");
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * WeightStash (PipeDream ASP) and VpipeSwapPlanner tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "schedule/asp_scheduler.h"
+#include "schedule/vpipe_scheduler.h"
+#include "supernet/search_space.h"
+
+namespace naspipe {
+namespace {
+
+TEST(WeightStash, ForwardStashesBackwardReleases)
+{
+    WeightStash stash;
+    stash.onForward(0, 100);
+    stash.onForward(1, 200);
+    EXPECT_EQ(stash.liveVersions(), 2u);
+    EXPECT_EQ(stash.liveBytes(), 300u);
+    EXPECT_EQ(stash.onBackward(0), 100u);
+    EXPECT_EQ(stash.liveBytes(), 200u);
+    EXPECT_EQ(stash.peakBytes(), 300u);
+}
+
+TEST(WeightStash, DoubleStashPanics)
+{
+    WeightStash stash;
+    stash.onForward(0, 100);
+    EXPECT_THROW(stash.onForward(0, 100), std::logic_error);
+}
+
+TEST(WeightStash, BackwardWithoutStashPanics)
+{
+    WeightStash stash;
+    EXPECT_THROW(stash.onBackward(3), std::logic_error);
+}
+
+TEST(WeightStash, StashFactorPerStage)
+{
+    // 1F1B: stage s holds (D - s) versions; the extra factor is one
+    // less than that.
+    EXPECT_DOUBLE_EQ(WeightStash::stashFactor(0, 8), 7.0);
+    EXPECT_DOUBLE_EQ(WeightStash::stashFactor(7, 8), 0.0);
+    EXPECT_DOUBLE_EQ(WeightStash::meanStashFactor(8), 3.5);
+}
+
+TEST(WeightStash, Reset)
+{
+    WeightStash stash;
+    stash.onForward(0, 50);
+    stash.reset();
+    EXPECT_EQ(stash.liveVersions(), 0u);
+    EXPECT_EQ(stash.peakBytes(), 0u);
+}
+
+TEST(VpipeSwapPlanner, FirstExecutionMissesEverything)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 8, 4, 3);
+    VpipeSwapPlanner planner(space, 0);
+    Subnet sn(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    SwapPlan plan = planner.plan(sn, 0, 3);
+    EXPECT_EQ(plan.missLayers, 4);
+    EXPECT_EQ(plan.hitLayers, 0);
+    EXPECT_GT(plan.fetchBytes, 0u);
+    EXPECT_EQ(plan.evictBytes, 0u);
+}
+
+TEST(VpipeSwapPlanner, SharedLayersHitNextExecution)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 8, 4, 3);
+    VpipeSwapPlanner planner(space, 0);
+    Subnet a(0, {0, 1, 2, 3, 0, 1, 2, 3});
+    Subnet b(1, {0, 1, 3, 2, 0, 1, 2, 3});  // shares blocks 0,1
+    planner.plan(a, 0, 3);
+    SwapPlan plan = planner.plan(b, 0, 3);
+    EXPECT_EQ(plan.hitLayers, 2);
+    EXPECT_EQ(plan.missLayers, 2);
+    EXPECT_GT(plan.evictBytes, 0u);  // a's non-shared layers leave
+}
+
+TEST(VpipeSwapPlanner, DisjointSubnetEvictsAll)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 4, 4, 3);
+    VpipeSwapPlanner planner(space, 0);
+    Subnet a(0, {0, 0, 0, 0});
+    Subnet b(1, {1, 1, 1, 1});
+    SwapPlan first = planner.plan(a, 0, 3);
+    SwapPlan second = planner.plan(b, 0, 3);
+    EXPECT_EQ(second.hitLayers, 0);
+    EXPECT_EQ(second.evictBytes, first.fetchBytes);
+}
+
+TEST(VpipeSwapPlanner, SkipCandidatesIgnored)
+{
+    SearchSpace space("s", SpaceFamily::Nlp, 4, 4, 3, 0.4);
+    VpipeSwapPlanner planner(space, 0);
+    Subnet sn(0, {0, 0, 1, 2});  // two skip blocks
+    SwapPlan plan = planner.plan(sn, 0, 3);
+    EXPECT_EQ(plan.hitLayers + plan.missLayers, 2);
+}
+
+TEST(VpipeSwapPlanner, ResidentTracking)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 4, 4, 3);
+    VpipeSwapPlanner planner(space, 1);
+    Subnet sn(0, {0, 1, 2, 3});
+    planner.plan(sn, 1, 2);
+    EXPECT_EQ(planner.residentLayers(), 2u);
+    planner.reset();
+    EXPECT_EQ(planner.residentLayers(), 0u);
+}
+
+} // namespace
+} // namespace naspipe

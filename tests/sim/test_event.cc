@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Event queue ordering tests: the deterministic heart of the sim.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(ticksFromMs(1.0), kTicksPerMs);
+    EXPECT_EQ(ticksFromSec(1.0), kTicksPerSec);
+    EXPECT_EQ(ticksFromMs(0.5), kTicksPerMs / 2);
+    EXPECT_DOUBLE_EQ(ticksToSec(kTicksPerSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(kTicksPerMs), 1.0);
+}
+
+TEST(Ticks, RoundTripSubMillisecond)
+{
+    Tick t = ticksFromMs(0.03);  // LightConv swap time
+    EXPECT_NEAR(ticksToMs(t), 0.03, 1e-9);
+}
+
+TEST(EventQueue, TimeOrdering)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.push(30, EventPriority::Default, [&] { order.push_back(3); });
+    q.push(10, EventPriority::Default, [&] { order.push_back(1); });
+    q.push(20, EventPriority::Default, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTimeTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.push(5, EventPriority::Schedule, [&] { order.push_back(2); });
+    q.push(5, EventPriority::Completion, [&] { order.push_back(1); });
+    q.push(5, EventPriority::Default, [&] { order.push_back(3); });
+    while (!q.empty())
+        q.pop().action();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        q.push(7, EventPriority::Default, [&, i] { order.push_back(i); });
+    while (!q.empty())
+        q.pop().action();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeAndSize)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    q.push(42, EventPriority::Default, [] {});
+    q.push(17, EventPriority::Default, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.nextTime(), 17u);
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    q.push(1, EventPriority::Default, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NullActionPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.push(0, EventPriority::Default, nullptr),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SerialEngine and Channel tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/resource.h"
+
+namespace naspipe {
+namespace {
+
+TEST(SerialEngine, SerializesReservations)
+{
+    Simulator sim;
+    SerialEngine e(sim, "gpu0.compute");
+    Tick s1 = e.reserve(100);
+    Tick s2 = e.reserve(50);
+    EXPECT_EQ(s1, 0u);
+    EXPECT_EQ(s2, 100u);
+    EXPECT_EQ(e.freeAt(), 150u);
+}
+
+TEST(SerialEngine, ReserveFromHonorsEarliest)
+{
+    Simulator sim;
+    SerialEngine e(sim, "x");
+    Tick s = e.reserveFrom(500, 10);
+    EXPECT_EQ(s, 500u);
+    EXPECT_EQ(e.freeAt(), 510u);
+    // Earlier request still queues behind.
+    EXPECT_EQ(e.reserveFrom(0, 10), 510u);
+}
+
+TEST(SerialEngine, NeverReservesInThePast)
+{
+    Simulator sim;
+    SerialEngine e(sim, "x");
+    sim.scheduleAt(1000, [&] {
+        EXPECT_EQ(e.reserveFrom(0, 5), 1000u);
+    });
+    sim.run();
+}
+
+TEST(SerialEngine, FreeByQueries)
+{
+    Simulator sim;
+    SerialEngine e(sim, "x");
+    e.reserve(100);
+    EXPECT_FALSE(e.freeBy(50));
+    EXPECT_TRUE(e.freeBy(100));
+}
+
+TEST(SerialEngine, TracksUtilization)
+{
+    Simulator sim;
+    SerialEngine e(sim, "x");
+    e.reserve(ticksFromSec(1.0));
+    EXPECT_DOUBLE_EQ(e.utilization().busyTime(), 1.0);
+    EXPECT_EQ(e.utilization().intervals(), 1u);
+}
+
+TEST(SerialEngine, ZeroDurationIsFree)
+{
+    Simulator sim;
+    SerialEngine e(sim, "x");
+    e.reserve(0);
+    EXPECT_EQ(e.utilization().intervals(), 0u);
+    EXPECT_EQ(e.freeAt(), 0u);
+}
+
+TEST(SerialEngine, ResetRestoresAvailability)
+{
+    Simulator sim;
+    SerialEngine e(sim, "x");
+    e.reserve(100);
+    e.reset();
+    EXPECT_EQ(e.freeAt(), 0u);
+    EXPECT_DOUBLE_EQ(e.utilization().busyTime(), 0.0);
+}
+
+TEST(Channel, TransferTimeIsLatencyPlusWire)
+{
+    Simulator sim;
+    Channel c(sim, "pcie", 1e9, 1000);  // 1 GB/s, 1 us latency
+    // 1 MB at 1 GB/s = 1 ms = 1e6 ticks, plus latency.
+    EXPECT_EQ(c.transferTime(1'000'000), 1000u + 1'000'000u);
+}
+
+TEST(Channel, TransfersSerialize)
+{
+    Simulator sim;
+    Channel c(sim, "pcie", 1e9, 0);
+    Tick done1 = c.transfer(1'000'000);
+    Tick done2 = c.transfer(1'000'000);
+    EXPECT_EQ(done1, 1'000'000u);
+    EXPECT_EQ(done2, 2'000'000u);
+}
+
+TEST(Channel, TransferFromDelays)
+{
+    Simulator sim;
+    Channel c(sim, "net", 1e9, 0);
+    Tick done = c.transferFrom(5'000'000, 1'000'000);
+    EXPECT_EQ(done, 6'000'000u);
+}
+
+TEST(Channel, ZeroBandwidthRejected)
+{
+    Simulator sim;
+    EXPECT_THROW(Channel(sim, "bad", 0.0, 0), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

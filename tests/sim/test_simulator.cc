@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Simulation kernel tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Simulator, RunsEventsAndAdvancesClock)
+{
+    Simulator sim;
+    Tick seen = 0;
+    sim.scheduleAt(100, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(sim.now(), 100u);
+    EXPECT_EQ(sim.executedEvents(), 1u);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative)
+{
+    Simulator sim;
+    std::vector<Tick> times;
+    sim.scheduleAt(50, [&] {
+        times.push_back(sim.now());
+        sim.scheduleAfter(25, [&] { times.push_back(sim.now()); });
+    });
+    sim.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 50u);
+    EXPECT_EQ(times[1], 75u);
+}
+
+TEST(Simulator, SchedulingInPastPanics)
+{
+    Simulator sim;
+    sim.scheduleAt(10, [&] {
+        EXPECT_THROW(sim.scheduleAt(5, [] {}), std::logic_error);
+    });
+    sim.run();
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline)
+{
+    Simulator sim;
+    int ran = 0;
+    sim.scheduleAt(10, [&] { ran++; });
+    sim.scheduleAt(20, [&] { ran++; });
+    sim.scheduleAt(30, [&] { ran++; });
+    sim.runUntil(20);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(sim.now(), 20u);
+    sim.run();
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains)
+{
+    Simulator sim;
+    sim.scheduleAt(5, [] {});
+    sim.runUntil(100);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, EventsCanCascade)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            sim.scheduleAfter(1, chain);
+    };
+    sim.scheduleAt(0, chain);
+    sim.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(sim.now(), 99u);
+}
+
+TEST(Simulator, StepLimitCatchesRunaway)
+{
+    Simulator sim;
+    sim.stepLimit(50);
+    std::function<void()> forever = [&] {
+        sim.scheduleAfter(1, forever);
+    };
+    sim.scheduleAt(0, forever);
+    EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulator, ResetClearsState)
+{
+    Simulator sim;
+    sim.scheduleAt(10, [] {});
+    sim.run();
+    sim.reset();
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+    EXPECT_EQ(sim.executedEvents(), 0u);
+}
+
+TEST(Simulator, DeterministicReplay)
+{
+    // Two identical simulations must produce identical event orders.
+    auto run = [] {
+        Simulator sim;
+        std::vector<int> order;
+        for (int i = 0; i < 20; i++) {
+            sim.scheduleAt(static_cast<Tick>((i * 37) % 10),
+                           [&order, i] { order.push_back(i); },
+                           i % 2 ? EventPriority::Completion
+                                 : EventPriority::Default);
+        }
+        sim.run();
+        return order;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace naspipe

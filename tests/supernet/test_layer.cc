@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Layer kind / LayerId / LayerSpec tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "supernet/layer.h"
+
+namespace naspipe {
+namespace {
+
+TEST(LayerKind, FamiliesPartitionAllKinds)
+{
+    int nlp = 0, cv = 0;
+    for (int i = 0; i < kNumLayerKinds; i++) {
+        auto kind = static_cast<LayerKind>(i);
+        EXPECT_NE(isNlpKind(kind), isCvKind(kind))
+            << layerKindName(kind);
+        if (isNlpKind(kind))
+            nlp++;
+        else
+            cv++;
+    }
+    EXPECT_EQ(nlp, 6);
+    EXPECT_EQ(cv, 6);
+}
+
+TEST(LayerKind, Table5NamesMatchPaper)
+{
+    EXPECT_STREQ(layerKindName(LayerKind::Conv3x1), "Conv 3x1");
+    EXPECT_STREQ(layerKindName(LayerKind::SepConv7x1), "Sep Conv 7x1");
+    EXPECT_STREQ(layerKindName(LayerKind::LightConv5x1),
+                 "Light Conv 5x1");
+    EXPECT_STREQ(layerKindName(LayerKind::Attention8Head),
+                 "8 Head Attention");
+    EXPECT_STREQ(layerKindName(LayerKind::Conv3x3), "Conv 3x3");
+    EXPECT_STREQ(layerKindName(LayerKind::DilConv3x3), "Dil Conv 3x3");
+}
+
+TEST(LayerId, KeyIsBijective)
+{
+    LayerId a{3, 17};
+    LayerId b{3, 18};
+    LayerId c{4, 17};
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(a.key(), c.key());
+    EXPECT_EQ(a.key(), (LayerId{3, 17}).key());
+}
+
+TEST(LayerId, Ordering)
+{
+    EXPECT_LT((LayerId{1, 5}), (LayerId{2, 0}));
+    EXPECT_LT((LayerId{1, 5}), (LayerId{1, 6}));
+    EXPECT_EQ((LayerId{1, 5}), (LayerId{1, 5}));
+}
+
+TEST(LayerSpec, BatchScalingIsLinear)
+{
+    LayerSpec spec;
+    spec.fwdMs = 10.0;
+    spec.bwdMs = 20.0;
+    EXPECT_DOUBLE_EQ(spec.fwdMsAt(96, 192), 5.0);
+    EXPECT_DOUBLE_EQ(spec.bwdMsAt(384, 192), 40.0);
+    EXPECT_DOUBLE_EQ(spec.fwdMsAt(192, 192), 10.0);
+}
+
+TEST(LayerSpec, ParamsFromBytes)
+{
+    LayerSpec spec;
+    spec.paramBytes = 400;
+    EXPECT_EQ(spec.params(), 100u);
+}
+
+TEST(LayerSpec, InvalidBatchPanics)
+{
+    LayerSpec spec;
+    spec.fwdMs = 1.0;
+    EXPECT_THROW(spec.fwdMsAt(0, 192), std::logic_error);
+    EXPECT_THROW(spec.bwdMsAt(10, 0), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

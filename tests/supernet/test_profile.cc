@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Layer profile database tests: Table 5 fidelity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "supernet/profile.h"
+
+namespace naspipe {
+namespace {
+
+TEST(LayerProfileDb, Table5NlpRowsExact)
+{
+    const auto &db = LayerProfileDb::instance();
+    const LayerSpec &conv = db.reference(LayerKind::Conv3x1);
+    EXPECT_DOUBLE_EQ(conv.fwdMs, 5.0);
+    EXPECT_DOUBLE_EQ(conv.bwdMs, 10.0);
+    EXPECT_DOUBLE_EQ(conv.swapMs, 1.76);
+
+    const LayerSpec &sep = db.reference(LayerKind::SepConv7x1);
+    EXPECT_DOUBLE_EQ(sep.fwdMs, 4.2);
+    EXPECT_DOUBLE_EQ(sep.bwdMs, 5.7);
+    EXPECT_DOUBLE_EQ(sep.swapMs, 0.56);
+
+    const LayerSpec &light = db.reference(LayerKind::LightConv5x1);
+    EXPECT_DOUBLE_EQ(light.fwdMs, 0.68);
+    EXPECT_DOUBLE_EQ(light.bwdMs, 1.4);
+    EXPECT_DOUBLE_EQ(light.swapMs, 0.03);
+
+    const LayerSpec &attn = db.reference(LayerKind::Attention8Head);
+    EXPECT_DOUBLE_EQ(attn.fwdMs, 7.9);
+    EXPECT_DOUBLE_EQ(attn.bwdMs, 13.8);
+    EXPECT_DOUBLE_EQ(attn.swapMs, 2.07);
+}
+
+TEST(LayerProfileDb, Table5CvRowsExact)
+{
+    const auto &db = LayerProfileDb::instance();
+    const LayerSpec &conv = db.reference(LayerKind::Conv3x3);
+    EXPECT_DOUBLE_EQ(conv.fwdMs, 7.9);
+    EXPECT_DOUBLE_EQ(conv.bwdMs, 13.8);
+    EXPECT_DOUBLE_EQ(conv.swapMs, 4.6);
+
+    const LayerSpec &sep3 = db.reference(LayerKind::SepConv3x3);
+    EXPECT_DOUBLE_EQ(sep3.fwdMs, 2.8);
+    EXPECT_DOUBLE_EQ(sep3.bwdMs, 4.0);
+    EXPECT_DOUBLE_EQ(sep3.swapMs, 0.68);
+
+    const LayerSpec &sep5 = db.reference(LayerKind::SepConv5x5);
+    EXPECT_DOUBLE_EQ(sep5.fwdMs, 6.7);
+    EXPECT_DOUBLE_EQ(sep5.bwdMs, 9.9);
+    EXPECT_DOUBLE_EQ(sep5.swapMs, 2.04);
+
+    const LayerSpec &dil = db.reference(LayerKind::DilConv3x3);
+    EXPECT_DOUBLE_EQ(dil.fwdMs, 2.5);
+    EXPECT_DOUBLE_EQ(dil.bwdMs, 3.4);
+    EXPECT_DOUBLE_EQ(dil.swapMs, 0.58);
+}
+
+TEST(LayerProfileDb, ParamBytesConsistentWithSwapTime)
+{
+    // Swap time must equal paramBytes / PCIe bandwidth for every kind
+    // (self-consistency of the cost model).
+    const auto &db = LayerProfileDb::instance();
+    for (const LayerSpec &spec : db.all()) {
+        double expectedMs = static_cast<double>(spec.paramBytes) /
+                            kPcieBytesPerSec * 1e3;
+        EXPECT_NEAR(spec.swapMs, expectedMs, 1e-6)
+            << layerKindName(spec.kind);
+    }
+}
+
+TEST(LayerProfileDb, IdentityIsParameterFree)
+{
+    const auto &db = LayerProfileDb::instance();
+    EXPECT_EQ(db.reference(LayerKind::Identity).paramBytes, 0u);
+}
+
+TEST(LayerProfileDb, ScaledVariant)
+{
+    const auto &db = LayerProfileDb::instance();
+    LayerSpec half = db.scaled(LayerKind::Conv3x1, 0.5);
+    const LayerSpec &full = db.reference(LayerKind::Conv3x1);
+    EXPECT_NEAR(static_cast<double>(half.paramBytes),
+                static_cast<double>(full.paramBytes) * 0.5, 1.0);
+    EXPECT_DOUBLE_EQ(half.fwdMs, full.fwdMs * 0.5);
+    EXPECT_DOUBLE_EQ(half.swapMs, full.swapMs * 0.5);
+}
+
+TEST(LayerProfileDb, InvalidScalePanics)
+{
+    EXPECT_THROW(LayerProfileDb::instance().scaled(LayerKind::Conv3x1,
+                                                   0.0),
+                 std::logic_error);
+}
+
+TEST(LayerProfileDb, ReferenceBatchPerFamily)
+{
+    EXPECT_EQ(LayerProfileDb::referenceBatch(LayerKind::Conv3x1), 192);
+    EXPECT_EQ(LayerProfileDb::referenceBatch(LayerKind::Conv3x3), 64);
+}
+
+TEST(LayerProfileDb, ComputeDominatesSwap)
+{
+    // The premise of context switching (§3.3): copying a layer is
+    // faster than computing it, so swaps hide behind compute.
+    const auto &db = LayerProfileDb::instance();
+    for (const LayerSpec &spec : db.all()) {
+        if (spec.paramBytes == 0)
+            continue;
+        EXPECT_LT(spec.swapMs, spec.fwdMs + spec.bwdMs)
+            << layerKindName(spec.kind);
+    }
+}
+
+} // namespace
+} // namespace naspipe

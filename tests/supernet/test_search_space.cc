@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Search-space tests: Table 1 configurations, determinism, skip
+ * candidates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "supernet/search_space.h"
+
+namespace naspipe {
+namespace {
+
+TEST(SearchSpace, Table1Configurations)
+{
+    struct Expect {
+        const char *name;
+        int blocks;
+        int choices;
+        const char *dataset;
+    };
+    const Expect expectations[] = {
+        {"NLP.c0", 48, 96, "WNMT"},   {"NLP.c1", 48, 72, "WNMT"},
+        {"NLP.c2", 48, 48, "WNMT"},   {"NLP.c3", 48, 24, "WNMT"},
+        {"CV.c1", 32, 48, "ImageNet"}, {"CV.c2", 32, 24, "ImageNet"},
+        {"CV.c3", 32, 12, "ImageNet"},
+    };
+    for (const Expect &e : expectations) {
+        SearchSpace space = makeSpaceByName(e.name);
+        EXPECT_EQ(space.name(), e.name);
+        EXPECT_EQ(space.numBlocks(), e.blocks) << e.name;
+        EXPECT_EQ(space.choicesPerBlock(), e.choices) << e.name;
+        EXPECT_STREQ(space.dataset(), e.dataset) << e.name;
+    }
+}
+
+TEST(SearchSpace, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeSpaceByName("NLP.c9"), std::runtime_error);
+}
+
+TEST(SearchSpace, DefaultNamesInPaperOrder)
+{
+    auto names = defaultSpaceNames();
+    ASSERT_EQ(names.size(), 7u);
+    EXPECT_EQ(names.front(), "NLP.c0");
+    EXPECT_EQ(names.back(), "CV.c3");
+}
+
+TEST(SearchSpace, RebuildIsBitwiseIdentical)
+{
+    SearchSpace a = makeNlpC2();
+    SearchSpace b = makeNlpC2();
+    ASSERT_EQ(a.totalParamBytes(), b.totalParamBytes());
+    for (int blk = 0; blk < a.numBlocks(); blk += 7) {
+        for (int c = 0; c < a.choicesPerBlock(); c += 5) {
+            EXPECT_EQ(a.spec(blk, c).paramBytes,
+                      b.spec(blk, c).paramBytes);
+            EXPECT_EQ(a.spec(blk, c).fwdMs, b.spec(blk, c).fwdMs);
+        }
+    }
+}
+
+TEST(SearchSpace, SeedChangesCosts)
+{
+    SearchSpace a("x", SpaceFamily::Nlp, 8, 6, 1);
+    SearchSpace b("x", SpaceFamily::Nlp, 8, 6, 2);
+    EXPECT_NE(a.totalParamBytes(), b.totalParamBytes());
+}
+
+TEST(SearchSpace, FamiliesUseTheirOperatorSets)
+{
+    SearchSpace nlp("n", SpaceFamily::Nlp, 4, 6, 3);
+    SearchSpace cv("c", SpaceFamily::Cv, 4, 6, 3);
+    for (int c = 0; c < 6; c++) {
+        EXPECT_TRUE(isNlpKind(nlp.spec(0, c).kind));
+        EXPECT_TRUE(isCvKind(cv.spec(0, c).kind));
+    }
+}
+
+TEST(SearchSpace, SkipCandidateIsChoiceZero)
+{
+    SearchSpace space("s", SpaceFamily::Nlp, 8, 6, 3, 0.4);
+    EXPECT_DOUBLE_EQ(space.skipMass(), 0.4);
+    for (int b = 0; b < space.numBlocks(); b++) {
+        EXPECT_EQ(space.spec(b, 0).paramBytes, 0u);
+        EXPECT_FALSE(space.parameterized(b, 0));
+        EXPECT_TRUE(space.parameterized(b, 1));
+    }
+}
+
+TEST(SearchSpace, NoSkipWithoutMass)
+{
+    SearchSpace space("s", SpaceFamily::Nlp, 8, 6, 3, 0.0);
+    for (int c = 0; c < 6; c++)
+        EXPECT_GT(space.spec(0, c).paramBytes, 0u);
+}
+
+TEST(SearchSpace, MeanSubnetBytesAccountsForSkip)
+{
+    SearchSpace dense("d", SpaceFamily::Nlp, 8, 7, 3, 0.0);
+    SearchSpace sparse("s", SpaceFamily::Nlp, 8, 7, 3, 0.5);
+    // Same parameterized candidates, but only ~half activate.
+    EXPECT_LT(sparse.meanSubnetParamBytes(),
+              dense.meanSubnetParamBytes());
+}
+
+TEST(SearchSpace, SupernetSizeOrderOfPaper)
+{
+    // NLP.c1's supernet should be in the tens-of-GB range (the paper
+    // reports 14.8B parameters ~ 59 GB fp32).
+    SearchSpace space = makeNlpC1();
+    double gb = static_cast<double>(space.totalParamBytes()) / 1e9;
+    EXPECT_GT(gb, 40.0);
+    EXPECT_LT(gb, 70.0);
+}
+
+TEST(SearchSpace, PairDependencyProbabilityShrinksWithChoices)
+{
+    double p0 = makeNlpC0().pairDependencyProbability();
+    double p1 = makeNlpC1().pairDependencyProbability();
+    double p3 = makeNlpC3().pairDependencyProbability();
+    EXPECT_LT(p0, p1);
+    EXPECT_LT(p1, p3);
+    // The paper's insight: larger spaces manifest fewer dependencies.
+    EXPECT_LT(p1, 0.35);
+    EXPECT_GT(p3, p1);
+}
+
+TEST(SearchSpace, LogCandidates)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 5, 4, 3);
+    // 4^5 = 1024 candidates => log10 ~ 3.01.
+    EXPECT_NEAR(space.logCandidates(), 3.01, 0.01);
+    EXPECT_EQ(space.totalLayers(), 20);
+}
+
+TEST(SearchSpace, TinySpaceForTests)
+{
+    SearchSpace tiny = makeTinySpace();
+    EXPECT_EQ(tiny.numBlocks(), 4);
+    EXPECT_EQ(tiny.choicesPerBlock(), 3);
+    EXPECT_DOUBLE_EQ(tiny.skipMass(), 0.0);
+}
+
+TEST(SearchSpace, InvalidSkipMassPanics)
+{
+    EXPECT_THROW(SearchSpace("x", SpaceFamily::Nlp, 4, 3, 1, 1.0),
+                 std::logic_error);
+    EXPECT_THROW(SearchSpace("x", SpaceFamily::Nlp, 4, 1, 1, 0.5),
+                 std::logic_error);
+}
+
+TEST(SearchSpace, OutOfRangeSpecPanics)
+{
+    SearchSpace tiny = makeTinySpace();
+    EXPECT_THROW(tiny.spec(4, 0), std::logic_error);
+    EXPECT_THROW(tiny.spec(0, 3), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

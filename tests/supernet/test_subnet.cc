@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Subnet tests: identity, sharing, costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "supernet/subnet.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Subnet, BasicAccessors)
+{
+    Subnet sn(5, {1, 0, 2, 1});
+    EXPECT_EQ(sn.id(), 5);
+    EXPECT_EQ(sn.size(), 4);
+    EXPECT_EQ(sn.choice(2), 2);
+    EXPECT_EQ(sn.layer(2), (LayerId{2, 2}));
+    EXPECT_EQ(sn.toString(), "SN5[1,0,2,1]");
+}
+
+TEST(Subnet, SharesLayerOnlyOnSameBlockSameChoice)
+{
+    Subnet a(0, {1, 0, 2});
+    Subnet b(1, {0, 1, 2});  // shares block 2 choice 2
+    Subnet c(2, {0, 1, 0});  // choice 0 appears but never same block
+    EXPECT_TRUE(a.sharesLayerWith(b));
+    EXPECT_FALSE(a.sharesLayerWith(c));
+}
+
+TEST(Subnet, SharedBlocksLists)
+{
+    Subnet a(0, {1, 1, 1, 1});
+    Subnet b(1, {1, 0, 1, 0});
+    EXPECT_EQ(a.sharedBlocks(b), (std::vector<int>{0, 2}));
+    EXPECT_TRUE(a.sharedBlocks(a).size() == 4);
+}
+
+TEST(Subnet, RangeScopedSharing)
+{
+    Subnet a(0, {1, 0, 2, 1});
+    Subnet b(1, {1, 1, 1, 1});  // shares blocks 0 and 3
+    EXPECT_TRUE(a.sharesLayerInRange(b, 0, 1));
+    EXPECT_FALSE(a.sharesLayerInRange(b, 1, 2));
+    EXPECT_TRUE(a.sharesLayerInRange(b, 2, 3));
+}
+
+TEST(Subnet, MismatchedSizesPanic)
+{
+    Subnet a(0, {1, 0});
+    Subnet b(1, {1, 0, 2});
+    EXPECT_THROW(a.sharesLayerWith(b), std::logic_error);
+}
+
+TEST(Subnet, BadRangePanics)
+{
+    Subnet a(0, {1, 0, 2});
+    Subnet b(1, {1, 0, 2});
+    EXPECT_THROW(a.sharesLayerInRange(b, 2, 1), std::logic_error);
+    EXPECT_THROW(a.sharesLayerInRange(b, 0, 3), std::logic_error);
+}
+
+TEST(Subnet, ParamBytesSumActivatedLayers)
+{
+    SearchSpace tiny = makeTinySpace();
+    Subnet sn(0, {0, 1, 2, 0});
+    std::uint64_t expected = 0;
+    for (int b = 0; b < 4; b++)
+        expected += tiny.spec(b, sn.choice(b)).paramBytes;
+    EXPECT_EQ(sn.paramBytes(tiny), expected);
+}
+
+TEST(Subnet, ComputeTimesScaleWithBatch)
+{
+    SearchSpace tiny = makeTinySpace();
+    Subnet sn(0, {0, 1, 2, 0});
+    double atRef = sn.fwdMs(tiny, tiny.referenceBatch());
+    double atHalf = sn.fwdMs(tiny, tiny.referenceBatch() / 2);
+    EXPECT_NEAR(atHalf, atRef / 2, 1e-9);
+    EXPECT_GT(sn.bwdMs(tiny, tiny.referenceBatch()), atRef);
+}
+
+TEST(Subnet, NegativeIdPanics)
+{
+    EXPECT_THROW(Subnet(-1, {0}), std::logic_error);
+}
+
+TEST(Subnet, EmptyChoicesPanic)
+{
+    EXPECT_THROW(Subnet(0, {}), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Supernet aggregate-statistics tests: the "larger supernet, fewer
+ * dependencies" insight.
+ */
+
+#include <gtest/gtest.h>
+
+#include "supernet/supernet.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Supernet, ShareProbabilityFormula)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 48, 72, 3);
+    Supernet net(space);
+    // 1 - (1 - 1/72)^48 ~ 0.488.
+    EXPECT_NEAR(net.shareProbability(), 0.488, 0.005);
+}
+
+TEST(Supernet, LargerSpacesShareLess)
+{
+    SearchSpace small("s", SpaceFamily::Nlp, 48, 24, 3);
+    SearchSpace large("l", SpaceFamily::Nlp, 48, 96, 3);
+    EXPECT_GT(Supernet(small).shareProbability(),
+              Supernet(large).shareProbability());
+}
+
+TEST(Supernet, ExpectedIndependentRun)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 48, 72, 3);
+    Supernet net(space);
+    EXPECT_NEAR(net.expectedIndependentRun(),
+                1.0 / net.shareProbability(), 1e-9);
+}
+
+TEST(Supernet, EmpiricalDensityTracksAnalytic)
+{
+    SearchSpace space("x", SpaceFamily::Nlp, 48, 24, 3);
+    Supernet net(space);
+    UniformSampler sampler(space, 17);
+    auto subnets = Supernet::drawMany(sampler, 200);
+    double measured = Supernet::dependencyDensity(subnets, 50);
+    EXPECT_NEAR(measured, net.shareProbability(), 0.05);
+}
+
+TEST(Supernet, DensityOfIdenticalSubnetsIsOne)
+{
+    std::vector<Subnet> same;
+    for (int i = 0; i < 5; i++)
+        same.emplace_back(i, std::vector<std::uint16_t>{1, 2, 1});
+    EXPECT_DOUBLE_EQ(Supernet::dependencyDensity(same, 5), 1.0);
+}
+
+TEST(Supernet, IndependentPrefix)
+{
+    std::vector<Subnet> list;
+    list.emplace_back(0, std::vector<std::uint16_t>{0, 0});
+    list.emplace_back(1, std::vector<std::uint16_t>{1, 1});
+    list.emplace_back(2, std::vector<std::uint16_t>{2, 2});
+    list.emplace_back(3, std::vector<std::uint16_t>{0, 1});  // hits 0+1
+    EXPECT_EQ(Supernet::independentPrefixLength(list), 3);
+}
+
+TEST(Supernet, FullyIndependentListPrefixIsWholeList)
+{
+    std::vector<Subnet> list;
+    list.emplace_back(0, std::vector<std::uint16_t>{0, 0});
+    list.emplace_back(1, std::vector<std::uint16_t>{1, 1});
+    EXPECT_EQ(Supernet::independentPrefixLength(list), 2);
+}
+
+TEST(Supernet, DrawManyCounts)
+{
+    SearchSpace tiny = makeTinySpace();
+    UniformSampler sampler(tiny, 5);
+    auto subnets = Supernet::drawMany(sampler, 7);
+    EXPECT_EQ(subnets.size(), 7u);
+    EXPECT_EQ(subnets.back().id(), 6);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Loss function tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/loss.h"
+
+namespace naspipe {
+namespace {
+
+TEST(MseLoss, ZeroWhenEqual)
+{
+    Tensor a(std::vector<float>{1.0f, 2.0f});
+    EXPECT_EQ(mseLoss(a, a), 0.0f);
+}
+
+TEST(MseLoss, KnownValue)
+{
+    Tensor pred(std::vector<float>{1.0f, 3.0f});
+    Tensor target(std::vector<float>{0.0f, 1.0f});
+    // ((1)^2 + (2)^2) / 2 = 2.5.
+    EXPECT_NEAR(mseLoss(pred, target), 2.5f, 1e-6f);
+}
+
+TEST(MseLoss, GradMatchesNumerical)
+{
+    Tensor pred(std::vector<float>{0.5f, -0.25f, 1.0f});
+    Tensor target(std::vector<float>{0.0f, 0.0f, 0.0f});
+    Tensor grad;
+    mseLossGrad(pred, target, grad);
+    const float eps = 1e-3f;
+    for (std::size_t i = 0; i < pred.size(); i++) {
+        Tensor plus = pred, minus = pred;
+        plus[i] += eps;
+        minus[i] -= eps;
+        float numeric =
+            (mseLoss(plus, target) - mseLoss(minus, target)) /
+            (2.0f * eps);
+        EXPECT_NEAR(grad[i], numeric, 1e-3f);
+    }
+}
+
+TEST(MseLoss, ShapeMismatchPanics)
+{
+    Tensor a(2), b(3);
+    EXPECT_THROW(mseLoss(a, b), std::logic_error);
+}
+
+TEST(LossToScore, MonotoneDecreasing)
+{
+    EXPECT_GT(lossToScore(0.1, 24.0), lossToScore(0.5, 24.0));
+    EXPECT_DOUBLE_EQ(lossToScore(0.0, 24.0), 24.0);
+    EXPECT_NEAR(lossToScore(1.0, 24.0), 12.0, 1e-9);
+}
+
+TEST(LossToScore, NegativeLossPanics)
+{
+    EXPECT_THROW(lossToScore(-0.1, 24.0), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

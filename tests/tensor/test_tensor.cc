@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tensor container tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace naspipe {
+namespace {
+
+TEST(Tensor, Rank1Construction)
+{
+    Tensor t(4);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_EQ(t.cols(), 1u);
+    for (std::size_t i = 0; i < t.size(); i++)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, Rank2Construction)
+{
+    Tensor m(2, 3);
+    EXPECT_EQ(m.size(), 6u);
+    m.at(1, 2) = 5.0f;
+    EXPECT_EQ(m.at(1, 2), 5.0f);
+    EXPECT_EQ(m.data()[5], 5.0f);  // row-major
+}
+
+TEST(Tensor, FromVector)
+{
+    Tensor t(std::vector<float>{1.0f, 2.0f});
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(Tensor, Fill)
+{
+    Tensor t(3);
+    t.fill(7.5f);
+    EXPECT_EQ(t[0], 7.5f);
+    EXPECT_EQ(t[2], 7.5f);
+}
+
+TEST(Tensor, OutOfRangePanics)
+{
+    Tensor t(2);
+    EXPECT_THROW(t[2], std::logic_error);
+    Tensor m(2, 2);
+    EXPECT_THROW(m.at(2, 0), std::logic_error);
+    EXPECT_THROW(m.at(0, 2), std::logic_error);
+}
+
+TEST(Tensor, BitwiseEquality)
+{
+    Tensor a(std::vector<float>{1.0f, -0.0f});
+    Tensor b(std::vector<float>{1.0f, -0.0f});
+    Tensor c(std::vector<float>{1.0f, 0.0f});
+    EXPECT_TRUE(a.bitwiseEqual(b));
+    // -0.0f and 0.0f compare equal numerically but not bitwise:
+    // exactly the distinction Definition 1 cares about.
+    EXPECT_FALSE(a.bitwiseEqual(c));
+}
+
+TEST(Tensor, BitwiseEqualityDifferentSizes)
+{
+    Tensor a(2), b(3);
+    EXPECT_FALSE(a.bitwiseEqual(b));
+    Tensor e1, e2;
+    EXPECT_TRUE(e1.bitwiseEqual(e2));
+}
+
+TEST(Tensor, ContentHashDiscriminates)
+{
+    Tensor a(std::vector<float>{1.0f, 2.0f});
+    Tensor b(std::vector<float>{1.0f, 2.0f});
+    Tensor c(std::vector<float>{2.0f, 1.0f});
+    EXPECT_EQ(a.contentHash(), b.contentHash());
+    EXPECT_NE(a.contentHash(), c.contentHash());
+}
+
+TEST(Tensor, ToStringTruncates)
+{
+    Tensor t(20);
+    std::string s = t.toString(4);
+    EXPECT_NE(s.find("Tensor[20]"), std::string::npos);
+    EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+} // namespace
+} // namespace naspipe

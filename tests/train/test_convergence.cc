@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Convergence tracker and search tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "supernet/sampler.h"
+#include "train/convergence.h"
+
+namespace naspipe {
+namespace {
+
+TEST(ConvergenceTracker, FinalLossIsTrailingMean)
+{
+    ConvergenceTracker t(24.0, 4);
+    for (double loss : {4.0, 3.0, 2.0, 1.0, 1.0, 1.0, 1.0})
+        t.addSample(static_cast<double>(t.samples()), loss);
+    EXPECT_DOUBLE_EQ(t.finalLoss(), 1.0);
+    EXPECT_DOUBLE_EQ(t.finalScore(), 12.0);
+}
+
+TEST(ConvergenceTracker, CurveDownsamples)
+{
+    ConvergenceTracker t(24.0, 2);
+    for (int i = 0; i < 100; i++)
+        t.addSample(i, 1.0 / (1 + i));
+    auto curve = t.curve(10);
+    EXPECT_LE(curve.size(), 12u);
+    EXPECT_GE(curve.size(), 10u);
+    // Final point always present.
+    EXPECT_DOUBLE_EQ(curve.back().timeSec, 99.0);
+}
+
+TEST(ConvergenceTracker, CurveScoresRiseAsLossFalls)
+{
+    ConvergenceTracker t(24.0, 1);
+    t.addSample(0.0, 2.0);
+    t.addSample(1.0, 0.5);
+    auto curve = t.curve(10);
+    ASSERT_EQ(curve.size(), 2u);
+    EXPECT_LT(curve[0].score, curve[1].score);
+    EXPECT_GT(curve[0].loss, curve[1].loss);
+}
+
+TEST(ConvergenceTracker, EmptyCurve)
+{
+    ConvergenceTracker t(24.0);
+    EXPECT_TRUE(t.curve(10).empty());
+    EXPECT_DOUBLE_EQ(t.finalLoss(), 0.0);
+}
+
+TEST(ConvergenceTracker, ClearResets)
+{
+    ConvergenceTracker t(24.0);
+    t.addSample(0.0, 1.0);
+    t.clear();
+    EXPECT_EQ(t.samples(), 0u);
+}
+
+TEST(ConvergenceTracker, InvalidSamplePanics)
+{
+    ConvergenceTracker t(24.0);
+    EXPECT_THROW(t.addSample(-1.0, 0.5), std::logic_error);
+    EXPECT_THROW(t.addSample(1.0, -0.5), std::logic_error);
+}
+
+TEST(SearchBestSubnet, PicksLowestEvalLoss)
+{
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    NumericExecutor::Config config;
+    NumericExecutor exec(store, config);
+
+    UniformSampler sampler(space, 5);
+    std::vector<Subnet> candidates;
+    for (int i = 0; i < 8; i++)
+        candidates.push_back(sampler.next());
+
+    SearchResult result = searchBestSubnet(exec, candidates, 24.0);
+    ASSERT_EQ(result.allEvalLosses.size(), candidates.size());
+    for (double loss : result.allEvalLosses)
+        EXPECT_GE(loss, result.bestEvalLoss);
+    EXPECT_GT(result.accuracy, 0.0);
+    EXPECT_LT(result.accuracy, 24.0);
+}
+
+TEST(SearchBestSubnet, DeterministicAcrossCalls)
+{
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    NumericExecutor::Config config;
+    NumericExecutor exec(store, config);
+    UniformSampler sampler(space, 5);
+    std::vector<Subnet> candidates;
+    for (int i = 0; i < 6; i++)
+        candidates.push_back(sampler.next());
+    SearchResult a = searchBestSubnet(exec, candidates, 24.0);
+    SearchResult b = searchBestSubnet(exec, candidates, 24.0);
+    EXPECT_EQ(a.best.id(), b.best.id());
+    EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(SearchBestSubnet, EmptyCandidatesPanics)
+{
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    NumericExecutor::Config config;
+    NumericExecutor exec(store, config);
+    EXPECT_THROW(searchBestSubnet(exec, {}, 24.0), std::logic_error);
+}
+
+} // namespace
+} // namespace naspipe

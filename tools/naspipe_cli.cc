@@ -1,0 +1,204 @@
+/**
+ * @file
+ * naspipe_cli — run one supernet-training simulation from the
+ * command line.
+ *
+ * Usage:
+ *   naspipe_cli [--space NAME] [--system NAME] [--gpus N]
+ *               [--steps N] [--seed N] [--batch N] [--staleness N]
+ *               [--evolution] [--hybrid N]
+ *               [--trace FILE.json] [--checkpoint FILE.ckpt]
+ *               [--csv FILE.csv] [--quiet]
+ *
+ * Spaces: NLP.c0..c3, CV.c1..c3 (Table 1).
+ * Systems: naspipe, gpipe, pipedream, vpipe, naspipe-no-scheduler,
+ *          naspipe-no-predictor, naspipe-no-mirroring, ssp
+ *          (ssp uses --staleness, default 2).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "schedule/ssp_scheduler.h"
+
+namespace {
+
+using namespace naspipe;
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [--space NAME] [--system NAME] [--gpus N]\n"
+        "          [--steps N] [--seed N] [--batch N] "
+        "[--staleness N]\n"
+        "          [--evolution] [--hybrid N] [--trace FILE.json]\n"
+        "          [--checkpoint FILE.ckpt] [--csv FILE.csv] "
+        "[--quiet]\n"
+        "spaces:  NLP.c0 NLP.c1 NLP.c2 NLP.c3 CV.c1 CV.c2 CV.c3\n"
+        "systems: naspipe gpipe pipedream vpipe ssp\n"
+        "         naspipe-no-scheduler naspipe-no-predictor\n"
+        "         naspipe-no-mirroring\n",
+        argv0);
+}
+
+SystemModel
+systemByName(const std::string &name, int staleness)
+{
+    if (name == "naspipe")
+        return naspipeSystem();
+    if (name == "gpipe")
+        return gpipeSystem();
+    if (name == "pipedream")
+        return pipedreamSystem();
+    if (name == "vpipe")
+        return vpipeSystem();
+    if (name == "ssp")
+        return sspSystem(staleness);
+    if (name == "naspipe-no-scheduler")
+        return naspipeWithoutScheduler();
+    if (name == "naspipe-no-predictor")
+        return naspipeWithoutPredictor();
+    if (name == "naspipe-no-mirroring")
+        return naspipeWithoutMirroring();
+    fatal("unknown system: ", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace naspipe;
+
+    std::string spaceName = "NLP.c2";
+    std::string systemName = "naspipe";
+    std::string tracePath, checkpointPath, csvPath;
+    int gpus = 8, steps = 64, batch = 0, staleness = 2;
+    int hybrid = 0;
+    std::uint64_t seed = 7;
+    bool evolution = false, quiet = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--space")
+            spaceName = value();
+        else if (arg == "--system")
+            systemName = value();
+        else if (arg == "--gpus")
+            gpus = std::atoi(value());
+        else if (arg == "--steps")
+            steps = std::atoi(value());
+        else if (arg == "--seed")
+            seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--batch")
+            batch = std::atoi(value());
+        else if (arg == "--staleness")
+            staleness = std::atoi(value());
+        else if (arg == "--hybrid")
+            hybrid = std::atoi(value());
+        else if (arg == "--trace")
+            tracePath = value();
+        else if (arg == "--checkpoint")
+            checkpointPath = value();
+        else if (arg == "--csv")
+            csvPath = value();
+        else if (arg == "--evolution")
+            evolution = true;
+        else if (arg == "--quiet")
+            quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument: ", arg);
+        }
+    }
+
+    SearchSpace space = makeSpaceByName(spaceName);
+    SystemModel system = systemByName(systemName, staleness);
+
+    RuntimeConfig config;
+    config.system = system;
+    config.numStages = gpus;
+    config.totalSubnets = steps;
+    config.seed = seed;
+    config.batch = batch;
+    config.evolutionSearch = evolution;
+    config.hybridStreams = hybrid;
+    config.traceEnabled = !tracePath.empty();
+
+    RunResult result = runTraining(space, config);
+    if (result.oom) {
+        std::printf("%s on %s with %d GPUs: OOM (does not fit)\n",
+                    system.name.c_str(), spaceName.c_str(), gpus);
+        return 2;
+    }
+
+    if (!quiet) {
+        const RunMetrics &m = result.metrics;
+        std::printf("space       %s (%s sync, %d GPUs, seed %llu)\n",
+                    spaceName.c_str(), system.syncName(), gpus,
+                    static_cast<unsigned long long>(seed));
+        std::printf("throughput  %.1f samples/s  (%.0f subnets/h, "
+                    "batch %d)\n",
+                    m.samplesPerSec, m.subnetsPerHour, m.batch);
+        std::printf("pipeline    bubble %.2f  exec %.2fs  ALU %s\n",
+                    m.bubbleRatio, m.meanExecSeconds,
+                    formatFactor(m.totalAluUtilization, 1).c_str());
+        std::printf("memory      GPU %s  CPU %s  cache %s\n",
+                    formatFactor(m.gpuMemFactor, 1).c_str(),
+                    m.cpuMemBytes ? formatBytes(m.cpuMemBytes).c_str()
+                                  : "0",
+                    m.cacheHitRate < 0
+                        ? "N/A"
+                        : formatPercent(m.cacheHitRate).c_str());
+        std::printf("training    loss %.6f  score %.2f  best SN%lld\n",
+                    m.finalLoss, m.finalScore,
+                    static_cast<long long>(result.bestSubnet));
+        std::printf("causality   %d violated layers  weights %016llx\n",
+                    m.causalViolations,
+                    static_cast<unsigned long long>(
+                        result.supernetHash));
+    }
+
+    if (!tracePath.empty()) {
+        std::ofstream out(tracePath);
+        out << result.trace->exportChromeJson();
+        if (!quiet)
+            std::printf("trace       %s (chrome://tracing)\n",
+                        tracePath.c_str());
+    }
+    if (!checkpointPath.empty()) {
+        if (!result.store->saveFile(checkpointPath))
+            fatal("cannot write checkpoint ", checkpointPath);
+        if (!quiet)
+            std::printf("checkpoint  %s\n", checkpointPath.c_str());
+    }
+    if (!csvPath.empty()) {
+        CsvWriter csv({"time_s", "loss", "score"});
+        for (const auto &p : result.curve) {
+            csv.addRow({formatFixed(p.timeSec, 3),
+                        formatFixed(p.loss, 6),
+                        formatFixed(p.score, 4)});
+        }
+        if (!csv.writeFile(csvPath))
+            fatal("cannot write csv ", csvPath);
+        if (!quiet)
+            std::printf("curve       %s\n", csvPath.c_str());
+    }
+    return 0;
+}
