@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_depth_density"
+  "../bench/ablation_depth_density.pdb"
+  "CMakeFiles/ablation_depth_density.dir/ablation_depth_density.cc.o"
+  "CMakeFiles/ablation_depth_density.dir/ablation_depth_density.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_depth_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sync_spectrum"
+  "../bench/ablation_sync_spectrum.pdb"
+  "CMakeFiles/ablation_sync_spectrum.dir/ablation_sync_spectrum.cc.o"
+  "CMakeFiles/ablation_sync_spectrum.dir/ablation_sync_spectrum.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/appendix_repro_500steps"
+  "../bench/appendix_repro_500steps.pdb"
+  "CMakeFiles/appendix_repro_500steps.dir/appendix_repro_500steps.cc.o"
+  "CMakeFiles/appendix_repro_500steps.dir/appendix_repro_500steps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_repro_500steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

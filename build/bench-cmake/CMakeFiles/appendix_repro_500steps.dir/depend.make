@@ -1,0 +1,2 @@
+# Empty dependencies file for appendix_repro_500steps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_csp_comparison"
+  "../bench/fig1_csp_comparison.pdb"
+  "CMakeFiles/fig1_csp_comparison.dir/fig1_csp_comparison.cc.o"
+  "CMakeFiles/fig1_csp_comparison.dir/fig1_csp_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_csp_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_convergence"
+  "../bench/fig4_convergence.pdb"
+  "CMakeFiles/fig4_convergence.dir/fig4_convergence.cc.o"
+  "CMakeFiles/fig4_convergence.dir/fig4_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

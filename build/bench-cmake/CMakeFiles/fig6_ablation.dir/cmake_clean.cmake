@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ablation"
+  "../bench/fig6_ablation.pdb"
+  "CMakeFiles/fig6_ablation.dir/fig6_ablation.cc.o"
+  "CMakeFiles/fig6_ablation.dir/fig6_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

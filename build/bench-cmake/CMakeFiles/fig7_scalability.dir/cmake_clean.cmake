@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_scalability"
+  "../bench/fig7_scalability.pdb"
+  "CMakeFiles/fig7_scalability.dir/fig7_scalability.cc.o"
+  "CMakeFiles/fig7_scalability.dir/fig7_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_numeric"
+  "../bench/micro_numeric.pdb"
+  "CMakeFiles/micro_numeric.dir/micro_numeric.cc.o"
+  "CMakeFiles/micro_numeric.dir/micro_numeric.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

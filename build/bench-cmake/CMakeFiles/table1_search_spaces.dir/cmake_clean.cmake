@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_search_spaces"
+  "../bench/table1_search_spaces.pdb"
+  "CMakeFiles/table1_search_spaces.dir/table1_search_spaces.cc.o"
+  "CMakeFiles/table1_search_spaces.dir/table1_search_spaces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_search_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_resources"
+  "../bench/table2_resources.pdb"
+  "CMakeFiles/table2_resources.dir/table2_resources.cc.o"
+  "CMakeFiles/table2_resources.dir/table2_resources.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

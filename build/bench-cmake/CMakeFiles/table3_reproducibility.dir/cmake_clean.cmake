@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_reproducibility"
+  "../bench/table3_reproducibility.pdb"
+  "CMakeFiles/table3_reproducibility.dir/table3_reproducibility.cc.o"
+  "CMakeFiles/table3_reproducibility.dir/table3_reproducibility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_reproducibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

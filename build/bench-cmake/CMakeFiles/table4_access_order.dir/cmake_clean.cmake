@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_access_order"
+  "../bench/table4_access_order.pdb"
+  "CMakeFiles/table4_access_order.dir/table4_access_order.cc.o"
+  "CMakeFiles/table4_access_order.dir/table4_access_order.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_access_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

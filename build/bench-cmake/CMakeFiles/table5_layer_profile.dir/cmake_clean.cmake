@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_layer_profile"
+  "../bench/table5_layer_profile.pdb"
+  "CMakeFiles/table5_layer_profile.dir/table5_layer_profile.cc.o"
+  "CMakeFiles/table5_layer_profile.dir/table5_layer_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_layer_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_search.dir/cv_search.cpp.o"
+  "CMakeFiles/cv_search.dir/cv_search.cpp.o.d"
+  "cv_search"
+  "cv_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_search.dir/hybrid_search.cpp.o"
+  "CMakeFiles/hybrid_search.dir/hybrid_search.cpp.o.d"
+  "hybrid_search"
+  "hybrid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

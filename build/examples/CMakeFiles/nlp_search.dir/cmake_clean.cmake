@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_search.dir/nlp_search.cpp.o"
+  "CMakeFiles/nlp_search.dir/nlp_search.cpp.o.d"
+  "nlp_search"
+  "nlp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

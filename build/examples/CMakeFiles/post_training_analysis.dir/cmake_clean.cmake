@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_training_analysis.dir/post_training_analysis.cpp.o"
+  "CMakeFiles/post_training_analysis.dir/post_training_analysis.cpp.o.d"
+  "post_training_analysis"
+  "post_training_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_training_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

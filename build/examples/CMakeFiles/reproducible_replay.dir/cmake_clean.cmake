@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reproducible_replay.dir/reproducible_replay.cpp.o"
+  "CMakeFiles/reproducible_replay.dir/reproducible_replay.cpp.o.d"
+  "reproducible_replay"
+  "reproducible_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reproducible_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/csv.cc" "src/CMakeFiles/naspipe.dir/common/csv.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/common/csv.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/naspipe.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/naspipe.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/naspipe.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/naspipe.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/naspipe.dir/common/table.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/common/table.cc.o.d"
+  "/root/repo/src/core/ablation.cc" "src/CMakeFiles/naspipe.dir/core/ablation.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/core/ablation.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/naspipe.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/naspipe.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/naspipe.dir/core/report.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/core/report.cc.o.d"
+  "/root/repo/src/hw/cluster.cc" "src/CMakeFiles/naspipe.dir/hw/cluster.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/hw/cluster.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/CMakeFiles/naspipe.dir/hw/gpu.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/hw/gpu.cc.o.d"
+  "/root/repo/src/hw/interconnect.cc" "src/CMakeFiles/naspipe.dir/hw/interconnect.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/hw/interconnect.cc.o.d"
+  "/root/repo/src/memory/context_manager.cc" "src/CMakeFiles/naspipe.dir/memory/context_manager.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/memory/context_manager.cc.o.d"
+  "/root/repo/src/memory/gpu_memory.cc" "src/CMakeFiles/naspipe.dir/memory/gpu_memory.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/memory/gpu_memory.cc.o.d"
+  "/root/repo/src/memory/swap_model.cc" "src/CMakeFiles/naspipe.dir/memory/swap_model.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/memory/swap_model.cc.o.d"
+  "/root/repo/src/partition/mirror.cc" "src/CMakeFiles/naspipe.dir/partition/mirror.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/partition/mirror.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/CMakeFiles/naspipe.dir/partition/partitioner.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/partition/partitioner.cc.o.d"
+  "/root/repo/src/partition/placement.cc" "src/CMakeFiles/naspipe.dir/partition/placement.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/partition/placement.cc.o.d"
+  "/root/repo/src/runtime/messages.cc" "src/CMakeFiles/naspipe.dir/runtime/messages.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/runtime/messages.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/CMakeFiles/naspipe.dir/runtime/metrics.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/runtime/metrics.cc.o.d"
+  "/root/repo/src/runtime/pipeline_runtime.cc" "src/CMakeFiles/naspipe.dir/runtime/pipeline_runtime.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/runtime/pipeline_runtime.cc.o.d"
+  "/root/repo/src/runtime/replay.cc" "src/CMakeFiles/naspipe.dir/runtime/replay.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/runtime/replay.cc.o.d"
+  "/root/repo/src/runtime/stage.cc" "src/CMakeFiles/naspipe.dir/runtime/stage.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/runtime/stage.cc.o.d"
+  "/root/repo/src/schedule/asp_scheduler.cc" "src/CMakeFiles/naspipe.dir/schedule/asp_scheduler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/asp_scheduler.cc.o.d"
+  "/root/repo/src/schedule/bsp_scheduler.cc" "src/CMakeFiles/naspipe.dir/schedule/bsp_scheduler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/bsp_scheduler.cc.o.d"
+  "/root/repo/src/schedule/csp_scheduler.cc" "src/CMakeFiles/naspipe.dir/schedule/csp_scheduler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/csp_scheduler.cc.o.d"
+  "/root/repo/src/schedule/dependency.cc" "src/CMakeFiles/naspipe.dir/schedule/dependency.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/dependency.cc.o.d"
+  "/root/repo/src/schedule/predictor.cc" "src/CMakeFiles/naspipe.dir/schedule/predictor.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/predictor.cc.o.d"
+  "/root/repo/src/schedule/scheduler.cc" "src/CMakeFiles/naspipe.dir/schedule/scheduler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/scheduler.cc.o.d"
+  "/root/repo/src/schedule/ssp_scheduler.cc" "src/CMakeFiles/naspipe.dir/schedule/ssp_scheduler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/ssp_scheduler.cc.o.d"
+  "/root/repo/src/schedule/task.cc" "src/CMakeFiles/naspipe.dir/schedule/task.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/task.cc.o.d"
+  "/root/repo/src/schedule/vpipe_scheduler.cc" "src/CMakeFiles/naspipe.dir/schedule/vpipe_scheduler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/vpipe_scheduler.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/CMakeFiles/naspipe.dir/sim/event.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/event.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/CMakeFiles/naspipe.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/resource.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/naspipe.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/naspipe.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/trace.cc.o.d"
+  "/root/repo/src/supernet/layer.cc" "src/CMakeFiles/naspipe.dir/supernet/layer.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/supernet/layer.cc.o.d"
+  "/root/repo/src/supernet/profile.cc" "src/CMakeFiles/naspipe.dir/supernet/profile.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/supernet/profile.cc.o.d"
+  "/root/repo/src/supernet/sampler.cc" "src/CMakeFiles/naspipe.dir/supernet/sampler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/supernet/sampler.cc.o.d"
+  "/root/repo/src/supernet/search_space.cc" "src/CMakeFiles/naspipe.dir/supernet/search_space.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/supernet/search_space.cc.o.d"
+  "/root/repo/src/supernet/subnet.cc" "src/CMakeFiles/naspipe.dir/supernet/subnet.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/supernet/subnet.cc.o.d"
+  "/root/repo/src/supernet/supernet.cc" "src/CMakeFiles/naspipe.dir/supernet/supernet.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/supernet/supernet.cc.o.d"
+  "/root/repo/src/tensor/layer_math.cc" "src/CMakeFiles/naspipe.dir/tensor/layer_math.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/tensor/layer_math.cc.o.d"
+  "/root/repo/src/tensor/loss.cc" "src/CMakeFiles/naspipe.dir/tensor/loss.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/tensor/loss.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/naspipe.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/sgd.cc" "src/CMakeFiles/naspipe.dir/tensor/sgd.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/tensor/sgd.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/naspipe.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/access_log.cc" "src/CMakeFiles/naspipe.dir/train/access_log.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/access_log.cc.o.d"
+  "/root/repo/src/train/convergence.cc" "src/CMakeFiles/naspipe.dir/train/convergence.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/convergence.cc.o.d"
+  "/root/repo/src/train/numeric_executor.cc" "src/CMakeFiles/naspipe.dir/train/numeric_executor.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/numeric_executor.cc.o.d"
+  "/root/repo/src/train/param_store.cc" "src/CMakeFiles/naspipe.dir/train/param_store.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/param_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for naspipe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_csv.cc.o"
+  "CMakeFiles/test_common.dir/common/test_csv.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_logging.cc.o"
+  "CMakeFiles/test_common.dir/common/test_logging.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_string_util.cc.o"
+  "CMakeFiles/test_common.dir/common/test_string_util.cc.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o"
+  "CMakeFiles/test_common.dir/common/test_table.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

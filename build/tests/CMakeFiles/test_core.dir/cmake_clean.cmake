@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_engine.cc.o"
+  "CMakeFiles/test_core.dir/core/test_engine.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_experiment.cc.o"
+  "CMakeFiles/test_core.dir/core/test_experiment.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_cluster.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_cluster.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_gpu.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_gpu.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_interconnect.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_interconnect.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

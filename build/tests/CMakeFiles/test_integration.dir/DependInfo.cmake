@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_end_to_end.cc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o.d"
+  "/root/repo/tests/integration/test_extensions.cc" "tests/CMakeFiles/test_integration.dir/integration/test_extensions.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_extensions.cc.o.d"
+  "/root/repo/tests/integration/test_reproducibility.cc" "tests/CMakeFiles/test_integration.dir/integration/test_reproducibility.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_reproducibility.cc.o.d"
+  "/root/repo/tests/integration/test_systems.cc" "tests/CMakeFiles/test_integration.dir/integration/test_systems.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_systems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

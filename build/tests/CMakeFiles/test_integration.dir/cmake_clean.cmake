@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_end_to_end.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_extensions.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_extensions.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_reproducibility.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_reproducibility.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_systems.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_systems.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

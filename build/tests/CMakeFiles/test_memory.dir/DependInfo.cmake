@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memory/test_capacity.cc" "tests/CMakeFiles/test_memory.dir/memory/test_capacity.cc.o" "gcc" "tests/CMakeFiles/test_memory.dir/memory/test_capacity.cc.o.d"
+  "/root/repo/tests/memory/test_context_manager.cc" "tests/CMakeFiles/test_memory.dir/memory/test_context_manager.cc.o" "gcc" "tests/CMakeFiles/test_memory.dir/memory/test_context_manager.cc.o.d"
+  "/root/repo/tests/memory/test_gpu_memory.cc" "tests/CMakeFiles/test_memory.dir/memory/test_gpu_memory.cc.o" "gcc" "tests/CMakeFiles/test_memory.dir/memory/test_gpu_memory.cc.o.d"
+  "/root/repo/tests/memory/test_swap_model.cc" "tests/CMakeFiles/test_memory.dir/memory/test_swap_model.cc.o" "gcc" "tests/CMakeFiles/test_memory.dir/memory/test_swap_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory.dir/memory/test_capacity.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_capacity.cc.o.d"
+  "CMakeFiles/test_memory.dir/memory/test_context_manager.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_context_manager.cc.o.d"
+  "CMakeFiles/test_memory.dir/memory/test_gpu_memory.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_gpu_memory.cc.o.d"
+  "CMakeFiles/test_memory.dir/memory/test_swap_model.cc.o"
+  "CMakeFiles/test_memory.dir/memory/test_swap_model.cc.o.d"
+  "test_memory"
+  "test_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

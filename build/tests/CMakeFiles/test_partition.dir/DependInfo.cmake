@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/partition/test_mirror.cc" "tests/CMakeFiles/test_partition.dir/partition/test_mirror.cc.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_mirror.cc.o.d"
+  "/root/repo/tests/partition/test_partitioner.cc" "tests/CMakeFiles/test_partition.dir/partition/test_partitioner.cc.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_partitioner.cc.o.d"
+  "/root/repo/tests/partition/test_placement.cc" "tests/CMakeFiles/test_partition.dir/partition/test_placement.cc.o" "gcc" "tests/CMakeFiles/test_partition.dir/partition/test_placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

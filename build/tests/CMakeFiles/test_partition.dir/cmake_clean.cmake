@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition.dir/partition/test_mirror.cc.o"
+  "CMakeFiles/test_partition.dir/partition/test_mirror.cc.o.d"
+  "CMakeFiles/test_partition.dir/partition/test_partitioner.cc.o"
+  "CMakeFiles/test_partition.dir/partition/test_partitioner.cc.o.d"
+  "CMakeFiles/test_partition.dir/partition/test_placement.cc.o"
+  "CMakeFiles/test_partition.dir/partition/test_placement.cc.o.d"
+  "test_partition"
+  "test_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties/test_capacity_properties.cc" "tests/CMakeFiles/test_properties.dir/properties/test_capacity_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/test_capacity_properties.cc.o.d"
+  "/root/repo/tests/properties/test_csp_properties.cc" "tests/CMakeFiles/test_properties.dir/properties/test_csp_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/test_csp_properties.cc.o.d"
+  "/root/repo/tests/properties/test_determinism_properties.cc" "tests/CMakeFiles/test_properties.dir/properties/test_determinism_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/test_determinism_properties.cc.o.d"
+  "/root/repo/tests/properties/test_partition_properties.cc" "tests/CMakeFiles/test_properties.dir/properties/test_partition_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/properties/test_partition_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

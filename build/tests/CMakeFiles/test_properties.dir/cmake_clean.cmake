@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_capacity_properties.cc.o"
+  "CMakeFiles/test_properties.dir/properties/test_capacity_properties.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_csp_properties.cc.o"
+  "CMakeFiles/test_properties.dir/properties/test_csp_properties.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_determinism_properties.cc.o"
+  "CMakeFiles/test_properties.dir/properties/test_determinism_properties.cc.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_partition_properties.cc.o"
+  "CMakeFiles/test_properties.dir/properties/test_partition_properties.cc.o.d"
+  "test_properties"
+  "test_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_metrics.cc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_metrics.cc.o" "gcc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_metrics.cc.o.d"
+  "/root/repo/tests/runtime/test_replay.cc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_replay.cc.o" "gcc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_replay.cc.o.d"
+  "/root/repo/tests/runtime/test_schedules.cc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_schedules.cc.o" "gcc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_schedules.cc.o.d"
+  "/root/repo/tests/runtime/test_stage.cc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_stage.cc.o" "gcc" "tests/CMakeFiles/test_runtime_extra.dir/runtime/test_stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_metrics.cc.o"
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_metrics.cc.o.d"
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_replay.cc.o"
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_replay.cc.o.d"
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_schedules.cc.o"
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_schedules.cc.o.d"
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_stage.cc.o"
+  "CMakeFiles/test_runtime_extra.dir/runtime/test_stage.cc.o.d"
+  "test_runtime_extra"
+  "test_runtime_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/schedule/test_bsp.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_bsp.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_bsp.cc.o.d"
+  "/root/repo/tests/schedule/test_csp.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_csp.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_csp.cc.o.d"
+  "/root/repo/tests/schedule/test_dependency.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_dependency.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_dependency.cc.o.d"
+  "/root/repo/tests/schedule/test_predictor.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_predictor.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_predictor.cc.o.d"
+  "/root/repo/tests/schedule/test_scheduler.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_scheduler.cc.o.d"
+  "/root/repo/tests/schedule/test_ssp.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_ssp.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_ssp.cc.o.d"
+  "/root/repo/tests/schedule/test_task.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_task.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_task.cc.o.d"
+  "/root/repo/tests/schedule/test_weight_stash.cc" "tests/CMakeFiles/test_schedule.dir/schedule/test_weight_stash.cc.o" "gcc" "tests/CMakeFiles/test_schedule.dir/schedule/test_weight_stash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

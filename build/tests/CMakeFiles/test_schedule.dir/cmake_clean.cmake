@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule.dir/schedule/test_bsp.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_bsp.cc.o.d"
+  "CMakeFiles/test_schedule.dir/schedule/test_csp.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_csp.cc.o.d"
+  "CMakeFiles/test_schedule.dir/schedule/test_dependency.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_dependency.cc.o.d"
+  "CMakeFiles/test_schedule.dir/schedule/test_predictor.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_predictor.cc.o.d"
+  "CMakeFiles/test_schedule.dir/schedule/test_scheduler.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_scheduler.cc.o.d"
+  "CMakeFiles/test_schedule.dir/schedule/test_ssp.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_ssp.cc.o.d"
+  "CMakeFiles/test_schedule.dir/schedule/test_task.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_task.cc.o.d"
+  "CMakeFiles/test_schedule.dir/schedule/test_weight_stash.cc.o"
+  "CMakeFiles/test_schedule.dir/schedule/test_weight_stash.cc.o.d"
+  "test_schedule"
+  "test_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

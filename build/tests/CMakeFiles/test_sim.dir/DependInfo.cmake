@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_event.cc" "tests/CMakeFiles/test_sim.dir/sim/test_event.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event.cc.o.d"
+  "/root/repo/tests/sim/test_resource.cc" "tests/CMakeFiles/test_sim.dir/sim/test_resource.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_resource.cc.o.d"
+  "/root/repo/tests/sim/test_simulator.cc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cc.o.d"
+  "/root/repo/tests/sim/test_trace.cc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

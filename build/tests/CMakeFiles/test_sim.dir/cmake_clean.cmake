@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_event.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_event.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_resource.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_resource.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/supernet/test_layer.cc" "tests/CMakeFiles/test_supernet.dir/supernet/test_layer.cc.o" "gcc" "tests/CMakeFiles/test_supernet.dir/supernet/test_layer.cc.o.d"
+  "/root/repo/tests/supernet/test_profile.cc" "tests/CMakeFiles/test_supernet.dir/supernet/test_profile.cc.o" "gcc" "tests/CMakeFiles/test_supernet.dir/supernet/test_profile.cc.o.d"
+  "/root/repo/tests/supernet/test_sampler.cc" "tests/CMakeFiles/test_supernet.dir/supernet/test_sampler.cc.o" "gcc" "tests/CMakeFiles/test_supernet.dir/supernet/test_sampler.cc.o.d"
+  "/root/repo/tests/supernet/test_search_space.cc" "tests/CMakeFiles/test_supernet.dir/supernet/test_search_space.cc.o" "gcc" "tests/CMakeFiles/test_supernet.dir/supernet/test_search_space.cc.o.d"
+  "/root/repo/tests/supernet/test_subnet.cc" "tests/CMakeFiles/test_supernet.dir/supernet/test_subnet.cc.o" "gcc" "tests/CMakeFiles/test_supernet.dir/supernet/test_subnet.cc.o.d"
+  "/root/repo/tests/supernet/test_supernet.cc" "tests/CMakeFiles/test_supernet.dir/supernet/test_supernet.cc.o" "gcc" "tests/CMakeFiles/test_supernet.dir/supernet/test_supernet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

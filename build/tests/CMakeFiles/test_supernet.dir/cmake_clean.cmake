@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supernet.dir/supernet/test_layer.cc.o"
+  "CMakeFiles/test_supernet.dir/supernet/test_layer.cc.o.d"
+  "CMakeFiles/test_supernet.dir/supernet/test_profile.cc.o"
+  "CMakeFiles/test_supernet.dir/supernet/test_profile.cc.o.d"
+  "CMakeFiles/test_supernet.dir/supernet/test_sampler.cc.o"
+  "CMakeFiles/test_supernet.dir/supernet/test_sampler.cc.o.d"
+  "CMakeFiles/test_supernet.dir/supernet/test_search_space.cc.o"
+  "CMakeFiles/test_supernet.dir/supernet/test_search_space.cc.o.d"
+  "CMakeFiles/test_supernet.dir/supernet/test_subnet.cc.o"
+  "CMakeFiles/test_supernet.dir/supernet/test_subnet.cc.o.d"
+  "CMakeFiles/test_supernet.dir/supernet/test_supernet.cc.o"
+  "CMakeFiles/test_supernet.dir/supernet/test_supernet.cc.o.d"
+  "test_supernet"
+  "test_supernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

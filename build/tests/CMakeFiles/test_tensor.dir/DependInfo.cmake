@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/test_layer_math.cc" "tests/CMakeFiles/test_tensor.dir/tensor/test_layer_math.cc.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_layer_math.cc.o.d"
+  "/root/repo/tests/tensor/test_loss.cc" "tests/CMakeFiles/test_tensor.dir/tensor/test_loss.cc.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_loss.cc.o.d"
+  "/root/repo/tests/tensor/test_ops.cc" "tests/CMakeFiles/test_tensor.dir/tensor/test_ops.cc.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_ops.cc.o.d"
+  "/root/repo/tests/tensor/test_sgd.cc" "tests/CMakeFiles/test_tensor.dir/tensor/test_sgd.cc.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_sgd.cc.o.d"
+  "/root/repo/tests/tensor/test_tensor.cc" "tests/CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

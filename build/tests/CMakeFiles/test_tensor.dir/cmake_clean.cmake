@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/test_layer_math.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_layer_math.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_loss.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_loss.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_ops.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_ops.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_sgd.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_sgd.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/train/test_access_log.cc" "tests/CMakeFiles/test_train.dir/train/test_access_log.cc.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_access_log.cc.o.d"
+  "/root/repo/tests/train/test_convergence.cc" "tests/CMakeFiles/test_train.dir/train/test_convergence.cc.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_convergence.cc.o.d"
+  "/root/repo/tests/train/test_numeric_executor.cc" "tests/CMakeFiles/test_train.dir/train/test_numeric_executor.cc.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_numeric_executor.cc.o.d"
+  "/root/repo/tests/train/test_param_store.cc" "tests/CMakeFiles/test_train.dir/train/test_param_store.cc.o" "gcc" "tests/CMakeFiles/test_train.dir/train/test_param_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/naspipe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

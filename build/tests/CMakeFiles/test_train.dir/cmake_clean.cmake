@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/train/test_access_log.cc.o"
+  "CMakeFiles/test_train.dir/train/test_access_log.cc.o.d"
+  "CMakeFiles/test_train.dir/train/test_convergence.cc.o"
+  "CMakeFiles/test_train.dir/train/test_convergence.cc.o.d"
+  "CMakeFiles/test_train.dir/train/test_numeric_executor.cc.o"
+  "CMakeFiles/test_train.dir/train/test_numeric_executor.cc.o.d"
+  "CMakeFiles/test_train.dir/train/test_param_store.cc.o"
+  "CMakeFiles/test_train.dir/train/test_param_store.cc.o.d"
+  "test_train"
+  "test_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naspipe_cli.dir/naspipe_cli.cc.o"
+  "CMakeFiles/naspipe_cli.dir/naspipe_cli.cc.o.d"
+  "naspipe_cli"
+  "naspipe_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naspipe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
