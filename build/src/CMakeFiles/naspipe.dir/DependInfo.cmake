@@ -42,6 +42,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/schedule/task.cc" "src/CMakeFiles/naspipe.dir/schedule/task.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/task.cc.o.d"
   "/root/repo/src/schedule/vpipe_scheduler.cc" "src/CMakeFiles/naspipe.dir/schedule/vpipe_scheduler.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/schedule/vpipe_scheduler.cc.o.d"
   "/root/repo/src/sim/event.cc" "src/CMakeFiles/naspipe.dir/sim/event.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/event.cc.o.d"
+  "/root/repo/src/sim/fault_injector.cc" "src/CMakeFiles/naspipe.dir/sim/fault_injector.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/fault_injector.cc.o.d"
   "/root/repo/src/sim/resource.cc" "src/CMakeFiles/naspipe.dir/sim/resource.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/resource.cc.o.d"
   "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/naspipe.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/simulator.cc.o.d"
   "/root/repo/src/sim/trace.cc" "src/CMakeFiles/naspipe.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/sim/trace.cc.o.d"
@@ -60,6 +61,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/train/convergence.cc" "src/CMakeFiles/naspipe.dir/train/convergence.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/convergence.cc.o.d"
   "/root/repo/src/train/numeric_executor.cc" "src/CMakeFiles/naspipe.dir/train/numeric_executor.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/numeric_executor.cc.o.d"
   "/root/repo/src/train/param_store.cc" "src/CMakeFiles/naspipe.dir/train/param_store.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/param_store.cc.o.d"
+  "/root/repo/src/train/run_checkpoint.cc" "src/CMakeFiles/naspipe.dir/train/run_checkpoint.cc.o" "gcc" "src/CMakeFiles/naspipe.dir/train/run_checkpoint.cc.o.d"
   )
 
 # Targets to which this target links.

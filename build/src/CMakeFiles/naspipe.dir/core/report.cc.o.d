@@ -229,9 +229,10 @@ src/CMakeFiles/naspipe.dir/core/report.cc.o: \
  /root/repo/src/partition/mirror.h /root/repo/src/partition/placement.h \
  /root/repo/src/partition/partitioner.h /root/repo/src/runtime/messages.h \
  /root/repo/src/schedule/predictor.h /root/repo/src/runtime/metrics.h \
- /root/repo/src/schedule/bsp_scheduler.h /root/repo/src/sim/trace.h \
+ /root/repo/src/schedule/bsp_scheduler.h \
+ /root/repo/src/sim/fault_injector.h /root/repo/src/sim/trace.h \
  /root/repo/src/supernet/sampler.h /root/repo/src/common/rng.h \
- /root/repo/src/train/convergence.h \
+ /usr/include/c++/12/cstddef /root/repo/src/train/convergence.h \
  /root/repo/src/train/numeric_executor.h /root/repo/src/tensor/sgd.h \
  /root/repo/src/tensor/layer_math.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/train/param_store.h /root/repo/src/train/access_log.h \

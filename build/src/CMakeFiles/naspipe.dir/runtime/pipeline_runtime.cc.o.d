@@ -225,18 +225,20 @@ src/CMakeFiles/naspipe.dir/runtime/pipeline_runtime.cc.o: \
  /root/repo/src/partition/mirror.h /root/repo/src/partition/placement.h \
  /root/repo/src/partition/partitioner.h /root/repo/src/runtime/messages.h \
  /root/repo/src/schedule/predictor.h /root/repo/src/runtime/metrics.h \
- /root/repo/src/schedule/bsp_scheduler.h /root/repo/src/sim/trace.h \
+ /root/repo/src/schedule/bsp_scheduler.h \
+ /root/repo/src/sim/fault_injector.h /root/repo/src/sim/trace.h \
  /root/repo/src/supernet/sampler.h /root/repo/src/common/rng.h \
- /root/repo/src/train/convergence.h \
+ /usr/include/c++/12/cstddef /root/repo/src/train/convergence.h \
  /root/repo/src/train/numeric_executor.h /root/repo/src/tensor/sgd.h \
  /root/repo/src/tensor/layer_math.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/train/param_store.h /root/repo/src/train/access_log.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/runtime/stage.h \
- /root/repo/src/memory/context_manager.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/runtime/stage.h /root/repo/src/memory/context_manager.h \
  /root/repo/src/memory/gpu_memory.h \
- /root/repo/src/schedule/csp_scheduler.h /root/repo/src/tensor/loss.h
+ /root/repo/src/schedule/csp_scheduler.h /root/repo/src/tensor/loss.h \
+ /root/repo/src/train/run_checkpoint.h

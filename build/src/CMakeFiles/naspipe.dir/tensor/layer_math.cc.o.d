@@ -183,4 +183,4 @@ src/CMakeFiles/naspipe.dir/tensor/layer_math.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/rng.h \
- /usr/include/c++/12/array
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef

@@ -202,4 +202,5 @@ src/CMakeFiles/naspipe.dir/train/numeric_executor.cc.o: \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/rng.h \
- /usr/include/c++/12/array /root/repo/src/tensor/loss.h
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/tensor/loss.h

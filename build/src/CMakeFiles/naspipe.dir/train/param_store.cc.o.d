@@ -131,6 +131,7 @@ src/CMakeFiles/naspipe.dir/train/param_store.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/supernet/layer.h \
  /root/repo/src/tensor/layer_math.h /root/repo/src/tensor/tensor.h \
  /root/repo/src/train/access_log.h /root/repo/src/supernet/subnet.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /usr/include/c++/12/fstream /usr/include/c++/12/istream \
  /usr/include/c++/12/ios /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
@@ -170,5 +171,7 @@ src/CMakeFiles/naspipe.dir/train/param_store.cc.o: \
  /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/logging.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/logging.h \
+ /root/repo/src/common/rng.h /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef

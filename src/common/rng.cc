@@ -214,4 +214,16 @@ deriveSeed(std::uint64_t parent, const char *tag)
     return deriveSeed(parent, hash);
 }
 
+std::uint64_t
+hashBytes(const void *data, std::size_t size, std::uint64_t seed)
+{
+    std::uint64_t hash = seed;
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; i++) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
 } // namespace naspipe

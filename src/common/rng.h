@@ -20,6 +20,7 @@
 #define NASPIPE_COMMON_RNG_H
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace naspipe {
@@ -124,6 +125,14 @@ std::uint64_t deriveSeed(std::uint64_t parent, std::uint64_t tag);
 
 /** Derive a seed from a string tag (FNV-1a hash of the tag). */
 std::uint64_t deriveSeed(std::uint64_t parent, const char *tag);
+
+/**
+ * FNV-1a hash of an arbitrary byte range. Used as the payload
+ * checksum in checkpoint file formats: cheap, dependency-free, and
+ * identical on every platform (detection of corruption, not a MAC).
+ */
+std::uint64_t hashBytes(const void *data, std::size_t size,
+                        std::uint64_t seed = 0xcbf29ce484222325ULL);
 
 } // namespace naspipe
 

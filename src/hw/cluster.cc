@@ -69,6 +69,41 @@ Cluster::link(int fromStage, int toStage)
     return *_links[linkIndex(fromStage, toStage)];
 }
 
+void
+Cluster::degradeBoundary(int boundary, double factor)
+{
+    link(boundary, boundary + 1).degrade(factor);
+    link(boundary + 1, boundary).degrade(factor);
+}
+
+void
+Cluster::restoreBoundary(int boundary)
+{
+    link(boundary, boundary + 1).restore();
+    link(boundary + 1, boundary).restore();
+}
+
+void
+Cluster::dropBoundary(int boundary)
+{
+    link(boundary, boundary + 1).setDown();
+    link(boundary + 1, boundary).setDown();
+}
+
+bool
+Cluster::healthy() const
+{
+    for (const auto &gpu : _gpus) {
+        if (gpu->failed())
+            return false;
+    }
+    for (const auto &link : _links) {
+        if (link->down())
+            return false;
+    }
+    return true;
+}
+
 double
 Cluster::totalAluUtilization(double windowEnd) const
 {

@@ -62,6 +62,24 @@ class Cluster
      */
     StageLink &link(int fromStage, int toStage);
 
+    /** @name Fault-state helpers (driven by the fault injector)
+     * @{ */
+    /** Fail-stop the GPU serving @p stage. */
+    void failStage(int stage) { gpu(stage).fail(); }
+
+    /** Slow both directions of the @p boundary↔boundary+1 link. */
+    void degradeBoundary(int boundary, double factor);
+
+    /** Restore both directions of a degraded/down boundary link. */
+    void restoreBoundary(int boundary);
+
+    /** Take both directions of a boundary link down (fail-stop). */
+    void dropBoundary(int boundary);
+
+    /** True when no GPU has failed and no link is down. */
+    bool healthy() const;
+    /** @} */
+
     /** CPU memory available for pinned parameter storage per host. */
     std::uint64_t hostMemoryBytes() const
     {

@@ -34,6 +34,7 @@ Gpu::reset()
     _compute.reset();
     _h2d.reset();
     _d2h.reset();
+    _failed = false;
 }
 
 } // namespace naspipe

@@ -44,22 +44,44 @@ StageLink::StageLink(Simulator &sim, int fromStage, int toStage,
 {
 }
 
+std::uint64_t
+StageLink::effectiveBytes(std::uint64_t bytes) const
+{
+    if (_slowdown <= 1.0)
+        return bytes;
+    return static_cast<std::uint64_t>(
+        static_cast<double>(bytes) * _slowdown);
+}
+
 Tick
 StageLink::send(std::uint64_t bytes)
 {
-    return _channel.transfer(bytes);
+    return _channel.transfer(effectiveBytes(bytes));
 }
 
 Tick
 StageLink::sendFrom(Tick earliest, std::uint64_t bytes)
 {
-    return _channel.transferFrom(earliest, bytes);
+    return _channel.transferFrom(earliest, effectiveBytes(bytes));
 }
 
 Tick
 StageLink::messageTime(std::uint64_t bytes) const
 {
-    return _channel.transferTime(bytes);
+    return _channel.transferTime(effectiveBytes(bytes));
+}
+
+void
+StageLink::degrade(double factor)
+{
+    _slowdown = factor < 1.0 ? 1.0 : factor;
+}
+
+void
+StageLink::restore()
+{
+    _slowdown = 1.0;
+    _down = false;
 }
 
 } // namespace naspipe

@@ -73,15 +73,43 @@ class StageLink
     /** Wire time of @p bytes excluding queueing. */
     Tick messageTime(std::uint64_t bytes) const;
 
+    /** @name Fault state (driven by the fault injector)
+     * A degraded link delivers at 1/factor of its bandwidth (modeled
+     * as factor-times-larger payloads); a down link is a fail-stop
+     * condition — in-flight traffic is lost and the runtime recovers
+     * from the last checkpoint.
+     * @{ */
+    /** Slow the link down by @p factor (>= 1). */
+    void degrade(double factor);
+
+    /** Restore nominal bandwidth and bring the link back up. */
+    void restore();
+
+    /** Take the link down (fail-stop fault). */
+    void setDown() { _down = true; }
+
+    bool down() const { return _down; }
+    double slowdown() const { return _slowdown; }
+    /** @} */
+
     const Channel &channel() const { return _channel; }
 
-    void reset() { _channel.reset(); }
+    void reset()
+    {
+        _channel.reset();
+        _slowdown = 1.0;
+        _down = false;
+    }
 
   private:
+    std::uint64_t effectiveBytes(std::uint64_t bytes) const;
+
     int _from;
     int _to;
     LinkType _type;
     Channel _channel;
+    double _slowdown = 1.0;
+    bool _down = false;
 };
 
 } // namespace naspipe

@@ -19,6 +19,14 @@ RunMetrics::summary() const
         << formatFactor(totalAluUtilization, 1) << ", cache "
         << (cacheHitRate < 0.0 ? std::string("N/A")
                                : formatPercent(cacheHitRate));
+    if (faultsInjected > 0) {
+        oss << ", faults " << faultsInjected << " (" << recoveries
+            << " recoveries, " << subnetsReplayed << " replayed, "
+            << formatFixed(recoverySeconds + lostComputeSeconds, 2)
+            << "s lost)";
+    }
+    if (checkpointsWritten > 0)
+        oss << ", ckpts " << checkpointsWritten;
     return oss.str();
 }
 

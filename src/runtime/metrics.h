@@ -51,6 +51,16 @@ struct RunMetrics {
     std::uint64_t stallDependency = 0;    ///< Algorithm 2 blocked all
     std::uint64_t stallMirrorWait = 0;    ///< waiting on mirror push
 
+    // Fault injection and recovery.
+    int faultsInjected = 0;    ///< fault-plan entries that fired
+    int recoveries = 0;        ///< checkpoint rollbacks performed
+    int subnetsReplayed = 0;   ///< subnets redone after rollbacks
+    double recoverySeconds = 0.0;     ///< detect+restart wall clock
+    double lostComputeSeconds = 0.0;  ///< busy time discarded
+    int checkpointsWritten = 0;
+    std::uint64_t checkpointBytes = 0;  ///< size of the last one
+    double checkpointSeconds = 0.0;     ///< total time spent writing
+
     // Training quality (numeric engine).
     double finalLoss = 0.0;
     double finalScore = 0.0;

@@ -1,12 +1,14 @@
 #include "runtime/pipeline_runtime.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.h"
 #include "runtime/stage.h"
 #include "schedule/csp_scheduler.h"
 #include "sim/simulator.h"
 #include "tensor/loss.h"
+#include "train/run_checkpoint.h"
 
 namespace naspipe {
 
@@ -46,6 +48,9 @@ struct PipelineRuntime::Impl {
     std::unique_ptr<ConvergenceTracker> tracker;
     std::shared_ptr<Trace> trace;
     SwapModel swap;
+    /// Fired flags survive recovery rewinds: a replaced GPU does not
+    /// crash again when the completion counter passes the trigger.
+    FaultInjector injector;
 
     CapacityPlan plan;
     int batch = 1;
@@ -79,6 +84,23 @@ struct PipelineRuntime::Impl {
     std::uint64_t stallDependency = 0;
     std::uint64_t stallMirrorWait = 0;
 
+    // Fault/checkpoint state. A "phase" is one sim.run() between
+    // (re)starts; the offsets carry wall-clock and busy time across
+    // phases, and completionSec records absolute completion times.
+    bool crashed = false;      ///< fail-stop fired; sim was stopped
+    int nextCkptAt = 0;        ///< next drain barrier (completed cnt)
+    double secOffset = 0.0;    ///< sim seconds before this phase
+    double busyOffset = 0.0;   ///< busy seconds from the checkpoint
+    std::map<SubnetId, double> completionSec;
+    std::string lastCkpt;      ///< serialized last checkpoint
+    int recoveries = 0;
+    int subnetsReplayed = 0;
+    double recoverySecondsTotal = 0.0;
+    double lostComputeSeconds = 0.0;
+    int checkpointsWritten = 0;
+    std::uint64_t checkpointBytes = 0;
+    double checkpointSecondsTotal = 0.0;
+
     Impl(const SearchSpace &s, const RuntimeConfig &c)
         : space(s), config(c), model(c.system),
           numStages(c.numStages),
@@ -88,7 +110,9 @@ struct PipelineRuntime::Impl {
           scoreScale(c.scoreScale > 0.0
                          ? c.scoreScale
                          : defaultScoreScale(s.family())),
-          swap(c.cluster.gpu.pcieBytesPerSec, c.cluster.gpu.pcieLatency)
+          swap(c.cluster.gpu.pcieBytesPerSec,
+               c.cluster.gpu.pcieLatency),
+          injector(c.faults)
     {
         NASPIPE_ASSERT(numStages >= 1, "need >= 1 stage");
         NASPIPE_ASSERT(c.totalSubnets >= 1, "need >= 1 subnet");
@@ -117,6 +141,16 @@ struct PipelineRuntime::Impl {
     bool setup();
     bool upstreamWritesDone(int stage, SubnetId id) const;
     void injectSubnets();
+    bool ckptEnabled() const { return config.ckptInterval > 0; }
+    int ckptStride() const;
+    int boundaryAfter(int completedCount) const;
+    double busySum() const;
+    void checkFaults(Tick end);
+    RunCheckpoint buildCheckpoint(Tick end) const;
+    void takeCheckpoint(Tick end);
+    void resetRunState();
+    bool restore(const RunCheckpoint &ckpt);
+    bool beginRecovery();
     void tryDispatch(int k);
     void startForward(int k, SubnetId id);
     void startBackward(int k, SubnetId id);
@@ -322,6 +356,13 @@ PipelineRuntime::Impl::injectSubnets()
     int lag = effectiveFeedbackLag();
     while (injected < config.totalSubnets && inflight < limit) {
         SubnetId nextId = injected;
+        // Drain the pipeline for the next checkpoint barrier: at most
+        // nextCkptAt subnets are ever injected before the barrier, so
+        // finished == nextCkptAt implies inflight == 0 — the drained
+        // state a checkpoint captures is a pure function of the
+        // completed count under CSP.
+        if (ckptEnabled() && injected >= nextCkptAt)
+            break;
         if (flushCtl && !flushCtl->canInject(nextId))
             break;
         if (lag > 0) {
@@ -618,13 +659,16 @@ PipelineRuntime::Impl::onSubnetComplete(int, SubnetId id, Tick end)
         }
     }
     losses[id] = loss;
-    tracker->addSample(ticksToSec(end), loss);
+    completionSec[id] = secOffset + ticksToSec(end);
+    tracker->addSample(completionSec[id], loss);
     scoreBuffer[id] = lossToScore(loss, scoreScale);
     if (effectiveFeedbackLag() == 0)
         deliverScoresBelow(config.totalSubnets);
 
+    bool mayInject = true;
     if (flushCtl) {
-        if (flushCtl->onSubnetComplete(id)) {
+        mayInject = flushCtl->onSubnetComplete(id);
+        if (mayInject) {
             // BSP flush: apply the bulk's deferred updates together,
             // in sequence-ID order, then release the next bulk.
             if (config.numeric &&
@@ -642,11 +686,18 @@ PipelineRuntime::Impl::onSubnetComplete(int, SubnetId id, Tick end)
             }
             trace->add(TraceRecord{end, end, 0, TraceKind::Flush, id,
                                    "bulk flush"});
-            injectSubnets();
         }
-    } else {
-        injectSubnets();
     }
+
+    // Completions form the fault plan's logical clock.
+    checkFaults(end);
+    if (crashed)
+        return;  // the world is frozen; run() performs the recovery
+
+    if (ckptEnabled() && finished == nextCkptAt)
+        takeCheckpoint(end);  // resumes injection after the write
+    else if (mayInject)
+        injectSubnets();
 }
 
 int
@@ -674,6 +725,322 @@ PipelineRuntime::Impl::deliverScoresBelow(SubnetId maxIdExclusive)
     }
 }
 
+int
+PipelineRuntime::Impl::ckptStride() const
+{
+    int stride = config.ckptInterval;
+    if (flushCtl) {
+        // Under bulk flushing only a closed bulk leaves the store
+        // drained (deferred updates land at the bulk barrier), so
+        // checkpoint boundaries round up to bulk multiples.
+        int bulk = model.effectiveBulk(numStages);
+        stride = (stride + bulk - 1) / bulk * bulk;
+    }
+    return stride;
+}
+
+int
+PipelineRuntime::Impl::boundaryAfter(int completedCount) const
+{
+    int stride = ckptStride();
+    return (completedCount / stride + 1) * stride;
+}
+
+double
+PipelineRuntime::Impl::busySum() const
+{
+    double total = 0.0;
+    for (const auto &[id, sec] : execBusySec)
+        total += sec;
+    return total;
+}
+
+void
+PipelineRuntime::Impl::checkFaults(Tick end)
+{
+    for (const FaultSpec &f : injector.due(finished)) {
+        int stage = std::clamp(f.stage, 0, numStages - 1);
+        trace->add(TraceRecord{end, end, stage, TraceKind::Fault, -1,
+                               f.describe()});
+        inform("fault injected: ", f.describe());
+        switch (f.kind) {
+          case FaultKind::GpuCrash:
+            cluster->failStage(stage);
+            crashed = true;
+            break;
+          case FaultKind::LinkDrop: {
+            if (numStages < 2)
+                break;  // a one-stage pipeline has no links
+            int b = std::min(stage, numStages - 2);
+            cluster->dropBoundary(b);
+            crashed = true;
+            break;
+          }
+          case FaultKind::StageStall: {
+            // Occupy the stage's compute engine for the stall window;
+            // the scheduled dispatch un-wedges a stage that went idle
+            // behind the stall once it lifts.
+            Tick dur = ticksFromMs(f.durationMs);
+            Tick start =
+                cluster->gpu(stage).compute().reserveFrom(end, dur);
+            sim.scheduleAt(start + dur,
+                           [this, stage] { tryDispatch(stage); });
+            break;
+          }
+          case FaultKind::LinkDegrade: {
+            if (numStages < 2)
+                break;
+            int b = std::min(stage, numStages - 2);
+            cluster->degradeBoundary(b, f.factor);
+            sim.scheduleAt(end + ticksFromMs(f.durationMs),
+                           [this, b] { cluster->restoreBoundary(b); });
+            break;
+          }
+        }
+    }
+    if (crashed)
+        sim.stop();
+}
+
+RunCheckpoint
+PipelineRuntime::Impl::buildCheckpoint(Tick end) const
+{
+    RunCheckpoint ckpt;
+    ckpt.seed = config.seed;
+    ckpt.spaceBlocks = static_cast<std::uint32_t>(space.numBlocks());
+    ckpt.spaceChoices =
+        static_cast<std::uint32_t>(space.choicesPerBlock());
+    ckpt.totalSubnets =
+        static_cast<std::uint64_t>(config.totalSubnets);
+    ckpt.completed = static_cast<std::uint64_t>(finished);
+    ckpt.simSeconds = secOffset + ticksToSec(end);
+    ckpt.busySeconds = busyOffset + busySum();
+    ckpt.checkpointsWritten =
+        static_cast<std::uint64_t>(checkpointsWritten + 1);
+    ckpt.losses.reserve(static_cast<std::size_t>(finished));
+    ckpt.completionSec.reserve(static_cast<std::size_t>(finished));
+    for (SubnetId i = 0; i < finished; i++) {
+        ckpt.losses.push_back(losses.at(i));
+        ckpt.completionSec.push_back(completionSec.at(i));
+    }
+    std::ostringstream ss(std::ios::binary);
+    store->save(ss);
+    ckpt.storeBytes = ss.str();
+    std::ostringstream ls(std::ios::binary);
+    store->accessLog().saveTo(ls);
+    ckpt.accessLogBytes = ls.str();
+    return ckpt;
+}
+
+void
+PipelineRuntime::Impl::takeCheckpoint(Tick end)
+{
+    NASPIPE_ASSERT(inflight == 0, "checkpoint barrier reached with ",
+                   inflight, " subnets in flight");
+    RunCheckpoint ckpt = buildCheckpoint(end);
+    std::ostringstream os(std::ios::binary);
+    bool ok = ckpt.save(os);
+    NASPIPE_ASSERT(ok, "in-memory checkpoint serialization failed");
+    lastCkpt = os.str();
+    checkpointsWritten++;
+    checkpointBytes = lastCkpt.size();
+    if (!config.ckptPath.empty() &&
+        !ckpt.saveFileAtomic(config.ckptPath)) {
+        warn("continuing without the on-disk checkpoint");
+    }
+    double writeSec = static_cast<double>(lastCkpt.size()) /
+                          std::max(1.0, config.ckptWriteBytesPerSec) +
+                      0.001;
+    checkpointSecondsTotal += writeSec;
+    nextCkptAt = boundaryAfter(finished);
+    trace->add(TraceRecord{end, end + ticksFromSec(writeSec), 0,
+                           TraceKind::Checkpoint, -1,
+                           "completed=" + std::to_string(finished)});
+    // Injection resumes once the write completes: the modeled cost
+    // of a checkpoint is the pipeline drain plus this write time.
+    sim.scheduleAt(end + ticksFromSec(writeSec),
+                   [this] { injectSubnets(); });
+}
+
+void
+PipelineRuntime::Impl::resetRunState()
+{
+    sim.reset();
+    stages.clear();
+    cluster.reset();
+    policy.reset();
+    sampler.reset();
+    partitioner.reset();
+    placement.reset();
+    mirrors.reset();
+    flushCtl.reset();
+    store.reset();
+    exec.reset();
+    tracker.reset();
+    trace.reset();
+    subnets.clear();
+    partitions.clear();
+    mirrorEntries.clear();
+    lastWrite.clear();
+    activators.clear();
+    writesApplied.clear();
+    execBusySec.clear();
+    lossAtCompute.clear();
+    losses.clear();
+    pendingFinish.clear();
+    nextScoreToReport = 0;
+    scoreBuffer.clear();
+    injected = 0;
+    finished = 0;
+    inflight = 0;
+    fwdArrival.clear();
+    completionSec.clear();
+    crashed = false;
+    // Stall counters, fault bookkeeping, and checkpoint totals carry
+    // across phases deliberately: they are cumulative diagnostics.
+}
+
+bool
+PipelineRuntime::Impl::restore(const RunCheckpoint &ckpt)
+{
+    if (ckpt.seed != config.seed ||
+        ckpt.spaceBlocks !=
+            static_cast<std::uint32_t>(space.numBlocks()) ||
+        ckpt.spaceChoices !=
+            static_cast<std::uint32_t>(space.choicesPerBlock()) ||
+        ckpt.totalSubnets !=
+            static_cast<std::uint64_t>(config.totalSubnets)) {
+        warn("run checkpoint does not match this run: seed ",
+             ckpt.seed, " space ", ckpt.spaceBlocks, "x",
+             ckpt.spaceChoices, " total ", ckpt.totalSubnets,
+             " vs seed ", config.seed, " space ", space.numBlocks(),
+             "x", space.choicesPerBlock(), " total ",
+             config.totalSubnets);
+        return false;
+    }
+    {
+        std::istringstream in(ckpt.storeBytes);
+        if (!store->load(in))
+            return false;
+    }
+    {
+        std::istringstream in(ckpt.accessLogBytes);
+        if (!store->accessLog().loadFrom(in)) {
+            warn("run checkpoint: access log unreadable");
+            return false;
+        }
+    }
+
+    const auto completed = static_cast<SubnetId>(ckpt.completed);
+    for (SubnetId i = 0; i < completed; i++) {
+        auto loss = static_cast<float>(
+            ckpt.losses[static_cast<std::size_t>(i)]);
+        losses[i] = loss;
+        completionSec[i] =
+            ckpt.completionSec[static_cast<std::size_t>(i)];
+        scoreBuffer[i] = lossToScore(loss, scoreScale);
+    }
+    {
+        // Re-feed the convergence tracker in completion-time order.
+        std::vector<std::pair<double, float>> samples;
+        samples.reserve(static_cast<std::size_t>(completed));
+        for (SubnetId i = 0; i < completed; i++)
+            samples.emplace_back(completionSec[i], losses[i]);
+        std::sort(samples.begin(), samples.end());
+        for (const auto &[when, loss] : samples)
+            tracker->addSample(when, loss);
+    }
+
+    // Replay the sampler with feedback-lag-faithful score delivery:
+    // draws are a pure function of (seed, scores-by-ID), so this
+    // reproduces the exact subnet sequence the checkpointed run drew
+    // — the CSP property Definition 1 rests on.
+    int lag = effectiveFeedbackLag();
+    for (SubnetId i = 0; i < completed; i++) {
+        if (lag > 0)
+            deliverScoresBelow(i - lag + 1);
+        Subnet sn = sampler->next();
+        NASPIPE_ASSERT(sn.id() == i, "sampler replay out of sync: ",
+                       sn.id(), " vs ", i);
+
+        subnets.emplace(sn.id(), sn);
+        for (int b = 0; b < sn.size(); b++) {
+            if (space.parameterized(b, sn.choice(b)))
+                activators[sn.layer(b).key()].push_back(sn.id());
+        }
+        SubnetPartition part =
+            model.balancedPartition
+                ? partitioner->balanced(sn, numStages)
+                : Partitioner::even(sn.size(), numStages);
+        partitions.emplace(sn.id(), std::move(part));
+        if (model.mirroring) {
+            auto entries = mirrors->plan(sn, partitions.at(sn.id()));
+            mirrors->activate(entries);
+            auto &grouped = mirrorEntries[sn.id()];
+            for (auto &entry : entries)
+                grouped[entry.execStage].push_back(entry);
+        }
+        // Registered then immediately finished on every stage: the
+        // dependency frontiers advance past the restored prefix, and
+        // the numeric executor never opens a context for it.
+        for (auto &stage : stages) {
+            stage->registerSubnet(sn);
+            stage->mutableDeps().markFinished(sn.id());
+        }
+        for (int b = 0; b < sn.size(); b++) {
+            if (space.parameterized(b, sn.choice(b)))
+                writesApplied[sn.layer(b).key()]++;
+        }
+        if (flushCtl)
+            flushCtl->onSubnetComplete(sn.id());
+    }
+    if (lag == 0)
+        deliverScoresBelow(completed);
+
+    injected = static_cast<int>(completed);
+    finished = static_cast<int>(completed);
+    inflight = 0;
+    // lastWrite stays empty: the restored store is globally
+    // consistent, so every read is immediately available.
+    return true;
+}
+
+bool
+PipelineRuntime::Impl::beginRecovery()
+{
+    double simAtCrash = secOffset + ticksToSec(sim.now());
+    double busyAtCrash = busyOffset + busySum();
+
+    RunCheckpoint ckpt;
+    bool haveCkpt = false;
+    if (!lastCkpt.empty()) {
+        std::istringstream in(lastCkpt);
+        bool ok = ckpt.load(in);
+        NASPIPE_ASSERT(ok, "in-memory checkpoint unreadable");
+        haveCkpt = true;
+    }
+    recoveries++;
+    subnetsReplayed += finished - static_cast<int>(ckpt.completed);
+    lostComputeSeconds +=
+        std::max(0.0, busyAtCrash - ckpt.busySeconds);
+    recoverySecondsTotal += config.recoverySeconds;
+    inform("recovering: rollback from ", finished, " to ",
+           ckpt.completed, " completed subnets (",
+           finished - static_cast<int>(ckpt.completed), " to replay)");
+
+    resetRunState();
+    secOffset = simAtCrash + config.recoverySeconds;
+    busyOffset = ckpt.busySeconds;
+    if (!setup())
+        return false;  // cannot happen: the same plan fit before
+    nextCkptAt = ckptEnabled()
+                     ? boundaryAfter(static_cast<int>(ckpt.completed))
+                     : 0;
+    if (haveCkpt && !restore(ckpt))
+        return false;
+    return true;
+}
+
 RunResult
 PipelineRuntime::Impl::collect()
 {
@@ -690,25 +1057,26 @@ PipelineRuntime::Impl::collect()
     RunMetrics &m = out.metrics;
     m.finishedSubnets = finished;
     m.batch = batch;
-    m.simSeconds = ticksToSec(sim.now());
+    m.simSeconds = secOffset + ticksToSec(sim.now());
     if (m.simSeconds > 0.0) {
         m.samplesPerSec = static_cast<double>(finished) * batch /
                           m.simSeconds;
         m.subnetsPerHour =
             static_cast<double>(finished) / m.simSeconds * 3600.0;
     }
+    // Engine statistics cover only the final phase (earlier phases
+    // died with the fault); utilization windows use phase-local time.
+    double phaseSec = ticksToSec(sim.now());
     m.bubbleRatio = cluster->meanBubbleRatio();
     double eff = kernelEfficiency(batch, activation.overheadBatch);
     m.totalAluUtilization =
-        cluster->totalAluUtilization(m.simSeconds) * eff;
+        cluster->totalAluUtilization(phaseSec) * eff;
     for (int s = 0; s < numStages; s++) {
         m.perGpuAlu.push_back(
-            cluster->gpu(s).aluUtilization(m.simSeconds) * eff);
+            cluster->gpu(s).aluUtilization(phaseSec) * eff);
     }
 
-    double busyTotal = 0.0;
-    for (const auto &[id, sec] : execBusySec)
-        busyTotal += sec;
+    double busyTotal = busyOffset + busySum();
     if (finished > 0)
         m.meanExecSeconds = busyTotal / finished;
 
@@ -747,6 +1115,15 @@ PipelineRuntime::Impl::collect()
     m.stallEmptyQueues = stallEmptyQueues;
     m.stallDependency = stallDependency;
     m.stallMirrorWait = stallMirrorWait;
+
+    m.faultsInjected = injector.firedCount();
+    m.recoveries = recoveries;
+    m.subnetsReplayed = subnetsReplayed;
+    m.recoverySeconds = recoverySecondsTotal;
+    m.lostComputeSeconds = lostComputeSeconds;
+    m.checkpointsWritten = checkpointsWritten;
+    m.checkpointBytes = checkpointBytes;
+    m.checkpointSeconds = checkpointSecondsTotal;
 
     // The "supernet loss" is the trailing-window mean over the last
     // subnets *by sequence ID* (not completion order), so the metric
@@ -794,18 +1171,63 @@ PipelineRuntime::~PipelineRuntime() = default;
 RunResult
 PipelineRuntime::run()
 {
-    if (!_impl->setup()) {
+    Impl &im = *_impl;
+    if (!im.setup()) {
         RunResult out;
         out.oom = true;
-        out.plan = _impl->plan;
+        out.plan = im.plan;
         return out;
     }
-    _impl->injectSubnets();
-    _impl->sim.run();
-    NASPIPE_ASSERT(_impl->finished == _impl->config.totalSubnets,
-                   "run ended with ", _impl->finished, " of ",
-                   _impl->config.totalSubnets, " subnets finished");
-    return _impl->collect();
+    im.nextCkptAt = im.ckptEnabled() ? im.ckptStride() : 0;
+
+    if (!im.config.resumePath.empty()) {
+        RunCheckpoint ckpt;
+        if (!ckpt.loadFile(im.config.resumePath) ||
+            !im.restore(ckpt)) {
+            RunResult out;
+            out.failed = true;
+            out.error = "cannot resume from checkpoint '" +
+                        im.config.resumePath + "'";
+            out.plan = im.plan;
+            return out;
+        }
+        im.secOffset = ckpt.simSeconds;
+        im.busyOffset = ckpt.busySeconds;
+        im.checkpointsWritten =
+            static_cast<int>(ckpt.checkpointsWritten);
+        if (im.ckptEnabled()) {
+            im.nextCkptAt =
+                im.boundaryAfter(static_cast<int>(ckpt.completed));
+        }
+        // A later fail-stop fault rolls back to this state.
+        std::ostringstream os(std::ios::binary);
+        if (ckpt.save(os))
+            im.lastCkpt = os.str();
+    }
+
+    im.injectSubnets();
+    im.sim.run();
+    while (im.crashed) {
+        // Every fail-stop fault fires exactly once, bounding the
+        // recovery loop by the plan size.
+        NASPIPE_ASSERT(
+            im.recoveries <
+                static_cast<int>(im.injector.plan().size()),
+            "recovery loop exceeded the fault plan");
+        if (!im.beginRecovery()) {
+            RunResult out;
+            out.failed = true;
+            out.error = "recovery from the last checkpoint failed";
+            out.plan = im.plan;
+            return out;
+        }
+        im.injectSubnets();
+        im.sim.run();
+    }
+    NASPIPE_ASSERT(im.finished == im.config.totalSubnets,
+                   "run ended with ", im.finished, " of ",
+                   im.config.totalSubnets, " subnets finished");
+    return im.collect();
 }
 
 RunResult

@@ -30,6 +30,7 @@
 #include "runtime/metrics.h"
 #include "schedule/bsp_scheduler.h"
 #include "schedule/scheduler.h"
+#include "sim/fault_injector.h"
 #include "sim/trace.h"
 #include "supernet/sampler.h"
 #include "train/convergence.h"
@@ -80,11 +81,35 @@ struct RuntimeConfig {
     /** Workload calibration; bytesPerSample==0 => family default. */
     ActivationModel activation;
     double scoreScale = 0.0;   ///< 0: family default (24 / 90)
+
+    /** @name Fault injection and recovery
+     * Deterministic fault plan plus the checkpoint/recovery knobs.
+     * Fail-stop faults (crash/drop) freeze the run, roll back to the
+     * last drained checkpoint, and replay the lost subnets in CSP
+     * order; transient faults (stall/degrade) only perturb timing.
+     * @{ */
+    std::vector<FaultSpec> faults;  ///< fires on completion count
+    /**
+     * Write a run checkpoint every this many completed subnets, at a
+     * pipeline-drain barrier (injection pauses at the boundary so no
+     * subnet is in flight). 0 disables mid-run checkpointing — a
+     * fail-stop fault then restarts training from subnet 0.
+     */
+    int ckptInterval = 0;
+    std::string ckptPath;    ///< also persist checkpoints here
+    std::string resumePath;  ///< start from this checkpoint file
+    /** Modeled checkpoint-write bandwidth (local NVMe scale). */
+    double ckptWriteBytesPerSec = 2e9;
+    /** Modeled detection + restart wall clock per recovery. */
+    double recoverySeconds = 5.0;
+    /** @} */
 };
 
 /** Everything a run produces. */
 struct RunResult {
     bool oom = false;          ///< capacity planner rejected the run
+    bool failed = false;       ///< run aborted (bad resume, etc.)
+    std::string error;         ///< diagnostic when failed
     CapacityPlan plan;
     RunMetrics metrics;
     std::vector<ConvergencePoint> curve;

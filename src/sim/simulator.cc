@@ -35,8 +35,9 @@ Simulator::runUntil(Tick deadline)
 std::uint64_t
 Simulator::runLoop(bool bounded, Tick deadline)
 {
+    _stopRequested = false;
     std::uint64_t executed = 0;
-    while (!_queue.empty()) {
+    while (!_queue.empty() && !_stopRequested) {
         if (bounded && _queue.nextTime() > deadline)
             break;
         Event ev = _queue.pop();
@@ -60,6 +61,7 @@ Simulator::reset()
     _queue.clear();
     _now = 0;
     _executed = 0;
+    _stopRequested = false;
 }
 
 } // namespace naspipe

@@ -43,6 +43,17 @@ class Simulator
     std::uint64_t run();
 
     /**
+     * Abort the current run() from inside an event callback: no
+     * further events execute and run() returns with the queue's
+     * remaining events intact (a fail-stop fault freezes the world
+     * mid-instant). The flag clears on the next run()/runUntil().
+     */
+    void stop() { _stopRequested = true; }
+
+    /** Whether the last run() was aborted via stop(). */
+    bool stopped() const { return _stopRequested; }
+
+    /**
      * Run until simulated time would exceed @p deadline; events at
      * exactly @p deadline still execute. Returns events executed.
      */
@@ -70,6 +81,7 @@ class Simulator
     Tick _now = 0;
     std::uint64_t _executed = 0;
     std::uint64_t _stepLimit = 500'000'000ULL;
+    bool _stopRequested = false;
 };
 
 } // namespace naspipe

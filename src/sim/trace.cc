@@ -26,6 +26,10 @@ traceKindName(TraceKind kind)
         return "stall";
       case TraceKind::Flush:
         return "flush";
+      case TraceKind::Fault:
+        return "fault";
+      case TraceKind::Checkpoint:
+        return "ckpt";
     }
     return "?";
 }

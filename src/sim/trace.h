@@ -28,6 +28,8 @@ enum class TraceKind {
     MirrorSync,   ///< mirrored-parameter push between stages
     Stall,        ///< engine idle waiting for a synchronous swap
     Flush,        ///< BSP bulk barrier
+    Fault,        ///< injected fault firing
+    Checkpoint,   ///< run checkpoint written at a drain barrier
 };
 
 /** Human-readable tag for a trace kind. */

@@ -1,10 +1,29 @@
 #include "train/access_log.h"
 
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "common/logging.h"
 
 namespace naspipe {
+
+namespace {
+
+void
+writeU64(std::ostream &out, std::uint64_t value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+bool
+readU64(std::istream &in, std::uint64_t &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return in.gcount() == sizeof(value);
+}
+
+} // namespace
 
 void
 AccessLog::record(const LayerId &layer, SubnetId subnet,
@@ -86,6 +105,66 @@ AccessLog::allSequentiallyEquivalent() const
         if (!sequentiallyEquivalent(layer))
             return false;
     }
+    return true;
+}
+
+void
+AccessLog::saveTo(std::ostream &out) const
+{
+    writeU64(out, _nextOrder);
+    writeU64(out, _history.size());
+    for (const auto &[key, records] : _history) {
+        writeU64(out, key);
+        writeU64(out, records.size());
+        for (const auto &rec : records) {
+            writeU64(out, rec.order);
+            writeU64(out, static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(rec.subnet)));
+            writeU64(out, rec.kind == AccessKind::Write ? 1 : 0);
+        }
+    }
+}
+
+bool
+AccessLog::loadFrom(std::istream &in)
+{
+    clear();
+    std::uint64_t nextOrder = 0;
+    std::uint64_t numLayers = 0;
+    if (!readU64(in, nextOrder) || !readU64(in, numLayers))
+        return false;
+    std::map<std::uint64_t, std::vector<AccessRecord>> history;
+    std::uint64_t total = 0;
+    for (std::uint64_t l = 0; l < numLayers; l++) {
+        std::uint64_t key = 0;
+        std::uint64_t count = 0;
+        if (!readU64(in, key) || !readU64(in, count))
+            return false;
+        // Every record carries a distinct order < nextOrder, so a
+        // count exceeding it can only come from a corrupted stream.
+        if (count > nextOrder || total + count > nextOrder)
+            return false;
+        std::vector<AccessRecord> records;
+        records.reserve(static_cast<std::size_t>(count));
+        for (std::uint64_t r = 0; r < count; r++) {
+            std::uint64_t order = 0, subnet = 0, kind = 0;
+            if (!readU64(in, order) || !readU64(in, subnet) ||
+                !readU64(in, kind)) {
+                return false;
+            }
+            if (order >= nextOrder || kind > 1)
+                return false;
+            records.push_back(AccessRecord{
+                order,
+                static_cast<SubnetId>(
+                    static_cast<std::int64_t>(subnet)),
+                kind ? AccessKind::Write : AccessKind::Read});
+        }
+        total += count;
+        history.emplace(key, std::move(records));
+    }
+    _history = std::move(history);
+    _nextOrder = nextOrder;
     return true;
 }
 

@@ -15,6 +15,7 @@
 #define NASPIPE_TRAIN_ACCESS_LOG_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -75,6 +76,21 @@ class AccessLog
 
     /** Total records over all layers. */
     std::uint64_t totalRecords() const { return _nextOrder; }
+
+    /**
+     * Serialize the full log (sequence counter plus every per-layer
+     * history) into @p out. Part of the run-checkpoint payload so a
+     * recovered run reproduces the uninterrupted run's Table 4
+     * renderings exactly.
+     */
+    void saveTo(std::ostream &out) const;
+
+    /**
+     * Replace this log's contents with a stream written by saveTo().
+     * Returns false (leaving the log cleared) on truncated or
+     * malformed input; never aborts the process.
+     */
+    bool loadFrom(std::istream &in);
 
     void clear();
 

@@ -1,15 +1,18 @@
 #include "train/param_store.h"
 
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "common/logging.h"
+#include "common/rng.h"
 
 namespace naspipe {
 
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x4e415350;  // "NASP"
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 template <typename T>
 void
@@ -112,6 +115,18 @@ ParameterStore::supernetHash()
 bool
 ParameterStore::save(std::ostream &out) const
 {
+    std::ostringstream payload(std::ios::binary);
+    for (const auto &[key, params] : _params) {
+        writePod(payload, key);
+        auto vit = _versions.find(key);
+        writePod(payload, vit == _versions.end()
+                              ? std::uint64_t{0}
+                              : vit->second);
+        writeTensor(payload, params.weight);
+        writeTensor(payload, params.bias);
+    }
+    const std::string bytes = payload.str();
+
     writePod(out, kCheckpointMagic);
     writePod(out, kCheckpointVersion);
     writePod(out, static_cast<std::uint32_t>(_space.numBlocks()));
@@ -119,11 +134,9 @@ ParameterStore::save(std::ostream &out) const
                       _space.choicesPerBlock()));
     writePod(out, _seed);
     writePod(out, static_cast<std::uint64_t>(_params.size()));
-    for (const auto &[key, params] : _params) {
-        writePod(out, key);
-        writeTensor(out, params.weight);
-        writeTensor(out, params.bias);
-    }
+    writePod(out, static_cast<std::uint64_t>(bytes.size()));
+    writePod(out, hashBytes(bytes.data(), bytes.size()));
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     return static_cast<bool>(out);
 }
 
@@ -138,35 +151,112 @@ bool
 ParameterStore::load(std::istream &in)
 {
     std::uint32_t magic = 0, version = 0, blocks = 0, choices = 0;
-    std::uint64_t seed = 0, count = 0;
+    std::uint64_t seed = 0, count = 0, payloadBytes = 0, checksum = 0;
     if (!readPod(in, magic) || !readPod(in, version) ||
         !readPod(in, blocks) || !readPod(in, choices) ||
-        !readPod(in, seed) || !readPod(in, count)) {
+        !readPod(in, seed) || !readPod(in, count) ||
+        !readPod(in, payloadBytes) || !readPod(in, checksum)) {
+        warn("parameter checkpoint: truncated header");
         return false;
     }
-    if (magic != kCheckpointMagic)
+    if (magic != kCheckpointMagic) {
+        warn("parameter checkpoint: bad magic ", magic,
+             " (not a NASP checkpoint)");
         return false;
-    if (version != kCheckpointVersion)
+    }
+    if (version != kCheckpointVersion) {
+        warn("parameter checkpoint: unsupported format version ",
+             version, " (this build reads version ",
+             kCheckpointVersion, ")");
         return false;
+    }
     if (static_cast<int>(blocks) != _space.numBlocks() ||
         static_cast<int>(choices) != _space.choicesPerBlock() ||
         seed != _seed) {
-        fatal("checkpoint does not match this store: space ", blocks,
-              "x", choices, " seed ", seed, " vs ",
-              _space.numBlocks(), "x", _space.choicesPerBlock(),
-              " seed ", _seed);
+        warn("parameter checkpoint does not match this store: space ",
+             blocks, "x", choices, " seed ", seed, " vs ",
+             _space.numBlocks(), "x", _space.choicesPerBlock(),
+             " seed ", _seed);
+        return false;
     }
-    for (std::uint64_t i = 0; i < count; i++) {
-        std::uint64_t key = 0;
-        if (!readPod(in, key))
+    if (count > static_cast<std::uint64_t>(blocks) * choices) {
+        warn("parameter checkpoint: layer count ", count,
+             " exceeds the ", blocks, "x", choices, " space");
+        return false;
+    }
+
+    // Pull exactly payloadBytes off the stream in chunks, so a
+    // corrupted length field fails at end-of-stream instead of
+    // attempting one huge allocation up front.
+    std::string bytes;
+    {
+        std::uint64_t remaining = payloadBytes;
+        char buf[65536];
+        while (remaining > 0) {
+            auto want = static_cast<std::streamsize>(
+                remaining < sizeof(buf) ? remaining : sizeof(buf));
+            in.read(buf, want);
+            std::streamsize got = in.gcount();
+            if (got <= 0) {
+                warn("parameter checkpoint: payload truncated (",
+                     bytes.size(), " of ", payloadBytes, " bytes)");
+                return false;
+            }
+            bytes.append(buf, static_cast<std::size_t>(got));
+            remaining -= static_cast<std::uint64_t>(got);
+        }
+    }
+    if (hashBytes(bytes.data(), bytes.size()) != checksum) {
+        warn("parameter checkpoint: payload checksum mismatch");
+        return false;
+    }
+
+    // Checksum verified: the payload is byte-identical to what a
+    // same-shape store saved, so parsing below mutates this store
+    // only with data that will parse to completion.
+    std::size_t off = 0;
+    auto take = [&bytes, &off](void *dst, std::size_t n) {
+        if (bytes.size() - off < n)
             return false;
-        LayerId layer{static_cast<std::uint32_t>(key >> 32),
-                      static_cast<std::uint32_t>(key & 0xffffffffULL)};
-        LayerParams &params = materialize(layer);
-        if (!readTensor(in, params.weight) ||
-            !readTensor(in, params.bias)) {
+        std::memcpy(dst, bytes.data() + off, n);
+        off += n;
+        return true;
+    };
+    for (std::uint64_t i = 0; i < count; i++) {
+        std::uint64_t key = 0, layerVersion = 0;
+        if (!take(&key, sizeof(key)) ||
+            !take(&layerVersion, sizeof(layerVersion))) {
+            warn("parameter checkpoint: payload ends inside layer ",
+                 i);
             return false;
         }
+        LayerId layer{static_cast<std::uint32_t>(key >> 32),
+                      static_cast<std::uint32_t>(key & 0xffffffffULL)};
+        if (static_cast<int>(layer.block) >= _space.numBlocks() ||
+            static_cast<int>(layer.choice) >=
+                _space.choicesPerBlock()) {
+            warn("parameter checkpoint: layer (", layer.block, ", ",
+                 layer.choice, ") outside the space");
+            return false;
+        }
+        LayerParams &params = materialize(layer);
+        if (!take(params.weight.data().data(),
+                  params.weight.size() * sizeof(float)) ||
+            !take(params.bias.data().data(),
+                  params.bias.size() * sizeof(float))) {
+            warn("parameter checkpoint: payload ends inside layer (",
+                 layer.block, ", ", layer.choice, ")");
+            return false;
+        }
+        if (layerVersion != 0)
+            _versions[key] = layerVersion;
+        else
+            _versions.erase(key);
+    }
+    if (off != bytes.size()) {
+        warn("parameter checkpoint: ", bytes.size() - off,
+             " trailing payload bytes");
+        return false;
     }
     return true;
 }
@@ -175,7 +265,11 @@ bool
 ParameterStore::loadFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
-    return in && load(in);
+    if (!in) {
+        warn("cannot open parameter checkpoint file ", path);
+        return false;
+    }
+    return load(in);
 }
 
 std::uint64_t

@@ -77,12 +77,16 @@ class ParameterStore
 
     /** @name Checkpointing
      * Persist the trained supernet for post-training analysis (the
-     * GreedyNAS-style trial inspection of §2.1) or transfer to
-     * another process. The binary format stores the space shape and
-     * init seed for a compatibility check on load, then the
-     * materialized layers' raw fp32 bytes; load restores them
-     * bitwise (untouched layers re-materialize from the seed, so a
-     * loaded store is indistinguishable from the original).
+     * GreedyNAS-style trial inspection of §2.1), transfer to another
+     * process, or mid-run fault recovery. Format v2: a fixed header
+     * (magic "NASP", format version, space shape, init seed, layer
+     * count, payload length, FNV-1a payload checksum) followed by a
+     * length-delimited payload of per-layer key + version counter +
+     * raw fp32 bytes; load restores them bitwise (untouched layers
+     * re-materialize from the seed, so a loaded store is
+     * indistinguishable from the original). The payload is length-
+     * delimited so a store checkpoint can be embedded inside a larger
+     * run-checkpoint stream.
      * @{ */
     /** Serialize to a stream; returns false on I/O failure. */
     bool save(std::ostream &out) const;
@@ -91,9 +95,12 @@ class ParameterStore
     bool saveFile(const std::string &path) const;
 
     /**
-     * Restore from a stream produced by save(). Fatal if the
-     * checkpoint's space shape or seed mismatch this store's.
-     * @return false on I/O or format error.
+     * Restore from a stream produced by save(). Never aborts the
+     * process: a truncated stream, a corrupted byte (checksum
+     * mismatch), an unknown format version, or a space-shape/seed
+     * mismatch all log the reason and return false. The store is only
+     * mutated after the checksum verifies.
+     * @return true iff the store now matches the checkpoint bitwise.
      */
     bool load(std::istream &in);
 

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Mid-run training checkpoint for fault recovery.
+ *
+ * A RunCheckpoint captures everything the pipeline runtime needs to
+ * resume a partially trained supernet deterministically: the store's
+ * weights (ParameterStore v2 stream), the access log, the per-subnet
+ * losses and completion times observed so far, and the scheduler
+ * frontier (the completed-subnet count). Checkpoints are only taken
+ * at pipeline-drain barriers, where no subnet is in flight, so under
+ * CSP the entire state is a pure function of (config, completed
+ * count) — which is what makes a recovered run bitwise-identical to
+ * an uninterrupted one.
+ *
+ * The file format mirrors the parameter store's: magic "NPRC",
+ * format version, payload length, FNV-1a payload checksum, payload.
+ * Loading never aborts the process — truncation, bit corruption, and
+ * version/shape mismatches all log a reason and return false.
+ * saveFileAtomic() writes via a temp file plus rename so a crash
+ * mid-write never leaves a half-written checkpoint at the target
+ * path.
+ */
+
+#ifndef NASPIPE_TRAIN_RUN_CHECKPOINT_H
+#define NASPIPE_TRAIN_RUN_CHECKPOINT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+
+/** Full mid-run training state at a pipeline-drain barrier. */
+struct RunCheckpoint {
+    /** @name Compatibility identity
+     * A checkpoint resumes only a run with the same seed, space
+     * shape, and total subnet count (Definition 1's "same inputs").
+     * @{ */
+    std::uint64_t seed = 0;
+    std::uint32_t spaceBlocks = 0;
+    std::uint32_t spaceChoices = 0;
+    std::uint64_t totalSubnets = 0;
+    /** @} */
+
+    /** Scheduler frontier: subnets 0..completed-1 are done. */
+    std::uint64_t completed = 0;
+
+    /** Simulated wall-clock seconds at the drain barrier. */
+    double simSeconds = 0.0;
+
+    /** Total GPU-busy seconds accumulated at the barrier. */
+    double busySeconds = 0.0;
+
+    /** How many checkpoints the producing run had written. */
+    std::uint64_t checkpointsWritten = 0;
+
+    /** Per-subnet final losses, indexed by subnet ID (size == completed). */
+    std::vector<double> losses;
+
+    /** Per-subnet completion times in seconds, indexed by subnet ID. */
+    std::vector<double> completionSec;
+
+    /** ParameterStore::save() stream of the drained store. */
+    std::string storeBytes;
+
+    /** AccessLog::saveTo() stream of the store's access log. */
+    std::string accessLogBytes;
+
+    /** Serialize to a stream; returns false on I/O failure. */
+    bool save(std::ostream &out) const;
+
+    /**
+     * Restore from a stream written by save(). Logs the reason and
+     * returns false on truncated, corrupted, or mismatched-version
+     * input; this object is unchanged unless it returns true.
+     */
+    bool load(std::istream &in);
+
+    /**
+     * Write to @p path atomically: serialize to "<path>.tmp", then
+     * rename over @p path. Returns false (and logs) on any failure.
+     */
+    bool saveFileAtomic(const std::string &path) const;
+
+    /** Read from a file; false (with a logged reason) on failure. */
+    bool loadFile(const std::string &path);
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_TRAIN_RUN_CHECKPOINT_H

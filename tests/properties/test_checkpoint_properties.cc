@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Checkpoint-format property tests.
+ *
+ * Two properties carry the whole recovery design: (1) save→load is
+ * the identity on a parameter store — including mid-run, including
+ * across GPU counts (the checkpointed state at a drain barrier is a
+ * pure function of the completed count under CSP); (2) no corrupted
+ * or truncated input ever crashes the process — every damaged byte
+ * surfaces as a clean `false` from load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runtime/pipeline_runtime.h"
+#include "supernet/search_space.h"
+#include "train/param_store.h"
+#include "train/run_checkpoint.h"
+
+namespace naspipe {
+namespace {
+
+/** A store with a few deterministic training writes applied. */
+void
+scribble(ParameterStore &store)
+{
+    store.write(LayerId{1, 2}, 0).weight[3] = 0.123f;
+    store.write(LayerId{0, 0}, 1).bias[7] = -4.5f;
+    store.write(LayerId{1, 2}, 2).weight[0] += 1.0f;
+    store.read(LayerId{2, 1}, 3);
+}
+
+std::string
+serialized(ParameterStore &store)
+{
+    std::stringstream buffer;
+    EXPECT_TRUE(store.save(buffer));
+    return buffer.str();
+}
+
+TEST(CheckpointProperties, StoreSaveLoadHashIdentity)
+{
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    scribble(store);
+
+    std::stringstream buffer(serialized(store));
+    ParameterStore restored(space, 7);
+    ASSERT_TRUE(restored.load(buffer));
+    EXPECT_EQ(store.supernetHash(), restored.supernetHash());
+    EXPECT_EQ(store.touchedHash(), restored.touchedHash());
+}
+
+TEST(CheckpointProperties, StoreLoadPreservesVersions)
+{
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    scribble(store);
+    ASSERT_EQ(store.version(LayerId{1, 2}), 2u);
+
+    std::stringstream buffer(serialized(store));
+    ParameterStore restored(space, 7);
+    ASSERT_TRUE(restored.load(buffer));
+    EXPECT_EQ(restored.version(LayerId{1, 2}), 2u);
+    EXPECT_EQ(restored.version(LayerId{0, 0}), 1u);
+    EXPECT_EQ(restored.version(LayerId{2, 1}), 0u);
+}
+
+TEST(CheckpointProperties, MidRunStoreHashIdenticalAcrossGpuCounts)
+{
+    // Train the same configuration on 2 and 4 GPUs, checkpointing at
+    // the same drain boundary. Under CSP the mid-run store state is a
+    // pure function of the completed count, so the two checkpoints'
+    // stores must hash identically after a round trip.
+    SearchSpace space("ckpt-prop", SpaceFamily::Nlp, 12, 4, 5);
+    std::uint64_t hashes[2] = {0, 0};
+    int slot = 0;
+    for (int gpus : {2, 4}) {
+        std::string path = ::testing::TempDir() +
+                           "naspipe_ckpt_prop_" +
+                           std::to_string(gpus) + ".ckpt";
+        RuntimeConfig config;
+        config.system = naspipeSystem();
+        config.numStages = gpus;
+        config.totalSubnets = 18;
+        config.seed = 7;
+        config.batch = 16;
+        config.ckptInterval = 8;
+        config.ckptPath = path;
+        RunResult result = runTraining(space, config);
+        ASSERT_FALSE(result.oom);
+        ASSERT_FALSE(result.failed) << result.error;
+
+        RunCheckpoint ckpt;
+        ASSERT_TRUE(ckpt.loadFile(path));
+        EXPECT_EQ(ckpt.completed, 16u) << gpus << " GPUs";
+
+        std::istringstream storeBytes(ckpt.storeBytes);
+        ParameterStore restored(space, 7);
+        ASSERT_TRUE(restored.load(storeBytes));
+        hashes[slot++] = restored.supernetHash();
+        std::remove(path.c_str());
+    }
+    EXPECT_EQ(hashes[0], hashes[1]);
+}
+
+TEST(CheckpointProperties, EveryStoreByteFlipIsRejectedCleanly)
+{
+    // Flip one byte at a sweep of positions covering the header and
+    // the payload: load must return false every time — never abort,
+    // never silently accept.
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    scribble(store);
+    std::string bytes = serialized(store);
+    ASSERT_GT(bytes.size(), 64u);
+
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += (pos < 64 ? 1 : 37)) {
+        std::string damaged = bytes;
+        damaged[pos] ^= 0x01;
+        std::stringstream buffer(damaged);
+        ParameterStore restored(space, 7);
+        EXPECT_FALSE(restored.load(buffer))
+            << "byte flip at " << pos << " accepted";
+    }
+}
+
+TEST(CheckpointProperties, EveryStoreTruncationIsRejectedCleanly)
+{
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    scribble(store);
+    std::string bytes = serialized(store);
+
+    for (std::size_t len = 0; len < bytes.size();
+         len += (len < 64 ? 1 : 53)) {
+        std::stringstream buffer(bytes.substr(0, len));
+        ParameterStore restored(space, 7);
+        EXPECT_FALSE(restored.load(buffer))
+            << "truncation to " << len << " bytes accepted";
+    }
+}
+
+TEST(CheckpointProperties, StoreMismatchReturnsFalseNotFatal)
+{
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    std::string bytes = serialized(store);
+
+    // Wrong seed.
+    {
+        std::stringstream buffer(bytes);
+        ParameterStore otherSeed(space, 8);
+        EXPECT_FALSE(otherSeed.load(buffer));
+    }
+    // Wrong space shape.
+    {
+        SearchSpace bigger("other", SpaceFamily::Nlp, 6, 3, 5);
+        std::stringstream buffer(bytes);
+        ParameterStore otherShape(bigger, 7);
+        EXPECT_FALSE(otherShape.load(buffer));
+    }
+}
+
+TEST(CheckpointProperties, RunCheckpointRoundTrip)
+{
+    RunCheckpoint ckpt;
+    ckpt.seed = 42;
+    ckpt.spaceBlocks = 12;
+    ckpt.spaceChoices = 4;
+    ckpt.totalSubnets = 64;
+    ckpt.completed = 3;
+    ckpt.simSeconds = 12.5;
+    ckpt.busySeconds = 40.25;
+    ckpt.checkpointsWritten = 2;
+    ckpt.losses = {0.5, 0.4, 0.3};
+    ckpt.completionSec = {1.0, 2.0, 3.0};
+    ckpt.storeBytes = "store-payload-stand-in";
+    ckpt.accessLogBytes = std::string("log\0bytes", 9);
+
+    std::stringstream buffer;
+    ASSERT_TRUE(ckpt.save(buffer));
+
+    RunCheckpoint loaded;
+    ASSERT_TRUE(loaded.load(buffer));
+    EXPECT_EQ(loaded.seed, 42u);
+    EXPECT_EQ(loaded.spaceBlocks, 12u);
+    EXPECT_EQ(loaded.spaceChoices, 4u);
+    EXPECT_EQ(loaded.totalSubnets, 64u);
+    EXPECT_EQ(loaded.completed, 3u);
+    EXPECT_EQ(loaded.simSeconds, 12.5);
+    EXPECT_EQ(loaded.busySeconds, 40.25);
+    EXPECT_EQ(loaded.checkpointsWritten, 2u);
+    EXPECT_EQ(loaded.losses, ckpt.losses);
+    EXPECT_EQ(loaded.completionSec, ckpt.completionSec);
+    EXPECT_EQ(loaded.storeBytes, ckpt.storeBytes);
+    EXPECT_EQ(loaded.accessLogBytes, ckpt.accessLogBytes);
+}
+
+TEST(CheckpointProperties, RunCheckpointCorruptionRejected)
+{
+    RunCheckpoint ckpt;
+    ckpt.seed = 42;
+    ckpt.spaceBlocks = 12;
+    ckpt.spaceChoices = 4;
+    ckpt.totalSubnets = 64;
+    ckpt.completed = 2;
+    ckpt.losses = {0.5, 0.4};
+    ckpt.completionSec = {1.0, 2.0};
+    ckpt.storeBytes = "store";
+    std::stringstream buffer;
+    ASSERT_TRUE(ckpt.save(buffer));
+    std::string bytes = buffer.str();
+
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += (pos < 32 ? 1 : 11)) {
+        std::string damaged = bytes;
+        damaged[pos] ^= 0x80;
+        std::stringstream in(damaged);
+        RunCheckpoint loaded;
+        EXPECT_FALSE(loaded.load(in))
+            << "byte flip at " << pos << " accepted";
+    }
+    for (std::size_t len = 0; len < bytes.size(); len += 9) {
+        std::stringstream in(bytes.substr(0, len));
+        RunCheckpoint loaded;
+        EXPECT_FALSE(loaded.load(in))
+            << "truncation to " << len << " bytes accepted";
+    }
+}
+
+TEST(CheckpointProperties, RunCheckpointRejectsInconsistentCounts)
+{
+    // losses/completionSec must both have exactly `completed`
+    // entries; a checkpoint violating that is structurally invalid
+    // even when its checksum verifies.
+    RunCheckpoint ckpt;
+    ckpt.totalSubnets = 8;
+    ckpt.completed = 3;
+    ckpt.losses = {0.5, 0.4};  // too short
+    ckpt.completionSec = {1.0, 2.0, 3.0};
+    std::stringstream buffer;
+    ASSERT_TRUE(ckpt.save(buffer));
+    RunCheckpoint loaded;
+    EXPECT_FALSE(loaded.load(buffer));
+}
+
+TEST(CheckpointProperties, AccessLogRoundTrip)
+{
+    AccessLog log;
+    log.record(LayerId{0, 1}, 2, AccessKind::Read);
+    log.record(LayerId{0, 1}, 2, AccessKind::Write);
+    log.record(LayerId{3, 0}, 5, AccessKind::Read);
+    std::stringstream buffer;
+    log.saveTo(buffer);
+
+    AccessLog loaded;
+    ASSERT_TRUE(loaded.loadFrom(buffer));
+    EXPECT_EQ(loaded.totalRecords(), log.totalRecords());
+    EXPECT_EQ(loaded.renderOrder(LayerId{0, 1}),
+              log.renderOrder(LayerId{0, 1}));
+    EXPECT_EQ(loaded.renderOrder(LayerId{3, 0}),
+              log.renderOrder(LayerId{3, 0}));
+
+    // Appending after a reload continues the global order where the
+    // original left off.
+    loaded.record(LayerId{3, 0}, 6, AccessKind::Write);
+    EXPECT_EQ(loaded.totalRecords(), log.totalRecords() + 1);
+}
+
+TEST(CheckpointProperties, AccessLogRejectsDamagedStream)
+{
+    AccessLog log;
+    log.record(LayerId{0, 1}, 2, AccessKind::Read);
+    log.record(LayerId{1, 0}, 3, AccessKind::Write);
+    std::stringstream buffer;
+    log.saveTo(buffer);
+    std::string bytes = buffer.str();
+
+    for (std::size_t len = 0; len < bytes.size(); len += 5) {
+        std::stringstream in(bytes.substr(0, len));
+        AccessLog loaded;
+        EXPECT_FALSE(loaded.loadFrom(in))
+            << "truncation to " << len << " accepted";
+        EXPECT_EQ(loaded.totalRecords(), 0u);
+    }
+}
+
+TEST(CheckpointProperties, AtomicSaveLeavesNoTempFileBehind)
+{
+    RunCheckpoint ckpt;
+    ckpt.completed = 0;
+    std::string path =
+        ::testing::TempDir() + "naspipe_atomic_test.ckpt";
+    ASSERT_TRUE(ckpt.saveFileAtomic(path));
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    RunCheckpoint loaded;
+    EXPECT_TRUE(loaded.loadFile(path));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace naspipe

@@ -7,6 +7,8 @@
  *   naspipe_cli [--space NAME] [--system NAME] [--gpus N]
  *               [--steps N] [--seed N] [--batch N] [--staleness N]
  *               [--evolution] [--hybrid N]
+ *               [--inject-fault SPEC] [--ckpt-interval N]
+ *               [--ckpt FILE.ckpt] [--resume FILE.ckpt]
  *               [--trace FILE.json] [--checkpoint FILE.ckpt]
  *               [--csv FILE.csv] [--quiet]
  *
@@ -14,19 +16,24 @@
  * Systems: naspipe, gpipe, pipedream, vpipe, naspipe-no-scheduler,
  *          naspipe-no-predictor, naspipe-no-mirroring, ssp
  *          (ssp uses --staleness, default 2).
+ * Fault specs: KIND@STEP[,stage=N][,ms=X][,factor=F] with KIND one
+ * of crash|stall|degrade|drop; --inject-fault repeats.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/engine.h"
 #include "schedule/ssp_scheduler.h"
+#include "sim/fault_injector.h"
 
 namespace {
 
@@ -39,14 +46,48 @@ usage(const char *argv0)
         "usage: %s [--space NAME] [--system NAME] [--gpus N]\n"
         "          [--steps N] [--seed N] [--batch N] "
         "[--staleness N]\n"
-        "          [--evolution] [--hybrid N] [--trace FILE.json]\n"
-        "          [--checkpoint FILE.ckpt] [--csv FILE.csv] "
-        "[--quiet]\n"
+        "          [--evolution] [--hybrid N]\n"
+        "          [--inject-fault SPEC] [--ckpt-interval N]\n"
+        "          [--ckpt FILE.ckpt] [--resume FILE.ckpt]\n"
+        "          [--trace FILE.json] [--checkpoint FILE.ckpt]\n"
+        "          [--csv FILE.csv] [--quiet]\n"
         "spaces:  NLP.c0 NLP.c1 NLP.c2 NLP.c3 CV.c1 CV.c2 CV.c3\n"
         "systems: naspipe gpipe pipedream vpipe ssp\n"
         "         naspipe-no-scheduler naspipe-no-predictor\n"
-        "         naspipe-no-mirroring\n",
+        "         naspipe-no-mirroring\n"
+        "faults:  KIND@STEP[,stage=N][,ms=X][,factor=F]\n"
+        "         KIND: crash|stall|degrade|drop; repeatable\n",
         argv0);
+}
+
+/** Report a bad argument, print usage, and exit nonzero. */
+[[noreturn]] void
+argError(const char *argv0, const std::string &message)
+{
+    std::fprintf(stderr, "error: %s\n", message.c_str());
+    usage(argv0);
+    std::exit(2);
+}
+
+/** Strict base-10 integer parse: the whole string or nothing. */
+bool
+parseWholeLong(const char *text, long &out)
+{
+    if (!text || *text == '\0')
+        return false;
+    char *end = nullptr;
+    out = std::strtol(text, &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseWholeU64(const char *text, std::uint64_t &out)
+{
+    if (!text || *text == '\0' || *text == '-')
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(text, &end, 10);
+    return end && *end == '\0';
 }
 
 SystemModel
@@ -81,8 +122,10 @@ main(int argc, char **argv)
     std::string spaceName = "NLP.c2";
     std::string systemName = "naspipe";
     std::string tracePath, checkpointPath, csvPath;
+    std::string ckptPath, resumePath;
+    std::vector<FaultSpec> faults;
     int gpus = 8, steps = 64, batch = 0, staleness = 2;
-    int hybrid = 0;
+    int hybrid = 0, ckptInterval = 0;
     std::uint64_t seed = 7;
     bool evolution = false, quiet = false;
 
@@ -90,25 +133,52 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         auto value = [&]() -> const char * {
             if (i + 1 >= argc)
-                fatal("missing value for ", arg);
+                argError(argv[0], "missing value for " + arg);
             return argv[++i];
+        };
+        auto intValue = [&](long lo, long hi) -> long {
+            const char *text = value();
+            long n = 0;
+            if (!parseWholeLong(text, n) || n < lo || n > hi) {
+                argError(argv[0], "bad value '" + std::string(text) +
+                                      "' for " + arg + " (want " +
+                                      std::to_string(lo) + ".." +
+                                      std::to_string(hi) + ")");
+            }
+            return n;
         };
         if (arg == "--space")
             spaceName = value();
         else if (arg == "--system")
             systemName = value();
         else if (arg == "--gpus")
-            gpus = std::atoi(value());
+            gpus = static_cast<int>(intValue(1, 1024));
         else if (arg == "--steps")
-            steps = std::atoi(value());
-        else if (arg == "--seed")
-            seed = std::strtoull(value(), nullptr, 10);
-        else if (arg == "--batch")
-            batch = std::atoi(value());
+            steps = static_cast<int>(intValue(1, 1000000));
+        else if (arg == "--seed") {
+            const char *text = value();
+            if (!parseWholeU64(text, seed)) {
+                argError(argv[0], "bad value '" + std::string(text) +
+                                      "' for --seed");
+            }
+        } else if (arg == "--batch")
+            batch = static_cast<int>(intValue(0, 1 << 20));
         else if (arg == "--staleness")
-            staleness = std::atoi(value());
+            staleness = static_cast<int>(intValue(0, 1 << 20));
         else if (arg == "--hybrid")
-            hybrid = std::atoi(value());
+            hybrid = static_cast<int>(intValue(0, 1 << 20));
+        else if (arg == "--ckpt-interval")
+            ckptInterval = static_cast<int>(intValue(0, 1000000));
+        else if (arg == "--inject-fault") {
+            FaultSpec spec;
+            std::string why;
+            if (!parseFaultSpec(value(), spec, &why))
+                argError(argv[0], why);
+            faults.push_back(spec);
+        } else if (arg == "--ckpt")
+            ckptPath = value();
+        else if (arg == "--resume")
+            resumePath = value();
         else if (arg == "--trace")
             tracePath = value();
         else if (arg == "--checkpoint")
@@ -123,9 +193,16 @@ main(int argc, char **argv)
             usage(argv[0]);
             return 0;
         } else {
-            usage(argv[0]);
-            fatal("unknown argument: ", arg);
+            argError(argv[0], "unknown argument: " + arg);
         }
+    }
+    if (!faults.empty() &&
+        std::any_of(faults.begin(), faults.end(), [](const FaultSpec &f) {
+            return faultIsFailStop(f.kind);
+        }) &&
+        ckptInterval == 0 && !quiet) {
+        std::printf("note: fail-stop fault without --ckpt-interval: "
+                    "recovery restarts from subnet 0\n");
     }
 
     SearchSpace space = makeSpaceByName(spaceName);
@@ -140,12 +217,20 @@ main(int argc, char **argv)
     config.evolutionSearch = evolution;
     config.hybridStreams = hybrid;
     config.traceEnabled = !tracePath.empty();
+    config.faults = faults;
+    config.ckptInterval = ckptInterval;
+    config.ckptPath = ckptPath;
+    config.resumePath = resumePath;
 
     RunResult result = runTraining(space, config);
     if (result.oom) {
         std::printf("%s on %s with %d GPUs: OOM (does not fit)\n",
                     system.name.c_str(), spaceName.c_str(), gpus);
         return 2;
+    }
+    if (result.failed) {
+        std::fprintf(stderr, "error: %s\n", result.error.c_str());
+        return 3;
     }
 
     if (!quiet) {
@@ -166,6 +251,22 @@ main(int argc, char **argv)
                     m.cacheHitRate < 0
                         ? "N/A"
                         : formatPercent(m.cacheHitRate).c_str());
+        if (m.faultsInjected > 0 || m.recoveries > 0) {
+            std::printf("faults      %d injected  %d recoveries  "
+                        "%d subnets replayed\n",
+                        m.faultsInjected, m.recoveries,
+                        m.subnetsReplayed);
+            std::printf("recovery    %.2fs downtime  %.2fs compute "
+                        "lost\n",
+                        m.recoverySeconds, m.lostComputeSeconds);
+        }
+        if (m.checkpointsWritten > 0) {
+            std::printf("checkpoints %d written (%s each, %.3fs total "
+                        "write time)\n",
+                        m.checkpointsWritten,
+                        formatBytes(m.checkpointBytes).c_str(),
+                        m.checkpointSeconds);
+        }
         std::printf("training    loss %.6f  score %.2f  best SN%lld\n",
                     m.finalLoss, m.finalScore,
                     static_cast<long long>(result.bestSubnet));
