@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ParallelRuntime: the CSP schedule on real OS threads.
+ *
+ * A second runtime layer next to PipelineRuntime: instead of a
+ * discrete-event simulation of D GPUs, it launches one StageWorker
+ * thread per pipeline stage plus a coordinator (the calling thread),
+ * and executes the numeric training run with genuine concurrency.
+ * The CommitGate enforces the exact causal read/write order CSP
+ * proves sequential-equivalent, so for any worker count — and any OS
+ * thread interleaving — the trained weights are **bitwise identical**
+ * to the simulator's (and hence to sequential training); the
+ * equivalence harness in tests/integration/test_parallel_equivalence
+ * asserts this on the paper spaces.
+ *
+ * Shares RuntimeConfig and RunResult with the simulator so the two
+ * executors are drop-in interchangeable (`naspipe_cli
+ * --executor=threads|sim`). Differences:
+ *
+ *  - only CSP-compatible systems run (immediate update semantics:
+ *    naspipe and its predictor/mirroring ablations); BSP/ASP systems
+ *    return failed — their semantics are interleaving-*dependent*,
+ *    which is exactly what a real-thread executor cannot reproduce;
+ *  - hardware timing is real: metrics report wall-clock seconds,
+ *    per-stage busy/gate-wait/idle breakdowns and commit counts
+ *    instead of simulated ALU/memory occupancy;
+ *  - fault injection, checkpointing and resume are simulator-only
+ *    for now and are rejected up front.
+ */
+
+#ifndef NASPIPE_EXEC_PARALLEL_RUNTIME_H
+#define NASPIPE_EXEC_PARALLEL_RUNTIME_H
+
+#include <memory>
+
+#include "runtime/pipeline_runtime.h"
+
+namespace naspipe {
+
+/**
+ * Executes one training run on worker threads.
+ */
+class ParallelRuntime
+{
+  public:
+    /**
+     * @param space the search space (must outlive the runtime)
+     * @param config run configuration (numStages == worker threads)
+     */
+    ParallelRuntime(const SearchSpace &space,
+                    const RuntimeConfig &config);
+
+    ~ParallelRuntime();
+
+    ParallelRuntime(const ParallelRuntime &) = delete;
+    ParallelRuntime &operator=(const ParallelRuntime &) = delete;
+
+    /** Execute the run to completion and collect the results. */
+    RunResult run();
+
+    /** Effective score scale (family default applied). */
+    double scoreScale() const;
+
+    /**
+     * Whether @p config can run on the threaded executor; fills
+     * @p why (when non-null) with the first rejection reason.
+     */
+    static bool supported(const RuntimeConfig &config,
+                          std::string *why = nullptr);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+/** Convenience wrapper: configure and run on threads in one call. */
+RunResult runTrainingThreaded(const SearchSpace &space,
+                              const RuntimeConfig &config);
+
+} // namespace naspipe
+
+#endif // NASPIPE_EXEC_PARALLEL_RUNTIME_H

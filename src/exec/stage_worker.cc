@@ -1,0 +1,271 @@
+#include "exec/stage_worker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace naspipe {
+
+namespace {
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+StageWorker::StageWorker(int stage, int numStages,
+                         const SearchSpace &space, CommitGate &gate,
+                         NumericExecutor *exec,
+                         UpdateSemantics semantics,
+                         std::size_t inboxCapacity)
+    : _stage(stage), _numStages(numStages), _space(space), _gate(gate),
+      _exec(exec), _semantics(semantics), _inbox(inboxCapacity)
+{
+    NASPIPE_ASSERT(stage >= 0 && stage < numStages,
+                   "stage index out of range");
+}
+
+void
+StageWorker::connect(
+    StageWorker *next, StageWorker *prev,
+    std::function<void(std::shared_ptr<const SubnetRun>)> complete)
+{
+    _next = next;
+    _prev = prev;
+    _complete = std::move(complete);
+}
+
+void
+StageWorker::start(std::chrono::steady_clock::time_point epoch,
+                   bool recordTrace)
+{
+    _epoch = epoch;
+    _recordTrace = recordTrace;
+    _thread = std::thread([this] { runLoop(); });
+}
+
+void
+StageWorker::submit(ExecTask task)
+{
+    _inbox.push(std::move(task));
+    notify();
+}
+
+void
+StageWorker::notify()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _signals++;
+    }
+    _cv.notify_one();
+}
+
+void
+StageWorker::requestStop()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _stop = true;
+        _signals++;
+    }
+    _cv.notify_one();
+}
+
+void
+StageWorker::join()
+{
+    if (_thread.joinable())
+        _thread.join();
+}
+
+std::pair<int, int>
+StageWorker::blockRange(const SubnetRun &run) const
+{
+    return {run.partition.firstBlock(_stage),
+            run.partition.lastBlock(_stage)};
+}
+
+double
+StageWorker::secondsSinceEpoch() const
+{
+    return secondsBetween(_epoch, std::chrono::steady_clock::now());
+}
+
+void
+StageWorker::drainInbox()
+{
+    std::deque<ExecTask> fresh;
+    _inbox.drainInto(fresh);
+    for (ExecTask &task : fresh) {
+        Pending pending;
+        pending.run = std::move(task.run);
+        if (task.kind == ExecTask::Kind::Backward) {
+            _bwd.push_back(std::move(pending));
+        } else {
+            // Keep forwards sorted by sequence ID so the runnable
+            // scan is exactly Algorithm 2's lowest-ID-first walk.
+            SubnetId id = pending.run->subnet.id();
+            auto at = std::lower_bound(
+                _fwd.begin(), _fwd.end(), id,
+                [](const Pending &p, SubnetId v) {
+                    return p.run->subnet.id() < v;
+                });
+            _fwd.insert(at, std::move(pending));
+        }
+    }
+}
+
+void
+StageWorker::resolveClaims(Pending &pending)
+{
+    if (pending.claimsResolved)
+        return;
+    const SubnetRun &run = *pending.run;
+    auto [lo, hi] = blockRange(run);
+    for (int b = lo; b <= hi; b++) {
+        if (!_space.parameterized(b, run.subnet.choice(b)))
+            continue;
+        pending.claims.push_back(_gate.resolve(
+            run.subnet.layer(b).key(), run.subnet.id()));
+    }
+    pending.claimsResolved = true;
+}
+
+int
+StageWorker::findRunnableForward()
+{
+    for (std::size_t i = 0; i < _fwd.size(); i++) {
+        resolveClaims(_fwd[i]);
+        bool ready = true;
+        for (const CommitGate::Claim &claim : _fwd[i].claims) {
+            if (!_gate.readable(claim)) {
+                ready = false;
+                break;
+            }
+        }
+        if (ready)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+StageWorker::execForward(Pending pending)
+{
+    const SubnetRun &run = *pending.run;
+    auto [lo, hi] = blockRange(run);
+    double start = secondsSinceEpoch();
+    if (_exec && lo <= hi)
+        _exec->forwardStage(run.subnet, lo, hi, _semantics);
+    if (_exec && _stage == _numStages - 1)
+        _exec->computeLoss(run.subnet);
+    double end = secondsSinceEpoch();
+    _stats.busySec += end - start;
+    _stats.forwards++;
+    if (_recordTrace) {
+        _traceRecords.push_back(TraceRecord{
+            ticksFromSec(start), ticksFromSec(end), _stage,
+            TraceKind::Forward, run.subnet.id(), "threads"});
+    }
+
+    if (_stage + 1 < _numStages) {
+        _next->submit(
+            ExecTask{ExecTask::Kind::Forward, std::move(pending.run)});
+    } else {
+        // The last stage turns the forward around; the claims are
+        // stage-local, so the backward reuses them for its commits.
+        _bwd.push_back(std::move(pending));
+    }
+}
+
+void
+StageWorker::execBackward(Pending pending)
+{
+    const SubnetRun &run = *pending.run;
+    auto [lo, hi] = blockRange(run);
+    double start = secondsSinceEpoch();
+    if (_exec && lo <= hi)
+        _exec->backwardStage(run.subnet, lo, hi, _semantics);
+    // Commit strictly after the optimizer steps: the release edge in
+    // CommitGate::commit is what publishes the new parameter bytes to
+    // the next activator's forward read.
+    resolveClaims(pending);
+    for (const CommitGate::Claim &claim : pending.claims)
+        _gate.commit(claim);
+    double end = secondsSinceEpoch();
+    _stats.busySec += end - start;
+    _stats.backwards++;
+    if (_recordTrace) {
+        _traceRecords.push_back(TraceRecord{
+            ticksFromSec(start), ticksFromSec(end), _stage,
+            TraceKind::Backward, run.subnet.id(), "threads"});
+    }
+
+    if (_stage > 0) {
+        _prev->submit(
+            ExecTask{ExecTask::Kind::Backward, std::move(pending.run)});
+    } else {
+        _complete(std::move(pending.run));
+    }
+}
+
+void
+StageWorker::runLoop()
+{
+    for (;;) {
+        // Snapshot the signal counter *before* scanning so a commit
+        // or submit that lands mid-scan prevents the sleep below.
+        std::uint64_t seen;
+        bool stopping;
+        {
+            std::lock_guard<std::mutex> lock(_mu);
+            seen = _signals;
+            stopping = _stop;
+        }
+        drainInbox();
+
+        if (!_bwd.empty()) {
+            Pending task = std::move(_bwd.front());
+            _bwd.pop_front();
+            execBackward(std::move(task));
+            continue;
+        }
+        int idx = findRunnableForward();
+        if (idx >= 0) {
+            Pending task = std::move(
+                _fwd[static_cast<std::size_t>(idx)]);
+            _fwd.erase(_fwd.begin() + idx);
+            execForward(std::move(task));
+            continue;
+        }
+
+        if (stopping && _fwd.empty() && _inbox.empty())
+            break;
+
+        // Nothing runnable: an unreadable forward means we are
+        // waiting on the commit gate; truly empty queues are idle
+        // (pipeline fill/drain bubbles).
+        bool gateWait = !_fwd.empty();
+        if (gateWait)
+            _stats.deferrals++;
+        auto waitStart = std::chrono::steady_clock::now();
+        {
+            std::unique_lock<std::mutex> lock(_mu);
+            _cv.wait(lock,
+                     [&] { return _signals != seen || _stop; });
+        }
+        double waited = secondsBetween(
+            waitStart, std::chrono::steady_clock::now());
+        if (gateWait)
+            _stats.gateWaitSec += waited;
+        else
+            _stats.idleSec += waited;
+    }
+}
+
+} // namespace naspipe

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * One OS thread per pipeline stage.
+ *
+ * A StageWorker owns a bounded MPSC inbox fed by the upstream stage
+ * (forward activations), the downstream stage (backward gradients)
+ * and the coordinator (fresh subnets into stage 0). Its scheduling
+ * loop is Algorithm 1 re-expressed for real threads:
+ *
+ *   - backward tasks always run first (they release dependencies);
+ *   - among forward candidates, run the lowest-sequence-ID one whose
+ *     stage-local shared layers are all readable per the CommitGate
+ *     (Algorithm 2's SCHEDULE());
+ *   - a forward that is not yet readable is *deferred*, never blocked
+ *     on, so a worker with runnable work is never wedged behind an
+ *     unsatisfied dependency — the liveness argument is that the
+ *     globally lowest unfinished subnet only depends on finished
+ *     subnets, hence is always runnable wherever its token sits.
+ *
+ * Workers never touch the sampler, the partitioner or each other's
+ * state: a task carries an immutable, shared SubnetRun (subnet +
+ * partition), and all cross-thread parameter visibility goes through
+ * the CommitGate's acquire/release commits.
+ */
+
+#ifndef NASPIPE_EXEC_STAGE_WORKER_H
+#define NASPIPE_EXEC_STAGE_WORKER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/commit_gate.h"
+#include "exec/task_queue.h"
+#include "partition/partitioner.h"
+#include "sim/trace.h"
+#include "supernet/subnet.h"
+#include "train/numeric_executor.h"
+
+namespace naspipe {
+
+/** Immutable per-subnet execution record shared by every stage. */
+struct SubnetRun {
+    Subnet subnet;
+    SubnetPartition partition;
+};
+
+/** A pipeline token travelling between stage workers. */
+struct ExecTask {
+    enum class Kind { Forward, Backward };
+    Kind kind = Kind::Forward;
+    std::shared_ptr<const SubnetRun> run;
+};
+
+/**
+ * The worker thread of one pipeline stage.
+ */
+class StageWorker
+{
+  public:
+    /** Wall-clock accounting of one worker (read after join()). */
+    struct Stats {
+        double busySec = 0.0;      ///< executing forward/backward
+        double gateWaitSec = 0.0;  ///< candidates present, none ready
+        double idleSec = 0.0;      ///< no candidates at all
+        std::uint64_t forwards = 0;
+        std::uint64_t backwards = 0;
+        std::uint64_t deferrals = 0;  ///< fwd scans that found nothing
+    };
+
+    /**
+     * @param stage this worker's stage index
+     * @param numStages pipeline depth D
+     * @param space the search space
+     * @param gate the shared commit gate
+     * @param exec numeric executor, or nullptr for schedule-only runs
+     * @param semantics parameter-update semantics (Immediate for CSP)
+     * @param inboxCapacity bounded-inbox capacity (>= in-flight limit)
+     */
+    StageWorker(int stage, int numStages, const SearchSpace &space,
+                CommitGate &gate, NumericExecutor *exec,
+                UpdateSemantics semantics, std::size_t inboxCapacity);
+
+    StageWorker(const StageWorker &) = delete;
+    StageWorker &operator=(const StageWorker &) = delete;
+
+    /** Wire the pipeline; stage 0's completion sink is @p complete. */
+    void connect(StageWorker *next, StageWorker *prev,
+                 std::function<void(std::shared_ptr<const SubnetRun>)>
+                     complete);
+
+    /** Start the worker thread; @p epoch anchors trace timestamps. */
+    void start(std::chrono::steady_clock::time_point epoch,
+               bool recordTrace);
+
+    /** Enqueue a task (blocking when the inbox is full). */
+    void submit(ExecTask task);
+
+    /** Wake the scheduling loop (a gate commit may unblock a fwd). */
+    void notify();
+
+    /** Ask the loop to exit once its queues drain, then notify. */
+    void requestStop();
+
+    /** Join the worker thread. */
+    void join();
+
+    int stage() const { return _stage; }
+
+    /** Post-join accounting. */
+    const Stats &stats() const { return _stats; }
+
+    /** Post-join trace records (empty unless recordTrace). */
+    const std::vector<TraceRecord> &traceRecords() const
+    {
+        return _traceRecords;
+    }
+
+  private:
+    /** A deferred-or-ready task with its resolved gate claims. */
+    struct Pending {
+        std::shared_ptr<const SubnetRun> run;
+        std::vector<CommitGate::Claim> claims;
+        bool claimsResolved = false;
+    };
+
+    void runLoop();
+    void drainInbox();
+    /** Index into _fwd of the lowest-ID readable forward, or -1. */
+    int findRunnableForward();
+    void resolveClaims(Pending &pending);
+    void execForward(Pending pending);
+    void execBackward(Pending pending);
+    std::pair<int, int> blockRange(const SubnetRun &run) const;
+    double secondsSinceEpoch() const;
+
+    const int _stage;
+    const int _numStages;
+    const SearchSpace &_space;
+    CommitGate &_gate;
+    NumericExecutor *_exec;
+    const UpdateSemantics _semantics;
+
+    BoundedTaskQueue<ExecTask> _inbox;
+    StageWorker *_next = nullptr;
+    StageWorker *_prev = nullptr;
+    std::function<void(std::shared_ptr<const SubnetRun>)> _complete;
+
+    // Scheduling-loop signal: submit()/notify()/requestStop() bump
+    // the counter so a wakeup arriving during a scan is never lost.
+    std::mutex _mu;
+    std::condition_variable _cv;
+    std::uint64_t _signals = 0;
+    bool _stop = false;
+
+    // Thread-local scheduling state (worker thread only).
+    std::deque<Pending> _bwd;
+    std::vector<Pending> _fwd;  ///< sorted by ascending sequence ID
+
+    std::thread _thread;
+    std::chrono::steady_clock::time_point _epoch;
+    bool _recordTrace = false;
+    Stats _stats;
+    std::vector<TraceRecord> _traceRecords;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_EXEC_STAGE_WORKER_H

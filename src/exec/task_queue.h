@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bounded multi-producer single-consumer task queue.
+ *
+ * Each stage worker owns one inbox of this type; the upstream stage,
+ * the downstream stage (returning gradients) and the coordinator all
+ * push into it, and only the owning worker pops. Pushes block when
+ * the queue is full — the classic bounded-buffer backpressure — but
+ * the parallel runtime sizes every inbox to at least the in-flight
+ * subnet limit, and a CSP subnet holds exactly one live pipeline
+ * token at a time, so a push can never participate in a cyclic wait
+ * (see DESIGN.md, "Parallel executor").
+ */
+
+#ifndef NASPIPE_EXEC_TASK_QUEUE_H
+#define NASPIPE_EXEC_TASK_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace naspipe {
+
+/**
+ * Bounded MPSC FIFO. All methods are thread-safe; pop-side methods
+ * must only be called from the single consumer thread.
+ */
+template <typename T>
+class BoundedTaskQueue
+{
+  public:
+    /** @param capacity maximum queued items (>= 1). */
+    explicit BoundedTaskQueue(std::size_t capacity)
+        : _capacity(capacity < 1 ? 1 : capacity)
+    {
+    }
+
+    BoundedTaskQueue(const BoundedTaskQueue &) = delete;
+    BoundedTaskQueue &operator=(const BoundedTaskQueue &) = delete;
+
+    /** Blocking push; waits while the queue is at capacity. */
+    void
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(_mu);
+        _space.wait(lock, [this] { return _items.size() < _capacity; });
+        _items.push_back(std::move(item));
+        _ready.notify_one();
+    }
+
+    /** Non-blocking push; returns false when at capacity. */
+    bool
+    tryPush(T item)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        if (_items.size() >= _capacity)
+            return false;
+        _items.push_back(std::move(item));
+        _ready.notify_one();
+        return true;
+    }
+
+    /** Blocking pop of one item (consumer thread only). */
+    T
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(_mu);
+        _ready.wait(lock, [this] { return !_items.empty(); });
+        T item = std::move(_items.front());
+        _items.pop_front();
+        _space.notify_one();
+        return item;
+    }
+
+    /** Non-blocking pop; returns false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        if (_items.empty())
+            return false;
+        out = std::move(_items.front());
+        _items.pop_front();
+        _space.notify_one();
+        return true;
+    }
+
+    /**
+     * Move every queued item into @p out (appended) without blocking;
+     * returns the number drained. Consumer thread only.
+     */
+    template <typename Container>
+    std::size_t
+    drainInto(Container &out)
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        std::size_t n = _items.size();
+        for (auto &item : _items)
+            out.push_back(std::move(item));
+        _items.clear();
+        if (n > 0)
+            _space.notify_all();
+        return n;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        return _items.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    std::size_t capacity() const { return _capacity; }
+
+  private:
+    const std::size_t _capacity;
+    mutable std::mutex _mu;
+    std::condition_variable _ready;
+    std::condition_variable _space;
+    std::deque<T> _items;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_EXEC_TASK_QUEUE_H

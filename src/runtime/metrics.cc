@@ -27,6 +27,11 @@ RunMetrics::summary() const
     }
     if (checkpointsWritten > 0)
         oss << ", ckpts " << checkpointsWritten;
+    if (execWorkers > 0) {
+        oss << ", threads " << execWorkers << " (gate wait "
+            << formatFixed(gateWaitSeconds, 2) << "s, "
+            << gateCommits << " commits)";
+    }
     return oss.str();
 }
 

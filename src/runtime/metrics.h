@@ -61,6 +61,18 @@ struct RunMetrics {
     std::uint64_t checkpointBytes = 0;  ///< size of the last one
     double checkpointSeconds = 0.0;     ///< total time spent writing
 
+    // Threaded executor (ParallelRuntime). wallSeconds is real
+    // wall-clock time; for threaded runs simSeconds is set to it so
+    // throughput consumers work unchanged. The per-stage vectors are
+    // indexed by stage and the gate numbers come from the CommitGate.
+    double wallSeconds = 0.0;
+    int execWorkers = 0;               ///< 0 = simulated run
+    double gateWaitSeconds = 0.0;      ///< sum over workers
+    std::uint64_t gateCommits = 0;
+    std::vector<double> perStageBusySec;
+    std::vector<double> perStageGateWaitSec;
+    std::vector<double> perStageIdleSec;
+
     // Training quality (numeric engine).
     double finalLoss = 0.0;
     double finalScore = 0.0;

@@ -12,17 +12,6 @@
 
 namespace naspipe {
 
-namespace {
-
-double
-defaultScoreScale(SpaceFamily family)
-{
-    // BLEU-like scale for NLP, top-5-percent-like scale for CV.
-    return family == SpaceFamily::Nlp ? 24.0 : 90.0;
-}
-
-} // namespace
-
 /**
  * All run state lives here; the event callbacks capture `this`.
  */

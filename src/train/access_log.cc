@@ -31,6 +31,7 @@ AccessLog::record(const LayerId &layer, SubnetId subnet,
 {
     if (!_enabled)
         return;
+    std::lock_guard<std::mutex> lock(_recordMu);
     _history[layer.key()].push_back(
         AccessRecord{_nextOrder++, subnet, kind});
 }

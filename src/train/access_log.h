@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,11 @@ class AccessLog
 
   private:
     bool _enabled = true;
+    /// record() may be called from concurrent stage workers (the
+    /// threaded executor); everything else is single-threaded —
+    /// queries and (de)serialization happen before the run or after
+    /// the workers are joined.
+    std::mutex _recordMu;
     std::uint64_t _nextOrder = 0;
     std::map<std::uint64_t, std::vector<AccessRecord>> _history;
 };

@@ -91,6 +91,13 @@ ConvergenceTracker::clear()
     _raw.clear();
 }
 
+double
+defaultScoreScale(SpaceFamily family)
+{
+    // BLEU-like scale for NLP, top-5-percent-like scale for CV.
+    return family == SpaceFamily::Nlp ? 24.0 : 90.0;
+}
+
 SearchResult
 searchBestSubnet(NumericExecutor &executor,
                  const std::vector<Subnet> &candidates,

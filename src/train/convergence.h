@@ -67,6 +67,14 @@ class ConvergenceTracker
     std::vector<ConvergencePoint> _raw;
 };
 
+/**
+ * Family default for the score scale when a run does not set one:
+ * BLEU-like for NLP spaces, top-5-percent-like for CV spaces. Both
+ * runtimes (simulated and threaded) share this so a run is scored
+ * identically regardless of executor.
+ */
+double defaultScoreScale(SpaceFamily family);
+
 /** Result of the post-training search over candidates. */
 struct SearchResult {
     Subnet best;

@@ -91,7 +91,7 @@ teacherTarget(const Tensor &input, std::uint64_t dataSeed)
 void
 NumericExecutor::beginSubnet(const Subnet &subnet)
 {
-    NASPIPE_ASSERT(!_contexts.count(subnet.id()), "SN", subnet.id(),
+    NASPIPE_ASSERT(!inflightSubnet(subnet.id()), "SN", subnet.id(),
                    " already in flight");
     SubnetContext ctx;
     ctx.subnet = subnet;
@@ -99,12 +99,14 @@ NumericExecutor::beginSubnet(const Subnet &subnet)
     ctx.act[0] = makeDigest(subnet.id(), "input", 0);
     ctx.target = teacherTarget(ctx.act[0], _config.dataSeed);
     ctx.bwdProgress = subnet.size() - 1;
+    std::unique_lock<std::shared_mutex> lock(_ctxMu);
     _contexts.emplace(subnet.id(), std::move(ctx));
 }
 
 NumericExecutor::SubnetContext &
 NumericExecutor::context(SubnetId id)
 {
+    std::shared_lock<std::shared_mutex> lock(_ctxMu);
     auto it = _contexts.find(id);
     NASPIPE_ASSERT(it != _contexts.end(), "SN", id, " not in flight");
     return it->second;
@@ -231,7 +233,11 @@ NumericExecutor::backwardStage(const Subnet &subnet, int lo, int hi,
 float
 NumericExecutor::finishSubnet(const Subnet &subnet)
 {
-    SubnetContext &ctx = context(subnet.id());
+    std::unique_lock<std::shared_mutex> lock(_ctxMu);
+    auto it = _contexts.find(subnet.id());
+    NASPIPE_ASSERT(it != _contexts.end(), "SN", subnet.id(),
+                   " not in flight");
+    SubnetContext &ctx = it->second;
     NASPIPE_ASSERT(ctx.bwdProgress < 0,
                    "finish before backward completed");
     NASPIPE_ASSERT(ctx.deferred.empty(),
@@ -239,7 +245,7 @@ NumericExecutor::finishSubnet(const Subnet &subnet)
     float loss = ctx.loss;
     if (_config.trackLoss)
         _lossHistory.push_back(loss);
-    _contexts.erase(subnet.id());
+    _contexts.erase(it);
     return loss;
 }
 

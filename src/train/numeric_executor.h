@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <vector>
 
 #include "tensor/sgd.h"
@@ -139,7 +140,18 @@ class NumericExecutor
     double recentMeanLoss(std::size_t window) const;
 
     /** Number of subnets currently in flight. */
-    std::size_t inflight() const { return _contexts.size(); }
+    std::size_t inflight() const
+    {
+        std::shared_lock<std::shared_mutex> lock(_ctxMu);
+        return _contexts.size();
+    }
+
+    /** Whether @p id currently has an in-flight context. */
+    bool inflightSubnet(SubnetId id) const
+    {
+        std::shared_lock<std::shared_mutex> lock(_ctxMu);
+        return _contexts.count(id) != 0;
+    }
 
     ParameterStore &store() { return _store; }
 
@@ -167,6 +179,12 @@ class NumericExecutor
     ParameterStore &_store;
     Config _config;
     SgdOptimizer _optimizer;
+    /// Guards the _contexts *map structure* (begin/finish insert and
+    /// erase; stage workers look contexts up concurrently). A context
+    /// body needs no lock: the pipeline token moves a subnet between
+    /// stages one at a time, and the inbox hand-off orders the
+    /// accesses.
+    mutable std::shared_mutex _ctxMu;
     std::map<SubnetId, SubnetContext> _contexts;
     std::vector<float> _lossHistory;
 };

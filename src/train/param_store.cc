@@ -36,14 +36,6 @@ writeTensor(std::ostream &out, const Tensor &t)
               static_cast<std::streamsize>(t.size() * sizeof(float)));
 }
 
-bool
-readTensor(std::istream &in, Tensor &t)
-{
-    in.read(reinterpret_cast<char *>(t.data().data()),
-            static_cast<std::streamsize>(t.size() * sizeof(float)));
-    return static_cast<bool>(in);
-}
-
 } // namespace
 
 ParameterStore::ParameterStore(const SearchSpace &space,
@@ -87,6 +79,19 @@ const LayerParams &
 ParameterStore::peek(const LayerId &layer)
 {
     return materialize(layer);
+}
+
+void
+ParameterStore::materializeAll()
+{
+    for (int b = 0; b < _space.numBlocks(); b++) {
+        for (int c = 0; c < _space.choicesPerBlock(); c++) {
+            LayerId layer{static_cast<std::uint32_t>(b),
+                          static_cast<std::uint32_t>(c)};
+            materialize(layer);
+            _versions.emplace(layer.key(), 0);
+        }
+    }
 }
 
 std::uint64_t

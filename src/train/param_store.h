@@ -54,6 +54,15 @@ class ParameterStore
     /** Peek without logging (evaluation, tests). */
     const LayerParams &peek(const LayerId &layer);
 
+    /**
+     * Materialize every layer of the space (and pre-fill its version
+     * counter) up front. The threaded executor calls this before
+     * starting workers so the hot path never mutates the store's map
+     * structure: read()/write() only find existing nodes, and all
+     * cross-thread ordering is the CommitGate's job.
+     */
+    void materializeAll();
+
     /** Number of WRITEs applied to @p layer so far. */
     std::uint64_t version(const LayerId &layer) const;
 

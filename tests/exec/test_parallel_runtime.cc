@@ -1,0 +1,130 @@
+/**
+ * @file
+ * ParallelRuntime unit tests: support matrix, metrics surface, and
+ * small end-to-end runs on threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel_runtime.h"
+#include "schedule/scheduler.h"
+
+namespace naspipe {
+namespace {
+
+RuntimeConfig
+config(int stages, int steps)
+{
+    RuntimeConfig c;
+    c.system = naspipeSystem();
+    c.numStages = stages;
+    c.totalSubnets = steps;
+    c.seed = 7;
+    return c;
+}
+
+TEST(ParallelRuntime, SupportsCspOnly)
+{
+    std::string why;
+    EXPECT_TRUE(ParallelRuntime::supported(config(4, 8), &why)) << why;
+    EXPECT_TRUE(
+        ParallelRuntime::supported([&] {
+            RuntimeConfig c = config(4, 8);
+            c.system = naspipeWithoutPredictor();
+            return c;
+        }()));
+
+    RuntimeConfig bsp = config(4, 8);
+    bsp.system = gpipeSystem();
+    EXPECT_FALSE(ParallelRuntime::supported(bsp, &why));
+    EXPECT_FALSE(why.empty());
+
+    RuntimeConfig asp = config(4, 8);
+    asp.system = pipedreamSystem();
+    EXPECT_FALSE(ParallelRuntime::supported(asp));
+}
+
+TEST(ParallelRuntime, RejectsSimulatorOnlyFeatures)
+{
+    RuntimeConfig faulty = config(4, 8);
+    faulty.faults.push_back(FaultSpec{});
+    EXPECT_FALSE(ParallelRuntime::supported(faulty));
+
+    RuntimeConfig ckpt = config(4, 8);
+    ckpt.ckptInterval = 4;
+    EXPECT_FALSE(ParallelRuntime::supported(ckpt));
+
+    RuntimeConfig resume = config(4, 8);
+    resume.resumePath = "/tmp/nonexistent.ckpt";
+    EXPECT_FALSE(ParallelRuntime::supported(resume));
+}
+
+TEST(ParallelRuntime, UnsupportedConfigFailsInsteadOfRunning)
+{
+    RuntimeConfig bsp = config(2, 4);
+    bsp.system = gpipeSystem();
+    SearchSpace space("exec-bsp", SpaceFamily::Nlp, 8, 4, 3);
+    RunResult result = runTrainingThreaded(space, bsp);
+    EXPECT_TRUE(result.failed);
+    EXPECT_FALSE(result.error.empty());
+}
+
+TEST(ParallelRuntime, SmallRunCompletesWithSaneMetrics)
+{
+    SearchSpace space("exec-small", SpaceFamily::Nlp, 10, 4, 4);
+    RunResult result = runTrainingThreaded(space, config(3, 16));
+    ASSERT_FALSE(result.failed) << result.error;
+    ASSERT_FALSE(result.oom);
+
+    const RunMetrics &m = result.metrics;
+    EXPECT_EQ(m.finishedSubnets, 16);
+    EXPECT_EQ(m.execWorkers, 3);
+    EXPECT_GT(m.wallSeconds, 0.0);
+    EXPECT_EQ(m.simSeconds, m.wallSeconds);
+    EXPECT_GT(m.samplesPerSec, 0.0);
+    EXPECT_GT(m.gateCommits, 0u);
+    ASSERT_EQ(m.perStageBusySec.size(), 3u);
+    ASSERT_EQ(m.perStageGateWaitSec.size(), 3u);
+    ASSERT_EQ(m.perStageIdleSec.size(), 3u);
+    EXPECT_EQ(m.causalViolations, 0);
+    EXPECT_NE(m.supernetHash, 0u);
+
+    ASSERT_EQ(result.sampled.size(), 16u);
+    for (std::size_t i = 0; i < result.sampled.size(); i++)
+        EXPECT_EQ(result.sampled[i].id(), static_cast<SubnetId>(i));
+    EXPECT_EQ(result.losses.size(), 16u);
+    EXPECT_GE(result.bestSubnet, 0);
+    EXPECT_NE(m.summary().find("threads 3"), std::string::npos);
+}
+
+TEST(ParallelRuntime, SingleWorkerDegeneratesToSequential)
+{
+    SearchSpace space("exec-one", SpaceFamily::Nlp, 8, 4, 3);
+    RunResult result = runTrainingThreaded(space, config(1, 8));
+    ASSERT_FALSE(result.failed) << result.error;
+    EXPECT_EQ(result.metrics.execWorkers, 1);
+    EXPECT_EQ(result.metrics.causalViolations, 0);
+    EXPECT_EQ(result.metrics.finishedSubnets, 8);
+}
+
+TEST(ParallelRuntime, TraceRecordsBothPassKinds)
+{
+    SearchSpace space("exec-trace", SpaceFamily::Nlp, 8, 4, 3);
+    RuntimeConfig c = config(2, 6);
+    c.traceEnabled = true;
+    RunResult result = runTrainingThreaded(space, c);
+    ASSERT_FALSE(result.failed) << result.error;
+    ASSERT_TRUE(result.trace);
+    bool fwd = false, bwd = false;
+    for (const TraceRecord &rec : result.trace->records()) {
+        fwd = fwd || rec.kind == TraceKind::Forward;
+        bwd = bwd || rec.kind == TraceKind::Backward;
+        EXPECT_GE(rec.stage, 0);
+        EXPECT_LT(rec.stage, 2);
+    }
+    EXPECT_TRUE(fwd);
+    EXPECT_TRUE(bwd);
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * BoundedTaskQueue unit tests: FIFO discipline, capacity
+ * backpressure, and multi-producer ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/task_queue.h"
+
+namespace naspipe {
+namespace {
+
+TEST(TaskQueue, FifoOrder)
+{
+    BoundedTaskQueue<int> q(8);
+    for (int i = 0; i < 5; i++)
+        q.push(i);
+    EXPECT_EQ(q.size(), 5u);
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(q.pop(), i);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TaskQueue, TryPushRespectsCapacity)
+{
+    BoundedTaskQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(TaskQueue, TryPopOnEmpty)
+{
+    BoundedTaskQueue<int> q(2);
+    int out = -1;
+    EXPECT_FALSE(q.tryPop(out));
+    q.push(7);
+    EXPECT_TRUE(q.tryPop(out));
+    EXPECT_EQ(out, 7);
+}
+
+TEST(TaskQueue, CapacityFloorIsOne)
+{
+    BoundedTaskQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_FALSE(q.tryPush(2));
+}
+
+TEST(TaskQueue, DrainIntoMovesEverything)
+{
+    BoundedTaskQueue<int> q(8);
+    for (int i = 0; i < 6; i++)
+        q.push(i);
+    std::vector<int> out;
+    EXPECT_EQ(q.drainInto(out), 6u);
+    EXPECT_TRUE(q.empty());
+    ASSERT_EQ(out.size(), 6u);
+    for (int i = 0; i < 6; i++)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(q.drainInto(out), 0u);
+}
+
+TEST(TaskQueue, BlockingPushUnblocksOnPop)
+{
+    BoundedTaskQueue<int> q(1);
+    q.push(1);
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        q.push(2);  // blocks until the consumer pops
+        pushed.store(true);
+    });
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);  // pop blocks until the producer lands
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+}
+
+TEST(TaskQueue, MultiProducerPreservesPerProducerOrder)
+{
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 200;
+    BoundedTaskQueue<int> q(16);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; p++) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; i++)
+                q.push(p * kPerProducer + i);
+        });
+    }
+    std::vector<int> lastSeen(kProducers, -1);
+    for (int n = 0; n < kProducers * kPerProducer; n++) {
+        int v = q.pop();
+        int p = v / kPerProducer;
+        int i = v % kPerProducer;
+        EXPECT_GT(i, lastSeen[static_cast<std::size_t>(p)]);
+        lastSeen[static_cast<std::size_t>(p)] = i;
+    }
+    for (auto &t : producers)
+        t.join();
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * CommitGate property tests: adversarial concurrent schedules.
+ *
+ * Each trial builds a random set of causal chains (layers shared by
+ * random subsets of subnets), then releases one thread per subnet in
+ * randomized order with randomized injected sleeps. Threads acquire
+ * their layers via waitReadable() and commit after a deliberate delay
+ * between "becoming readable" and "committing" — the widest possible
+ * window for ordering bugs. The property: whatever the OS does, every
+ * layer's observed access history is exactly its registered chain in
+ * ascending sequence order, i.e. sequentially equivalent.
+ *
+ * Runs under `ctest -L exec`, which CI exercises under
+ * ThreadSanitizer (-DNASPIPE_TSAN=ON).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/commit_gate.h"
+
+namespace naspipe {
+namespace {
+
+struct Trial {
+    int subnets = 0;
+    /// chain per layer key: ascending subnet IDs
+    std::map<std::uint64_t, std::vector<SubnetId>> chains;
+};
+
+Trial
+makeTrial(std::uint64_t seed, int subnets, int layers)
+{
+    Xoshiro256StarStar rng(seed);
+    Trial trial;
+    trial.subnets = subnets;
+    for (int l = 0; l < layers; l++) {
+        auto key = static_cast<std::uint64_t>(l);
+        for (SubnetId sn = 0; sn < subnets; sn++) {
+            // ~60% membership; ascending by construction.
+            if (rng.nextBelow(10) < 6)
+                trial.chains[key].push_back(sn);
+        }
+        if (trial.chains[key].empty())
+            trial.chains[key].push_back(
+                static_cast<SubnetId>(rng.nextBelow(
+                    static_cast<std::uint64_t>(subnets))));
+    }
+    return trial;
+}
+
+/** Run one trial; returns the per-layer observed access order. */
+std::map<std::uint64_t, std::vector<SubnetId>>
+runTrial(const Trial &trial, std::uint64_t scheduleSeed)
+{
+    CommitGate gate;
+    for (const auto &[key, chain] : trial.chains) {
+        for (SubnetId sn : chain)
+            gate.registerActivation(key, sn);
+    }
+
+    std::mutex observedMu;
+    std::map<std::uint64_t, std::vector<SubnetId>> observed;
+
+    // Per-thread deterministic sleep schedule; the *thread start
+    // order* is itself shuffled so early subnets often start last.
+    std::vector<SubnetId> startOrder;
+    for (SubnetId sn = 0; sn < trial.subnets; sn++)
+        startOrder.push_back(sn);
+    Xoshiro256StarStar shuffleRng(scheduleSeed);
+    for (std::size_t i = startOrder.size(); i > 1; i--) {
+        std::swap(startOrder[i - 1],
+                  startOrder[static_cast<std::size_t>(
+                      shuffleRng.nextBelow(i))]);
+    }
+
+    std::vector<std::thread> threads;
+    for (SubnetId sn : startOrder) {
+        threads.emplace_back([&trial, &gate, &observedMu, &observed,
+                              scheduleSeed, sn] {
+            Xoshiro256StarStar rng(deriveSeed(
+                scheduleSeed, "sleep") ^
+                static_cast<std::uint64_t>(sn));
+            for (const auto &[key, chain] : trial.chains) {
+                if (std::find(chain.begin(), chain.end(), sn) ==
+                    chain.end()) {
+                    continue;
+                }
+                CommitGate::Claim claim = gate.resolve(key, sn);
+                gate.waitReadable(claim);
+                {
+                    std::lock_guard<std::mutex> lock(observedMu);
+                    observed[key].push_back(sn);
+                }
+                // Widen the readable->commit window: the next
+                // activator must still not slip in between.
+                if (rng.nextBelow(3) == 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(
+                            rng.nextBelow(200)));
+                }
+                gate.commit(claim);
+            }
+        });
+        // Occasionally stagger thread creation itself.
+        if (shuffleRng.nextBelow(4) == 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    }
+    for (auto &t : threads)
+        t.join();
+    return observed;
+}
+
+TEST(CommitGateProperties, RandomSchedulesObserveSequentialOrder)
+{
+    for (std::uint64_t seed = 1; seed <= 6; seed++) {
+        Trial trial = makeTrial(seed, 12, 10);
+        auto observed = runTrial(trial, deriveSeed(seed, "sched"));
+        ASSERT_EQ(observed.size(), trial.chains.size())
+            << "seed " << seed;
+        for (const auto &[key, chain] : trial.chains) {
+            EXPECT_EQ(observed[key], chain)
+                << "layer " << key << " out of causal order (seed "
+                << seed << ")";
+        }
+    }
+}
+
+TEST(CommitGateProperties, EveryCommitIsCounted)
+{
+    Trial trial = makeTrial(42, 8, 6);
+    std::size_t expected = 0;
+    for (const auto &[key, chain] : trial.chains)
+        expected += chain.size();
+
+    CommitGate gate;
+    for (const auto &[key, chain] : trial.chains) {
+        for (SubnetId sn : chain)
+            gate.registerActivation(key, sn);
+    }
+    std::vector<std::thread> threads;
+    for (SubnetId sn = 0; sn < trial.subnets; sn++) {
+        threads.emplace_back([&trial, &gate, sn] {
+            for (const auto &[key, chain] : trial.chains) {
+                if (std::find(chain.begin(), chain.end(), sn) ==
+                    chain.end()) {
+                    continue;
+                }
+                CommitGate::Claim claim = gate.resolve(key, sn);
+                gate.waitReadable(claim);
+                gate.commit(claim);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(gate.commits(), expected);
+    for (const auto &[key, chain] : trial.chains)
+        EXPECT_EQ(gate.committedOf(key), chain.size());
+}
+
+} // namespace
+} // namespace naspipe

@@ -6,11 +6,15 @@
  * Usage:
  *   naspipe_cli [--space NAME] [--system NAME] [--gpus N]
  *               [--steps N] [--seed N] [--batch N] [--staleness N]
- *               [--evolution] [--hybrid N]
+ *               [--evolution] [--hybrid N] [--executor sim|threads]
  *               [--inject-fault SPEC] [--ckpt-interval N]
  *               [--ckpt FILE.ckpt] [--resume FILE.ckpt]
  *               [--trace FILE.json] [--checkpoint FILE.ckpt]
  *               [--csv FILE.csv] [--quiet]
+ *
+ * --executor threads runs the training on real OS threads (one per
+ * stage) through the CommitGate; weights are bitwise identical to
+ * --executor sim (the default discrete-event simulation).
  *
  * Spaces: NLP.c0..c3, CV.c1..c3 (Table 1).
  * Systems: naspipe, gpipe, pipedream, vpipe, naspipe-no-scheduler,
@@ -32,6 +36,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/engine.h"
+#include "exec/parallel_runtime.h"
 #include "schedule/ssp_scheduler.h"
 #include "sim/fault_injector.h"
 
@@ -46,7 +51,8 @@ usage(const char *argv0)
         "usage: %s [--space NAME] [--system NAME] [--gpus N]\n"
         "          [--steps N] [--seed N] [--batch N] "
         "[--staleness N]\n"
-        "          [--evolution] [--hybrid N]\n"
+        "          [--evolution] [--hybrid N] "
+        "[--executor sim|threads]\n"
         "          [--inject-fault SPEC] [--ckpt-interval N]\n"
         "          [--ckpt FILE.ckpt] [--resume FILE.ckpt]\n"
         "          [--trace FILE.json] [--checkpoint FILE.ckpt]\n"
@@ -121,6 +127,7 @@ main(int argc, char **argv)
 
     std::string spaceName = "NLP.c2";
     std::string systemName = "naspipe";
+    std::string executorName = "sim";
     std::string tracePath, checkpointPath, csvPath;
     std::string ckptPath, resumePath;
     std::vector<FaultSpec> faults;
@@ -167,6 +174,14 @@ main(int argc, char **argv)
             staleness = static_cast<int>(intValue(0, 1 << 20));
         else if (arg == "--hybrid")
             hybrid = static_cast<int>(intValue(0, 1 << 20));
+        else if (arg == "--executor") {
+            executorName = value();
+            if (executorName != "sim" && executorName != "threads") {
+                argError(argv[0], "bad value '" + executorName +
+                                      "' for --executor "
+                                      "(want sim or threads)");
+            }
+        }
         else if (arg == "--ckpt-interval")
             ckptInterval = static_cast<int>(intValue(0, 1000000));
         else if (arg == "--inject-fault") {
@@ -222,7 +237,14 @@ main(int argc, char **argv)
     config.ckptPath = ckptPath;
     config.resumePath = resumePath;
 
-    RunResult result = runTraining(space, config);
+    bool threaded = executorName == "threads";
+    if (threaded) {
+        std::string why;
+        if (!ParallelRuntime::supported(config, &why))
+            argError(argv[0], "--executor threads: " + why);
+    }
+    RunResult result = threaded ? runTrainingThreaded(space, config)
+                                : runTraining(space, config);
     if (result.oom) {
         std::printf("%s on %s with %d GPUs: OOM (does not fit)\n",
                     system.name.c_str(), spaceName.c_str(), gpus);
@@ -235,9 +257,17 @@ main(int argc, char **argv)
 
     if (!quiet) {
         const RunMetrics &m = result.metrics;
-        std::printf("space       %s (%s sync, %d GPUs, seed %llu)\n",
+        std::printf("space       %s (%s sync, %d %s, seed %llu)\n",
                     spaceName.c_str(), system.syncName(), gpus,
+                    threaded ? "threads" : "GPUs",
                     static_cast<unsigned long long>(seed));
+        if (threaded) {
+            std::printf("executor    threads  wall %.2fs  gate wait "
+                        "%.2fs  %llu commits\n",
+                        m.wallSeconds, m.gateWaitSeconds,
+                        static_cast<unsigned long long>(
+                            m.gateCommits));
+        }
         std::printf("throughput  %.1f samples/s  (%.0f subnets/h, "
                     "batch %d)\n",
                     m.samplesPerSec, m.subnetsPerHour, m.batch);
