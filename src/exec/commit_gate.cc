@@ -51,6 +51,7 @@ CommitGate::resolve(std::uint64_t layerKey, SubnetId subnet) const
     claim.rank = static_cast<std::size_t>(
         it - chain->activators.begin());
     claim.layerKey = layerKey;
+    claim.subnet = subnet;
     return claim;
 }
 
@@ -69,7 +70,7 @@ CommitGate::readable(std::uint64_t layerKey, SubnetId subnet) const
 }
 
 void
-CommitGate::commit(const Claim &claim)
+CommitGate::commit(const Claim &claim, int stage)
 {
     auto *chain = const_cast<LayerChain *>(
         static_cast<const LayerChain *>(claim.chain));
@@ -82,7 +83,15 @@ CommitGate::commit(const Claim &claim)
                    "commit out of causal order on layer ",
                    claim.layerKey, ": rank ", claim.rank,
                    " committed after ", was, " earlier commits");
-    _commits.fetch_add(1, std::memory_order_relaxed);
+    // acq_rel (not relaxed) so commits() observed from another thread
+    // is ordered with the per-chain counters it summarizes.
+    _commits.fetch_add(1, std::memory_order_acq_rel);
+    if (_eventHook) {
+        // The subnet ID comes from the claim, captured under the
+        // table lock at resolve() time — reading activators[] here
+        // would race the coordinator growing the vector.
+        _eventHook(claim.layerKey, claim.subnet, claim.rank, stage);
+    }
     {
         // An empty critical section orders the notify after any
         // concurrent waiter's predicate check, so no wakeup is lost.

@@ -51,6 +51,7 @@ class CommitGate
         const void *chain = nullptr;  ///< opaque LayerChain handle
         std::size_t rank = 0;         ///< position in the chain
         std::uint64_t layerKey = 0;
+        SubnetId subnet = -1;  ///< resolved activator (event hook)
     };
 
     CommitGate() = default;
@@ -79,9 +80,11 @@ class CommitGate
     /**
      * Commit @p claim's WRITE. Aborts if commits would leave chain
      * order (a scheduler bug, never a data-dependent condition).
-     * Wakes blocked waitReadable() calls and fires the commit hook.
+     * Wakes blocked waitReadable() calls and fires the commit hooks.
+     * @p stage tags the event-observer callback with the committing
+     * pipeline stage (-1 = unknown / not a pipelined caller).
      */
-    void commit(const Claim &claim);
+    void commit(const Claim &claim, int stage = -1);
 
     /** Resolve-and-commit convenience. */
     void commit(std::uint64_t layerKey, SubnetId subnet);
@@ -101,10 +104,25 @@ class CommitGate
      */
     void onCommit(std::function<void()> hook) { _hook = std::move(hook); }
 
+    /**
+     * Commit *event* observer: called on every commit with
+     * (layerKey, committing subnet, chain rank, stage) — the
+     * determinism audit layer's CspOracle attaches here to check
+     * commit monotonicity live. Called from worker threads; the
+     * observer must be thread-safe. Install before workers start.
+     */
+    using CommitEventHook = std::function<void(
+        std::uint64_t layerKey, SubnetId subnet, std::size_t rank,
+        int stage)>;
+    void onCommitEvent(CommitEventHook hook)
+    {
+        _eventHook = std::move(hook);
+    }
+
     /** Total commits so far. */
     std::uint64_t commits() const
     {
-        return _commits.load(std::memory_order_relaxed);
+        return _commits.load(std::memory_order_acquire);
     }
 
     /** Number of layers with at least one registered activator. */
@@ -124,6 +142,7 @@ class CommitGate
     mutable std::shared_mutex _tableMu;
     std::unordered_map<std::uint64_t, LayerChain> _chains;
     std::function<void()> _hook;
+    CommitEventHook _eventHook;
     std::atomic<std::uint64_t> _commits{0};
 
     // waitReadable() parking lot: commits broadcast here.

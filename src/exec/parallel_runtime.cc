@@ -181,6 +181,8 @@ ParallelRuntime::Impl::setup()
         for (auto &worker : workers)
             worker->notify();
     });
+    if (config.commitObserver)
+        gate.onCommitEvent(config.commitObserver);
     return true;
 }
 

@@ -161,7 +161,7 @@ StageWorker::execForward(Pending pending)
     auto [lo, hi] = blockRange(run);
     double start = secondsSinceEpoch();
     if (_exec && lo <= hi)
-        _exec->forwardStage(run.subnet, lo, hi, _semantics);
+        _exec->forwardStage(run.subnet, lo, hi, _semantics, _stage);
     if (_exec && _stage == _numStages - 1)
         _exec->computeLoss(run.subnet);
     double end = secondsSinceEpoch();
@@ -190,13 +190,13 @@ StageWorker::execBackward(Pending pending)
     auto [lo, hi] = blockRange(run);
     double start = secondsSinceEpoch();
     if (_exec && lo <= hi)
-        _exec->backwardStage(run.subnet, lo, hi, _semantics);
+        _exec->backwardStage(run.subnet, lo, hi, _semantics, _stage);
     // Commit strictly after the optimizer steps: the release edge in
     // CommitGate::commit is what publishes the new parameter bytes to
     // the next activator's forward read.
     resolveClaims(pending);
     for (const CommitGate::Claim &claim : pending.claims)
-        _gate.commit(claim);
+        _gate.commit(claim, _stage);
     double end = secondsSinceEpoch();
     _stats.busySec += end - start;
     _stats.backwards++;

@@ -493,7 +493,7 @@ PipelineRuntime::Impl::startForward(int k, SubnetId id)
         sim.scheduleAt(start, [this, k, id, lo, hi] {
             const Subnet &subnet = subnetOf(id);
             if (lo <= hi)
-                exec->forwardStage(subnet, lo, hi, semantics);
+                exec->forwardStage(subnet, lo, hi, semantics, k);
             if (k == numStages - 1)
                 lossAtCompute[id] = exec->computeLoss(subnet);
         });
@@ -577,7 +577,7 @@ PipelineRuntime::Impl::startBackward(int k, SubnetId id)
 
             // The numeric WRITE (optimizer step) lands at completion.
             if (config.numeric && lo <= hi)
-                exec->backwardStage(subnet, lo, hi, semantics);
+                exec->backwardStage(subnet, lo, hi, semantics, k);
             if (lo <= hi && semantics != UpdateSemantics::Deferred) {
                 for (int b = lo; b <= hi; b++) {
                     if (!space.parameterized(b, subnet.choice(b)))

@@ -103,6 +103,16 @@ struct RuntimeConfig {
     /** Modeled detection + restart wall clock per recovery. */
     double recoverySeconds = 5.0;
     /** @} */
+
+    /**
+     * Observer of every CommitGate commit, called from worker threads
+     * as (layerKey, committing subnet, chain rank, stage). Honored by
+     * the threaded executor only (the simulator has no commit gate);
+     * the determinism audit layer's CspOracle attaches here to check
+     * commit monotonicity live. Must be thread-safe.
+     */
+    std::function<void(std::uint64_t, SubnetId, std::size_t, int)>
+        commitObserver;
 };
 
 /** Everything a run produces. */

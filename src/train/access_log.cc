@@ -27,13 +27,13 @@ readU64(std::istream &in, std::uint64_t &value)
 
 void
 AccessLog::record(const LayerId &layer, SubnetId subnet,
-                  AccessKind kind)
+                  AccessKind kind, int stage)
 {
     if (!_enabled)
         return;
     std::lock_guard<std::mutex> lock(_recordMu);
     _history[layer.key()].push_back(
-        AccessRecord{_nextOrder++, subnet, kind});
+        AccessRecord{_nextOrder++, subnet, kind, stage});
 }
 
 const std::vector<AccessRecord> &

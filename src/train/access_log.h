@@ -37,6 +37,14 @@ struct AccessRecord {
     std::uint64_t order = 0;  ///< global monotonic sequence
     SubnetId subnet = -1;
     AccessKind kind = AccessKind::Read;
+    /**
+     * Pipeline stage that issued the access, or -1 when the caller
+     * has no stage notion (sequential reference runs, deferred bulk
+     * flushes). Diagnostic only — the CspOracle uses it to localize
+     * violation reports — and deliberately *not* serialized, so the
+     * run-checkpoint payload format is unchanged.
+     */
+    int stage = -1;
 };
 
 /**
@@ -49,8 +57,9 @@ class AccessLog
     void enabled(bool on) { _enabled = on; }
     bool enabled() const { return _enabled; }
 
-    /** Record an access to @p layer by @p subnet. */
-    void record(const LayerId &layer, SubnetId subnet, AccessKind kind);
+    /** Record an access to @p layer by @p subnet on @p stage. */
+    void record(const LayerId &layer, SubnetId subnet, AccessKind kind,
+                int stage = -1);
 
     /** Accesses of one layer in global order. */
     const std::vector<AccessRecord> &layerHistory(

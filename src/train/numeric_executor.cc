@@ -114,7 +114,7 @@ NumericExecutor::context(SubnetId id)
 
 void
 NumericExecutor::forwardStage(const Subnet &subnet, int lo, int hi,
-                              UpdateSemantics semantics)
+                              UpdateSemantics semantics, int stage)
 {
     SubnetContext &ctx = context(subnet.id());
     NASPIPE_ASSERT(lo == ctx.fwdProgress,
@@ -130,7 +130,8 @@ NumericExecutor::forwardStage(const Subnet &subnet, int lo, int hi,
             continue;
         }
         LayerId layer = subnet.layer(b);
-        const LayerParams &params = _store.read(layer, subnet.id());
+        const LayerParams &params =
+            _store.read(layer, subnet.id(), stage);
         if (semantics == UpdateSemantics::WeightStash)
             ctx.stashed.emplace(b, params);  // snapshot the version
         layerForward(params, ctx.act[static_cast<std::size_t>(b)],
@@ -156,10 +157,10 @@ NumericExecutor::computeLoss(const Subnet &subnet)
 
 void
 NumericExecutor::applyUpdate(const Subnet &subnet, int block,
-                             const LayerGrads &grads)
+                             const LayerGrads &grads, int stage)
 {
     LayerParams &params =
-        _store.write(subnet.layer(block), subnet.id());
+        _store.write(subnet.layer(block), subnet.id(), stage);
     if (_config.gradNoise > 0.0) {
         // Mini-batch gradient noise: standard error ~ 1/sqrt(batch).
         float scale = static_cast<float>(
@@ -186,7 +187,7 @@ NumericExecutor::applyUpdate(const Subnet &subnet, int block,
 
 void
 NumericExecutor::backwardStage(const Subnet &subnet, int lo, int hi,
-                               UpdateSemantics semantics)
+                               UpdateSemantics semantics, int stage)
 {
     SubnetContext &ctx = context(subnet.id());
     NASPIPE_ASSERT(ctx.lossComputed, "backward before loss");
@@ -224,7 +225,7 @@ NumericExecutor::backwardStage(const Subnet &subnet, int lo, int hi,
         if (semantics == UpdateSemantics::Deferred) {
             ctx.deferred.emplace(b, std::move(grads));
         } else {
-            applyUpdate(subnet, b, grads);
+            applyUpdate(subnet, b, grads, stage);
         }
     }
     ctx.bwdProgress = lo - 1;
@@ -258,7 +259,7 @@ NumericExecutor::applyDeferredUpdates(std::vector<SubnetId> subnets)
         // std::map iterates blocks in ascending order: a fixed,
         // documented bulk-update order.
         for (const auto &[block, grads] : ctx.deferred)
-            applyUpdate(ctx.subnet, block, grads);
+            applyUpdate(ctx.subnet, block, grads, -1);
         ctx.deferred.clear();
     }
 }

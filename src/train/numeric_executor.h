@@ -88,10 +88,12 @@ class NumericExecutor
 
     /**
      * Forward pass over blocks [lo, hi] (must continue contiguously
-     * from the last forward call of this subnet).
+     * from the last forward call of this subnet). @p stage tags the
+     * access-log records with the issuing pipeline stage (-1 when the
+     * caller has none, e.g. sequential reference runs).
      */
     void forwardStage(const Subnet &subnet, int lo, int hi,
-                      UpdateSemantics semantics);
+                      UpdateSemantics semantics, int stage = -1);
 
     /**
      * Compute the loss after the last forward stage and seed the
@@ -104,7 +106,7 @@ class NumericExecutor
      * downward from the last backward call).
      */
     void backwardStage(const Subnet &subnet, int lo, int hi,
-                       UpdateSemantics semantics);
+                       UpdateSemantics semantics, int stage = -1);
 
     /** Release @p subnet's context; returns its training loss. */
     float finishSubnet(const Subnet &subnet);
@@ -174,7 +176,7 @@ class NumericExecutor
     Tensor makeDigest(SubnetId id, const char *tag,
                       std::uint64_t salt) const;
     void applyUpdate(const Subnet &subnet, int block,
-                     const LayerGrads &grads);
+                     const LayerGrads &grads, int stage);
 
     ParameterStore &_store;
     Config _config;

@@ -61,16 +61,16 @@ ParameterStore::materialize(const LayerId &layer)
 }
 
 const LayerParams &
-ParameterStore::read(const LayerId &layer, SubnetId reader)
+ParameterStore::read(const LayerId &layer, SubnetId reader, int stage)
 {
-    _log.record(layer, reader, AccessKind::Read);
+    _log.record(layer, reader, AccessKind::Read, stage);
     return materialize(layer);
 }
 
 LayerParams &
-ParameterStore::write(const LayerId &layer, SubnetId writer)
+ParameterStore::write(const LayerId &layer, SubnetId writer, int stage)
 {
-    _log.record(layer, writer, AccessKind::Write);
+    _log.record(layer, writer, AccessKind::Write, stage);
     _versions[layer.key()]++;
     return materialize(layer);
 }

@@ -41,15 +41,18 @@ class ParameterStore
 
     /**
      * Read access for a forward pass: returns the layer's current
-     * parameters and logs a READ by @p reader.
+     * parameters and logs a READ by @p reader (@p stage is carried
+     * into the log record for violation localization; -1 = unknown).
      */
-    const LayerParams &read(const LayerId &layer, SubnetId reader);
+    const LayerParams &read(const LayerId &layer, SubnetId reader,
+                            int stage = -1);
 
     /**
      * Write access for a backward pass: mutable parameters, a WRITE
      * log record by @p writer, and a version bump.
      */
-    LayerParams &write(const LayerId &layer, SubnetId writer);
+    LayerParams &write(const LayerId &layer, SubnetId writer,
+                       int stage = -1);
 
     /** Peek without logging (evaluation, tests). */
     const LayerParams &peek(const LayerId &layer);

@@ -19,6 +19,7 @@
 
 #include "core/engine.h"
 #include "exec/parallel_runtime.h"
+#include "verify/csp_oracle.h"
 
 namespace naspipe {
 namespace {
@@ -63,8 +64,24 @@ expectEquivalent(const std::string &spaceName, int workers, int steps)
     SearchSpace space = makeSpaceByName(spaceName);
     RuntimeConfig c = config(workers, steps);
 
-    Fingerprint sim = fingerprint(runTraining(space, c));
-    Fingerprint thr = fingerprint(runTrainingThreaded(space, c));
+    RunResult simResult = runTraining(space, c);
+
+    // The threaded run executes under the CspOracle: live commit
+    // monotonicity during the run, full access-log audit after it.
+    CspOracle oracle;
+    c.commitObserver = [&oracle](std::uint64_t layerKey,
+                                 SubnetId subnet, std::size_t rank,
+                                 int stage) {
+        oracle.observeCommit(layerKey, subnet, rank, stage);
+    };
+    RunResult thrResult = runTrainingThreaded(space, c);
+
+    Fingerprint sim = fingerprint(simResult);
+    Fingerprint thr = fingerprint(thrResult);
+
+    EXPECT_TRUE(oracle.auditLog(thrResult.store->accessLog()));
+    EXPECT_TRUE(oracle.ok()) << oracle.report();
+    EXPECT_GT(oracle.observedCommits(), 0u);
 
     EXPECT_EQ(sim.causalViolations, 0);
     EXPECT_EQ(thr.causalViolations, 0);

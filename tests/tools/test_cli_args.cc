@@ -1,0 +1,125 @@
+/**
+ * @file
+ * naspipe_cli argument-parsing and exit-code contract tests. Each
+ * case launches the real binary (path injected by CMake as
+ * NASPIPE_CLI_PATH) and checks the documented exit codes: 0 success,
+ * 2 argument error / OOM, 3 run failure, 4 CSP verification failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CliResult {
+    int exitCode = -1;
+    std::string output;  ///< stdout + stderr interleaved
+};
+
+CliResult
+runCli(const std::string &args)
+{
+    std::string command =
+        std::string(NASPIPE_CLI_PATH) + " " + args + " 2>&1";
+    CliResult result;
+    FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << command;
+    if (!pipe)
+        return result;
+    std::array<char, 512> buffer;
+    while (fgets(buffer.data(), buffer.size(), pipe))
+        result.output += buffer.data();
+    int status = pclose(pipe);
+    result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+} // namespace
+
+TEST(CliArgs, HelpExitsZeroAndPrintsUsage)
+{
+    CliResult r = runCli("--help");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_NE(r.output.find("usage:"), std::string::npos);
+    EXPECT_NE(r.output.find("--verify-csp"), std::string::npos);
+    EXPECT_NE(r.output.find("--executor sim|threads"),
+              std::string::npos);
+}
+
+TEST(CliArgs, UnknownArgumentExitsTwo)
+{
+    CliResult r = runCli("--no-such-flag");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("unknown argument"), std::string::npos);
+}
+
+TEST(CliArgs, BadExecutorExitsTwo)
+{
+    CliResult r = runCli("--executor gpu");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("want sim or threads"),
+              std::string::npos);
+}
+
+TEST(CliArgs, MissingValueExitsTwo)
+{
+    EXPECT_EQ(runCli("--space").exitCode, 2);
+    EXPECT_EQ(runCli("--seed").exitCode, 2);
+}
+
+TEST(CliArgs, OutOfRangeValueExitsTwo)
+{
+    EXPECT_EQ(runCli("--gpus 0").exitCode, 2);
+    EXPECT_EQ(runCli("--steps -3").exitCode, 2);
+    EXPECT_EQ(runCli("--seed banana").exitCode, 2);
+}
+
+TEST(CliArgs, BadFaultSpecExitsTwo)
+{
+    CliResult r = runCli("--inject-fault explode@5");
+    EXPECT_EQ(r.exitCode, 2);
+}
+
+TEST(CliArgs, MissingResumeCheckpointExitsThree)
+{
+    CliResult r = runCli("--space CV.c1 --steps 8 --quiet "
+                         "--resume /nonexistent/run.ckpt");
+    EXPECT_EQ(r.exitCode, 3);
+    EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(CliArgs, SimRunWithVerifyCspExitsZero)
+{
+    CliResult r =
+        runCli("--space CV.c1 --steps 8 --verify-csp");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_NE(r.output.find("verify-csp  ok"), std::string::npos);
+}
+
+TEST(CliArgs, ThreadedRunWithVerifyCspExitsZero)
+{
+    CliResult r = runCli("--space CV.c1 --steps 8 --gpus 2 "
+                         "--executor threads --verify-csp");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_NE(r.output.find("verify-csp  ok"), std::string::npos);
+    // The threaded run observed live commits, not just the log.
+    EXPECT_EQ(r.output.find(" 0 live commits"), std::string::npos);
+}
+
+TEST(CliArgs, QuietSuppressesTheReportBlock)
+{
+    CliResult r =
+        runCli("--space CV.c1 --steps 8 --verify-csp --quiet");
+    EXPECT_EQ(r.exitCode, 0);
+    EXPECT_EQ(r.output.find("throughput"), std::string::npos);
+}
+
+TEST(CliArgs, FaultAndCheckpointFlagsParse)
+{
+    CliResult r = runCli("--space CV.c1 --steps 12 --quiet "
+                         "--inject-fault crash@6 --ckpt-interval 4");
+    EXPECT_EQ(r.exitCode, 0);
+}

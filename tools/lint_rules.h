@@ -1,0 +1,104 @@
+/**
+ * @file
+ * naspipe_lint engine: a token/regex-level C++ source scanner for
+ * hazards that silently break bitwise reproducibility.
+ *
+ * The rule table (see ruleTable()) targets the failure modes the CSP
+ * papers and this repo's own history show corrupt results without
+ * crashing: hash-order iteration feeding schedule/commit decisions,
+ * ambient randomness outside the seeded RNG, address-ordered
+ * containers, and unreviewed relaxed atomics in the threaded
+ * executor. A finding is suppressed only by
+ *
+ *     // naspipe-lint: allow(rule-name) <reason text>
+ *
+ * on the offending line or the line directly above it — the reason
+ * is mandatory, a bare allow() does not suppress — or by an entry in
+ * the checked-in baseline file (pre-existing findings only; the
+ * `lint` build target fails on anything new). Catch-all determinism
+ * deferral comments (TODO + "(det)") are themselves a finding.
+ *
+ * The engine is a separate static library so its unit tests
+ * (tests/tools/test_naspipe_lint.cc) exercise it in-process; the
+ * naspipe_lint binary is a thin CLI over it.
+ */
+
+#ifndef NASPIPE_TOOLS_LINT_RULES_H
+#define NASPIPE_TOOLS_LINT_RULES_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+namespace lint {
+
+/** One rule of the table (name is the allow()/baseline handle). */
+struct RuleInfo {
+    std::string name;
+    std::string description;
+};
+
+/** The rule table, in documentation order. */
+const std::vector<RuleInfo> &ruleTable();
+
+/** One hazard hit. */
+struct Finding {
+    std::string file;     ///< path as scanned (forward slashes)
+    int line = 0;         ///< 1-based line number
+    std::string rule;     ///< rule name
+    std::string excerpt;  ///< trimmed offending source line
+    bool baselined = false;  ///< present in the baseline file
+
+    /** "file:line: [rule] excerpt" rendering. */
+    std::string describe() const;
+};
+
+/**
+ * Scan @p content as one C++ source file. @p path scopes the
+ * path-restricted rules (relaxed-memory-order fires only under
+ * src/exec/, raw-random never fires in common/rng.*) and lands in
+ * the findings; it is not opened.
+ */
+std::vector<Finding> scanSource(const std::string &path,
+                                const std::string &content);
+
+/**
+ * Read and scan one file. Returns false (and fills @p error) when
+ * the file cannot be read; findings append to @p out.
+ */
+bool scanFile(const std::string &path, std::vector<Finding> &out,
+              std::string *error);
+
+/**
+ * Expand @p path into the sorted list of .cc/.h files beneath it (or
+ * the file itself). Sorted so runs are byte-stable — the lint tool
+ * holds itself to the determinism bar it enforces.
+ */
+std::vector<std::string> collectSources(const std::string &path);
+
+/** Stable baseline key of a finding (line numbers excluded). */
+std::string baselineKey(const Finding &finding);
+
+/**
+ * Load a baseline file (one key per line, '#' comments). A missing
+ * file is an empty baseline, not an error; a present-but-unreadable
+ * file fails.
+ */
+bool loadBaseline(const std::string &path, std::set<std::string> &out,
+                  std::string *error);
+
+/** Render findings as baseline file content. */
+std::string renderBaseline(const std::vector<Finding> &findings);
+
+/**
+ * Mark findings whose key appears in @p baseline; returns the number
+ * of findings that remain un-baselined (the build-failing count).
+ */
+std::size_t applyBaseline(std::vector<Finding> &findings,
+                          const std::set<std::string> &baseline);
+
+} // namespace lint
+} // namespace naspipe
+
+#endif // NASPIPE_TOOLS_LINT_RULES_H

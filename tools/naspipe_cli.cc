@@ -7,14 +7,20 @@
  *   naspipe_cli [--space NAME] [--system NAME] [--gpus N]
  *               [--steps N] [--seed N] [--batch N] [--staleness N]
  *               [--evolution] [--hybrid N] [--executor sim|threads]
- *               [--inject-fault SPEC] [--ckpt-interval N]
- *               [--ckpt FILE.ckpt] [--resume FILE.ckpt]
- *               [--trace FILE.json] [--checkpoint FILE.ckpt]
- *               [--csv FILE.csv] [--quiet]
+ *               [--verify-csp] [--inject-fault SPEC]
+ *               [--ckpt-interval N] [--ckpt FILE.ckpt]
+ *               [--resume FILE.ckpt] [--trace FILE.json]
+ *               [--checkpoint FILE.ckpt] [--csv FILE.csv] [--quiet]
  *
  * --executor threads runs the training on real OS threads (one per
  * stage) through the CommitGate; weights are bitwise identical to
  * --executor sim (the default discrete-event simulation).
+ *
+ * --verify-csp runs the CspOracle over the run: the full access log
+ * is audited post-run (both executors), and with --executor threads
+ * the oracle additionally observes every CommitGate commit live.
+ * Violations print a report naming layer, stage and the offending
+ * sequence IDs, and the process exits 4.
  *
  * Spaces: NLP.c0..c3, CV.c1..c3 (Table 1).
  * Systems: naspipe, gpipe, pipedream, vpipe, naspipe-no-scheduler,
@@ -39,6 +45,7 @@
 #include "exec/parallel_runtime.h"
 #include "schedule/ssp_scheduler.h"
 #include "sim/fault_injector.h"
+#include "verify/csp_oracle.h"
 
 namespace {
 
@@ -53,7 +60,8 @@ usage(const char *argv0)
         "[--staleness N]\n"
         "          [--evolution] [--hybrid N] "
         "[--executor sim|threads]\n"
-        "          [--inject-fault SPEC] [--ckpt-interval N]\n"
+        "          [--verify-csp] [--inject-fault SPEC] "
+        "[--ckpt-interval N]\n"
         "          [--ckpt FILE.ckpt] [--resume FILE.ckpt]\n"
         "          [--trace FILE.json] [--checkpoint FILE.ckpt]\n"
         "          [--csv FILE.csv] [--quiet]\n"
@@ -134,7 +142,7 @@ main(int argc, char **argv)
     int gpus = 8, steps = 64, batch = 0, staleness = 2;
     int hybrid = 0, ckptInterval = 0;
     std::uint64_t seed = 7;
-    bool evolution = false, quiet = false;
+    bool evolution = false, quiet = false, verifyCsp = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -202,6 +210,8 @@ main(int argc, char **argv)
             csvPath = value();
         else if (arg == "--evolution")
             evolution = true;
+        else if (arg == "--verify-csp")
+            verifyCsp = true;
         else if (arg == "--quiet")
             quiet = true;
         else if (arg == "--help" || arg == "-h") {
@@ -243,6 +253,16 @@ main(int argc, char **argv)
         if (!ParallelRuntime::supported(config, &why))
             argError(argv[0], "--executor threads: " + why);
     }
+    CspOracle oracle;
+    if (verifyCsp && threaded) {
+        // Live half of the audit: watch every CommitGate commit for
+        // causal-chain monotonicity as it happens.
+        config.commitObserver = [&oracle](std::uint64_t layerKey,
+                                          SubnetId subnet,
+                                          std::size_t rank, int stg) {
+            oracle.observeCommit(layerKey, subnet, rank, stg);
+        };
+    }
     RunResult result = threaded ? runTrainingThreaded(space, config)
                                 : runTraining(space, config);
     if (result.oom) {
@@ -253,6 +273,16 @@ main(int argc, char **argv)
     if (result.failed) {
         std::fprintf(stderr, "error: %s\n", result.error.c_str());
         return 3;
+    }
+
+    bool cspOk = true;
+    if (verifyCsp) {
+        // Post-hoc half of the audit: replay the complete access log
+        // through the per-layer freshness/ordering invariants.
+        oracle.auditLog(result.store->accessLog());
+        cspOk = oracle.ok();
+        if (!cspOk)
+            std::fprintf(stderr, "%s", oracle.report().c_str());
     }
 
     if (!quiet) {
@@ -304,6 +334,16 @@ main(int argc, char **argv)
                     m.causalViolations,
                     static_cast<unsigned long long>(
                         result.supernetHash));
+        if (verifyCsp) {
+            std::printf("verify-csp  %s  (%zu layers, %llu records, "
+                        "%llu live commits)\n",
+                        cspOk ? "ok" : "VIOLATED",
+                        oracle.auditedLayers(),
+                        static_cast<unsigned long long>(
+                            oracle.auditedRecords()),
+                        static_cast<unsigned long long>(
+                            oracle.observedCommits()));
+        }
     }
 
     if (!tracePath.empty()) {
@@ -331,5 +371,5 @@ main(int argc, char **argv)
         if (!quiet)
             std::printf("curve       %s\n", csvPath.c_str());
     }
-    return 0;
+    return cspOk ? 0 : 4;
 }

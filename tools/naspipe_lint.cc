@@ -1,0 +1,134 @@
+/**
+ * @file
+ * naspipe_lint — the custom nondeterminism lint's command line.
+ *
+ * Usage:
+ *   naspipe_lint [--baseline FILE] [--write-baseline FILE]
+ *                [--list-rules] PATH...
+ *
+ * Scans every .cc/.h under the given paths with the reproducibility
+ * hazard rules of tools/lint_rules.h. Exit codes: 0 clean (or all
+ * findings baselined), 1 new findings, 2 usage or I/O error. The
+ * `lint` CMake target runs this over src/, tools/ and tests/ with
+ * the checked-in baseline, so a new hazard fails the build.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf("usage: %s [--baseline FILE] [--write-baseline FILE]"
+                " [--list-rules] PATH...\n",
+                argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace naspipe::lint;
+
+    std::string baselinePath, writeBaselinePath;
+    std::vector<std::string> paths;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: missing value for %s\n",
+                             arg.c_str());
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--baseline")
+            baselinePath = value();
+        else if (arg == "--write-baseline")
+            writeBaselinePath = value();
+        else if (arg == "--list-rules")
+            listRules = true;
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown argument %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        for (const RuleInfo &rule : ruleTable())
+            std::printf("%-22s %s\n", rule.name.c_str(),
+                        rule.description.c_str());
+        if (paths.empty())
+            return 0;
+    }
+    if (paths.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    std::size_t scanned = 0;
+    for (const std::string &path : paths) {
+        std::vector<std::string> files = collectSources(path);
+        if (files.empty()) {
+            std::fprintf(stderr,
+                         "error: no .cc/.h sources under %s\n",
+                         path.c_str());
+            return 2;
+        }
+        for (const std::string &file : files) {
+            std::string error;
+            if (!scanFile(file, findings, &error)) {
+                std::fprintf(stderr, "error: %s\n", error.c_str());
+                return 2;
+            }
+            scanned++;
+        }
+    }
+
+    if (!writeBaselinePath.empty()) {
+        std::ofstream out(writeBaselinePath);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         writeBaselinePath.c_str());
+            return 2;
+        }
+        out << renderBaseline(findings);
+        std::printf("baseline: %zu finding(s) written to %s\n",
+                    findings.size(), writeBaselinePath.c_str());
+        return 0;
+    }
+
+    std::set<std::string> baseline;
+    std::string error;
+    if (!loadBaseline(baselinePath, baseline, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    std::size_t fresh = applyBaseline(findings, baseline);
+
+    for (const Finding &finding : findings)
+        std::printf("%s\n", finding.describe().c_str());
+    std::printf("naspipe_lint: %zu file(s), %zu finding(s), "
+                "%zu new\n",
+                scanned, findings.size(), fresh);
+    return fresh == 0 ? 0 : 1;
+}
