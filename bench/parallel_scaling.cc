@@ -53,10 +53,11 @@ main()
 
     TextTable table({"Workers", "Batch", "Wall", "Subnets/s",
                      "Speedup", "Busy", "Gate wait", "Idle",
-                     "Sim subnets/s", "Bitwise"});
+                     "Cache hit", "Sim subnets/s", "Bitwise"});
     CsvWriter csv({"workers", "batch", "wall_s", "subnets_per_s",
                    "speedup", "busy_s", "gate_wait_s", "idle_s",
-                   "sim_subnets_per_s", "bitwise"});
+                   "cache_hit_rate", "sim_subnets_per_s",
+                   "bitwise"});
 
     double baseline = 0.0;
     for (int workers : workerCounts) {
@@ -107,6 +108,7 @@ main()
              formatFixed(busy, 3) + "s",
              formatFixed(gateWait, 3) + "s",
              formatFixed(idle, 3) + "s",
+             formatCacheHitRate(m.cacheHitRate),
              formatFixed(simSubnetsPerSec, 0),
              bitwise ? "yes" : "NO"});
         csv.addRow({std::to_string(workers), std::to_string(m.batch),
@@ -118,6 +120,8 @@ main()
                                 3),
                     formatFixed(busy, 6), formatFixed(gateWait, 6),
                     formatFixed(idle, 6),
+                    m.cacheHitRate ? formatFixed(*m.cacheHitRate, 4)
+                                   : std::string("NA"),
                     formatFixed(simSubnetsPerSec, 2),
                     bitwise ? "1" : "0"});
         if (!bitwise) {

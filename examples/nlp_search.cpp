@@ -44,7 +44,8 @@ main()
                 result.metrics.simSeconds,
                 result.metrics.samplesPerSec,
                 result.metrics.bubbleRatio,
-                formatPercent(result.metrics.cacheHitRate).c_str());
+                formatCacheHitRate(result.metrics.cacheHitRate)
+                    .c_str());
 
     // Rank the explored subnets by their training loss to see what
     // evolution converged towards.

@@ -74,7 +74,7 @@ table2Row(const ExperimentResult &result)
         m.cpuMemBytes ? formatBytes(m.cpuMemBytes) : "0",
         formatFixed(m.meanExecSeconds, 2),
         formatFixed(m.bubbleRatio, 2),
-        m.cacheHitRate < 0.0 ? "N/A" : formatPercent(m.cacheHitRate),
+        formatCacheHitRate(m.cacheHitRate),
     };
 }
 

@@ -6,7 +6,8 @@
 #include "common/logging.h"
 #include "exec/commit_gate.h"
 #include "exec/stage_worker.h"
-#include "tensor/loss.h"
+#include "session/training_session.h"
+#include "train/run_checkpoint.h"
 
 namespace naspipe {
 
@@ -30,60 +31,37 @@ ParallelRuntime::supported(const RuntimeConfig &config,
         return reject("bulk-flush (BSP) systems are simulator-only");
     if (!config.faults.empty())
         return reject("fault injection is simulator-only");
-    if (config.ckptInterval > 0)
-        return reject("mid-run checkpointing is simulator-only");
-    if (!config.resumePath.empty())
-        return reject("checkpoint resume is simulator-only");
     return true;
 }
 
 /**
- * All run state; the coordinator (the thread calling run()) owns the
- * sampler, injection and completion bookkeeping, the workers own
- * execution.
+ * The coordinator (the thread calling run()) drives the shared
+ * TrainingSession; this Impl is the session's execution backend —
+ * it owns the commit gate, the worker threads and the completion
+ * queue, and dispatches every admitted subnet into stage 0.
  */
-struct ParallelRuntime::Impl {
+struct ParallelRuntime::Impl : ExecutionBackend {
     const SearchSpace &space;
     RuntimeConfig config;
     SystemModel model;
     int numStages;
-    double scoreScale;
 
-    CapacityPlan plan;
-    int batch = 1;
-
-    std::shared_ptr<ParameterStore> store;
-    std::unique_ptr<NumericExecutor> exec;
-    std::unique_ptr<SubnetSampler> sampler;
-    std::unique_ptr<Partitioner> partitioner;
-    std::unique_ptr<ConvergenceTracker> tracker;
-    std::shared_ptr<Trace> trace;
+    TrainingSession session;
 
     CommitGate gate;
     std::vector<std::unique_ptr<StageWorker>> workers;
     std::unique_ptr<BoundedTaskQueue<std::shared_ptr<const SubnetRun>>>
         completions;
 
-    // Coordinator bookkeeping (mirrors PipelineRuntime::Impl).
-    std::vector<std::shared_ptr<const SubnetRun>> runs;  ///< by ID
-    std::map<SubnetId, float> losses;
-    SubnetId nextScoreToReport = 0;
-    std::map<SubnetId, double> scoreBuffer;
-    int injected = 0;
-    int finished = 0;
-    int inflight = 0;
-
     std::chrono::steady_clock::time_point epoch;
 
     Impl(const SearchSpace &s, const RuntimeConfig &c)
         : space(s), config(c), model(c.system),
-          numStages(c.numStages),
-          scoreScale(c.scoreScale > 0.0
-                         ? c.scoreScale
-                         : defaultScoreScale(s.family()))
+          numStages(c.numStages), session(s, config)
     {
         NASPIPE_ASSERT(numStages >= 1, "need >= 1 worker");
         NASPIPE_ASSERT(c.totalSubnets >= 1, "need >= 1 subnet");
+        session.attach(this);
     }
 
     double
@@ -94,10 +72,41 @@ struct ParallelRuntime::Impl {
             .count();
     }
 
+    /**
+     * Dispatch subnet @p id into the pipeline. Registration must
+     * precede dispatch: every layer's causal chain is complete for
+     * this subnet before any worker can resolve a claim against it.
+     */
+    void
+    admit(SubnetId id) override
+    {
+        const Subnet &sn = session.subnetOf(id);
+        auto run = std::make_shared<SubnetRun>();
+        run->subnet = sn;
+        run->partition = session.partitionOf(id);
+        for (int b = 0; b < sn.size(); b++) {
+            if (space.parameterized(b, sn.choice(b)))
+                gate.registerActivation(sn.layer(b).key(), sn.id());
+        }
+        workers[0]->submit(
+            ExecTask{ExecTask::Kind::Forward, std::move(run)});
+    }
+
+    /**
+     * A checkpoint-restored subnet needs no executor-side state:
+     * deliberately NOT registered in the commit gate, so the live
+     * run's causal chains start fresh at rank 0 — which keeps the
+     * CspOracle's commit-monotonicity check valid across a resume.
+     * The restored store already holds its weight updates, and the
+     * drained barrier guarantees it held no pipeline token.
+     */
+    void
+    restoreCompleted(SubnetId id) override
+    {
+        (void)id;
+    }
+
     bool setup();
-    int effectiveFeedbackLag() const;
-    void deliverScoresBelow(SubnetId maxIdExclusive);
-    void injectSubnets();
     RunResult collect();
 };
 
@@ -107,46 +116,13 @@ ParallelRuntime::Impl::setup()
     // Same capacity discipline as the simulator: identical batch =>
     // identical LR scaling and gradient-noise scale => the numeric
     // trajectory the equivalence harness compares bitwise.
-    ActivationModel activation =
-        config.activation.bytesPerSample
-            ? config.activation
-            : defaultActivationModel(space.family());
-    CapacityPlanner planner(space, config.cluster.gpu, activation);
-    plan = config.batch > 0
-               ? planner.planWithBatch(model, numStages, config.batch)
-               : planner.plan(model, numStages);
-    if (!plan.fits)
+    if (!session.initRun())
         return false;
-    batch = plan.batch;
 
-    if (config.samplerFactory) {
-        sampler = config.samplerFactory(space, config.seed);
-        NASPIPE_ASSERT(sampler, "sampler factory returned null");
-    } else if (config.hybridStreams > 0) {
-        sampler = std::make_unique<HybridSampler>(
-            space, config.seed, config.hybridStreams);
-    } else if (config.evolutionSearch) {
-        sampler =
-            std::make_unique<EvolutionSampler>(space, config.seed);
-    } else {
-        sampler = std::make_unique<UniformSampler>(space, config.seed);
-    }
-    partitioner = std::make_unique<Partitioner>(space, batch);
-
-    store = std::make_shared<ParameterStore>(space, config.seed);
     // Pre-materialize every layer: after this, worker threads only
     // ever look up existing entries, so the store's maps need no
     // structural locking on the hot path.
-    store->materializeAll();
-    store->accessLog().enabled(config.numeric);
-    NumericExecutor::Config ec;
-    ec.dataSeed = deriveSeed(config.seed, "data");
-    ec.sgd = config.sgd;
-    ec.batch = batch;
-    exec = std::make_unique<NumericExecutor>(*store, ec);
-    tracker = std::make_unique<ConvergenceTracker>(scoreScale);
-    trace = std::make_shared<Trace>();
-    trace->enabled(config.traceEnabled);
+    session.store()->materializeAll();
 
     int limit = model.effectiveInflight(numStages);
     // A subnet owns exactly one live pipeline token, so `limit`
@@ -157,11 +133,24 @@ ParallelRuntime::Impl::setup()
         BoundedTaskQueue<std::shared_ptr<const SubnetRun>>>(
         inboxCapacity);
 
+    StageWorker::ContextConfig ctx;
+    ctx.mode = model.memory;
+    ctx.predictor = model.predictor;
+    ctx.prefetchDepth = model.prefetchDepth;
+    // The §4.2 memory-limit check, same cap as the simulator: the
+    // planned footprint covers the ~3 moving contexts of §3.3;
+    // contexts awaiting their backward pass also linger, so the
+    // enforced budget is 3x the plan.
+    ctx.budgetBytes =
+        model.memory == MemoryMode::AllResident
+            ? 0
+            : 3 * session.plan().residentParamBytesPerGpu;
+
     for (int k = 0; k < numStages; k++) {
         workers.push_back(std::make_unique<StageWorker>(
             k, numStages, space, gate,
-            config.numeric ? exec.get() : nullptr,
-            UpdateSemantics::Immediate, inboxCapacity));
+            config.numeric ? &session.exec() : nullptr,
+            UpdateSemantics::Immediate, inboxCapacity, ctx));
     }
     for (int k = 0; k < numStages; k++) {
         workers[static_cast<std::size_t>(k)]->connect(
@@ -186,105 +175,30 @@ ParallelRuntime::Impl::setup()
     return true;
 }
 
-int
-ParallelRuntime::Impl::effectiveFeedbackLag() const
-{
-    if (config.feedbackLag != 0)
-        return std::max(0, config.feedbackLag);
-    return config.evolutionSearch ? 32 : 0;
-}
-
-void
-ParallelRuntime::Impl::deliverScoresBelow(SubnetId maxIdExclusive)
-{
-    // Identical delivery discipline to the simulator: scores reach
-    // the sampler in sequence-ID order, never past the cap, so a
-    // feedback-driven sampler draws the exact same subnet stream.
-    while (nextScoreToReport < maxIdExclusive) {
-        auto it = scoreBuffer.find(nextScoreToReport);
-        if (it == scoreBuffer.end())
-            break;
-        sampler->reportScore(it->first, it->second);
-        scoreBuffer.erase(it);
-        nextScoreToReport++;
-    }
-}
-
-void
-ParallelRuntime::Impl::injectSubnets()
-{
-    int limit = model.effectiveInflight(numStages);
-    int lag = effectiveFeedbackLag();
-    while (injected < config.totalSubnets && inflight < limit) {
-        SubnetId nextId = injected;
-        if (lag > 0) {
-            deliverScoresBelow(nextId - lag + 1);
-            if (nextId - nextScoreToReport >= lag)
-                break;  // required scores not yet available
-        }
-        Subnet sn = sampler->next();
-        NASPIPE_ASSERT(sn.id() == nextId, "sampler IDs out of sync");
-
-        auto run = std::make_shared<SubnetRun>();
-        run->partition =
-            model.balancedPartition
-                ? partitioner->balanced(sn, numStages)
-                : Partitioner::even(sn.size(), numStages);
-        // Registration must precede dispatch: every layer's causal
-        // chain is complete for this subnet before any worker can
-        // resolve a claim against it.
-        for (int b = 0; b < sn.size(); b++) {
-            if (space.parameterized(b, sn.choice(b)))
-                gate.registerActivation(sn.layer(b).key(), sn.id());
-        }
-        if (config.numeric)
-            exec->beginSubnet(sn);
-        run->subnet = std::move(sn);
-        runs.push_back(run);
-        workers[0]->submit(
-            ExecTask{ExecTask::Kind::Forward, std::move(run)});
-        injected++;
-        inflight++;
-    }
-}
-
 RunResult
 ParallelRuntime::Impl::collect()
 {
-    RunResult out;
-    out.plan = plan;
-    out.losses = losses;
-    out.store = store;
-    out.trace = trace;
-    out.sampled.reserve(runs.size());
-    for (const auto &run : runs)
-        out.sampled.push_back(run->subnet);
-
-    RunMetrics &m = out.metrics;
-    m.finishedSubnets = finished;
-    m.batch = batch;
     double wall = elapsed();
-    // simSeconds doubles as "the run's seconds" so every downstream
-    // consumer (throughput lines, reports) works unchanged; the
-    // threaded-only fields carry the real-concurrency breakdown.
-    m.simSeconds = wall;
+    double busySum = 0.0;
+    for (const auto &worker : workers)
+        busySum += worker->stats().busySec;
+
+    RunResult out = session.collect(session.secOffset() + wall,
+                                    session.busyOffset() + busySum);
+    RunMetrics &m = out.metrics;
+    // wallSeconds is this process's real run time; simSeconds (set by
+    // the session) additionally carries the producing run's seconds
+    // across a resume, so throughput consumers work unchanged.
     m.wallSeconds = wall;
     m.execWorkers = numStages;
-    if (wall > 0.0) {
-        m.samplesPerSec =
-            static_cast<double>(finished) * batch / wall;
-        m.subnetsPerHour =
-            static_cast<double>(finished) / wall * 3600.0;
-    }
 
-    double busyTotal = 0.0, bubbleTotal = 0.0;
+    double bubbleTotal = 0.0;
     for (const auto &worker : workers) {
         const StageWorker::Stats &s = worker->stats();
         m.perStageBusySec.push_back(s.busySec);
         m.perStageGateWaitSec.push_back(s.gateWaitSec);
         m.perStageIdleSec.push_back(s.idleSec);
         m.gateWaitSeconds += s.gateWaitSec;
-        busyTotal += s.busySec;
         if (wall > 0.0) {
             bubbleTotal +=
                 std::clamp(1.0 - s.busySec / wall, 0.0, 1.0);
@@ -292,21 +206,28 @@ ParallelRuntime::Impl::collect()
     }
     m.bubbleRatio =
         numStages > 0 ? bubbleTotal / numStages : 0.0;
-    if (finished > 0)
-        m.meanExecSeconds = busyTotal / finished;
     m.gateCommits = gate.commits();
-    m.cacheHitRate = -1.0;  // no simulated context cache
 
-    if (!losses.empty()) {
-        std::size_t window = std::min<std::size_t>(16, losses.size());
-        double total = 0.0;
-        auto it = losses.end();
-        for (std::size_t i = 0; i < window; i++)
-            total += (--it)->second;
-        m.finalLoss = total / static_cast<double>(window);
-        m.finalScore = lossToScore(m.finalLoss, scoreScale);
+    // Real per-worker context-cache accounting (the port of the
+    // simulator's ContextManager); AllResident systems have no cache
+    // and report N/A.
+    if (model.memory != MemoryMode::AllResident) {
+        std::uint64_t hits = 0, misses = 0;
+        for (const auto &worker : workers) {
+            const ExecContextCache &cache = worker->cache();
+            hits += cache.memory().hitStats().hits();
+            misses += cache.memory().hitStats().misses();
+            m.prefetchedBytes += cache.stats().prefetchedBytes;
+            m.syncFetchedBytes += cache.stats().syncFetchedBytes;
+            m.cachePeakBytes = std::max(m.cachePeakBytes,
+                                        cache.memory().peakBytes());
+            m.cacheBudgetBytes = cache.budgetBytes();
+        }
+        m.cacheHitRate =
+            (hits + misses)
+                ? static_cast<double>(hits) / (hits + misses)
+                : 0.0;
     }
-    out.curve = tracker->curve(64);
 
     if (config.traceEnabled) {
         std::vector<TraceRecord> merged;
@@ -321,25 +242,7 @@ ParallelRuntime::Impl::collect()
                                                 : a.stage < b.stage;
                   });
         for (const TraceRecord &rec : merged)
-            trace->add(rec);
-    }
-
-    if (config.numeric) {
-        out.supernetHash = store->supernetHash();
-        m.supernetHash = out.supernetHash;
-        int violations = 0;
-        for (const LayerId &layer :
-             store->accessLog().touchedLayers()) {
-            if (!store->accessLog().sequentiallyEquivalent(layer))
-                violations++;
-        }
-        m.causalViolations = violations;
-
-        SearchResult search =
-            searchBestSubnet(*exec, out.sampled, scoreScale,
-                             deriveSeed(config.seed, "search"));
-        out.bestSubnet = search.best.id();
-        out.searchAccuracy = search.accuracy;
+            out.trace->add(rec);
     }
     return out;
 }
@@ -355,13 +258,14 @@ ParallelRuntime::~ParallelRuntime() = default;
 double
 ParallelRuntime::scoreScale() const
 {
-    return _impl->scoreScale;
+    return _impl->session.scoreScale();
 }
 
 RunResult
 ParallelRuntime::run()
 {
     Impl &im = *_impl;
+    TrainingSession &session = im.session;
     std::string why;
     if (!supported(im.config, &why)) {
         RunResult out;
@@ -372,30 +276,57 @@ ParallelRuntime::run()
     if (!im.setup()) {
         RunResult out;
         out.oom = true;
-        out.plan = im.plan;
+        out.plan = session.plan();
         return out;
+    }
+
+    if (!im.config.resumePath.empty()) {
+        RunCheckpoint ckpt;
+        if (!ckpt.loadFile(im.config.resumePath) ||
+            !session.restore(ckpt)) {
+            RunResult out;
+            out.failed = true;
+            out.error = "cannot resume from checkpoint '" +
+                        im.config.resumePath + "'";
+            out.plan = session.plan();
+            return out;
+        }
+        session.setTimeOffsets(ckpt.simSeconds, ckpt.busySeconds);
+        session.setCheckpointsWritten(
+            static_cast<int>(ckpt.checkpointsWritten));
+        // ParameterStore::load drops the version-map entries of
+        // layers restored at version 0; re-materialize so the hot
+        // path stays structurally read-only for the workers.
+        session.store()->materializeAll();
     }
 
     im.epoch = std::chrono::steady_clock::now();
     for (auto &worker : im.workers)
         worker->start(im.epoch, im.config.traceEnabled);
 
-    im.injectSubnets();
-    while (im.finished < im.config.totalSubnets) {
+    session.pump();
+    while (session.finished() < session.totalSubnets()) {
         std::shared_ptr<const SubnetRun> run =
             im.completions->pop();
-        im.inflight--;
-        im.finished++;
         float loss = 0.0f;
         if (im.config.numeric)
-            loss = im.exec->finishSubnet(run->subnet);
-        SubnetId id = run->subnet.id();
-        im.losses[id] = loss;
-        im.tracker->addSample(im.elapsed(), loss);
-        im.scoreBuffer[id] = lossToScore(loss, im.scoreScale);
-        if (im.effectiveFeedbackLag() == 0)
-            im.deliverScoresBelow(im.config.totalSubnets);
-        im.injectSubnets();
+            loss = session.exec().finishSubnet(run->subnet);
+        bool atBarrier = session.recordCompletion(
+            run->subnet.id(), loss,
+            session.secOffset() + im.elapsed());
+        if (atBarrier) {
+            // The barrier is drained by construction: injection
+            // paused at nextCkptAt, so no subnet is in flight, and
+            // every worker write for a completed subnet is visible
+            // here (gate-commit release edges plus the completion
+            // queue's mutex hand-off). Threaded checkpoints carry
+            // wall-clock seconds and no live busy accounting.
+            RunCheckpoint ckpt = session.buildCheckpoint(
+                session.secOffset() + im.elapsed(),
+                session.busyOffset());
+            session.commitCheckpoint(ckpt);
+        }
+        session.pump();
     }
 
     for (auto &worker : im.workers)
@@ -403,9 +334,9 @@ ParallelRuntime::run()
     for (auto &worker : im.workers)
         worker->join();
 
-    NASPIPE_ASSERT(im.finished == im.config.totalSubnets,
-                   "run ended with ", im.finished, " of ",
-                   im.config.totalSubnets, " subnets finished");
+    NASPIPE_ASSERT(session.finished() == session.totalSubnets(),
+                   "run ended with ", session.finished(), " of ",
+                   session.totalSubnets(), " subnets finished");
     return im.collect();
 }
 

@@ -15,17 +15,14 @@
  *
  * Shares RuntimeConfig and RunResult with the simulator so the two
  * executors are drop-in interchangeable (`naspipe_cli
- * --executor=threads|sim`). Differences:
- *
- *  - only CSP-compatible systems run (immediate update semantics:
- *    naspipe and its predictor/mirroring ablations); BSP/ASP systems
- *    return failed — their semantics are interleaving-*dependent*,
- *    which is exactly what a real-thread executor cannot reproduce;
- *  - hardware timing is real: metrics report wall-clock seconds,
- *    per-stage busy/gate-wait/idle breakdowns and commit counts
- *    instead of simulated ALU/memory occupancy;
- *  - fault injection, checkpointing and resume are simulator-only
- *    for now and are rejected up front.
+ * --executor=threads|sim`); both drive the shared TrainingSession
+ * coordinator core (src/session), which owns sampling, score
+ * delivery and the drained-checkpoint/resume cadence. The feature
+ * matrix of what each executor supports (systems, faults,
+ * checkpoint/resume, context cache, oracle hooks) lives in
+ * README.md's "Choosing an executor" table; supported() is the
+ * programmatic form of that matrix and names the feature in its
+ * rejection reason.
  */
 
 #ifndef NASPIPE_EXEC_PARALLEL_RUNTIME_H

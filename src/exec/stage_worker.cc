@@ -21,9 +21,11 @@ StageWorker::StageWorker(int stage, int numStages,
                          const SearchSpace &space, CommitGate &gate,
                          NumericExecutor *exec,
                          UpdateSemantics semantics,
-                         std::size_t inboxCapacity)
+                         std::size_t inboxCapacity, ContextConfig ctx)
     : _stage(stage), _numStages(numStages), _space(space), _gate(gate),
-      _exec(exec), _semantics(semantics), _inbox(inboxCapacity)
+      _exec(exec), _semantics(semantics), _inbox(inboxCapacity),
+      _cache(space, ctx.mode, ctx.budgetBytes),
+      _predictor(ctx.predictor, ctx.prefetchDepth)
 {
     NASPIPE_ASSERT(stage >= 0 && stage < numStages,
                    "stage index out of range");
@@ -97,6 +99,38 @@ StageWorker::secondsSinceEpoch() const
 }
 
 void
+StageWorker::prefetchRun(const SubnetRun &run)
+{
+    auto [lo, hi] = blockRange(run);
+    if (lo <= hi)
+        _cache.prefetch(run.subnet, lo, hi);
+}
+
+std::vector<SubnetId>
+StageWorker::queuedForwardIds() const
+{
+    std::vector<SubnetId> ids;
+    ids.reserve(_fwd.size());
+    for (const Pending &p : _fwd)
+        ids.push_back(p.run->subnet.id());
+    return ids;
+}
+
+void
+StageWorker::prefetchPredicted(const std::vector<SubnetId> &picks)
+{
+    for (SubnetId id : picks) {
+        auto at = std::lower_bound(
+            _fwd.begin(), _fwd.end(), id,
+            [](const Pending &p, SubnetId v) {
+                return p.run->subnet.id() < v;
+            });
+        if (at != _fwd.end() && at->run->subnet.id() == id)
+            prefetchRun(*at->run);
+    }
+}
+
+void
 StageWorker::drainInbox()
 {
     std::deque<ExecTask> fresh;
@@ -104,6 +138,17 @@ StageWorker::drainInbox()
     for (ExecTask &task : fresh) {
         Pending pending;
         pending.run = std::move(task.run);
+        // An arriving task is this stage's advance notice ("status
+        // passed from other stages", §3.3): prefetch its context
+        // before anything executes. Fresh subnets entering stage 0
+        // are gated to ~3 queued contexts like the simulator's entry
+        // retrieval, so a backed-up entry queue does not balloon the
+        // cache.
+        if (_predictor.enabled() &&
+            (task.kind == ExecTask::Kind::Backward || _stage > 0 ||
+             _fwd.size() < 3)) {
+            prefetchRun(*pending.run);
+        }
         if (task.kind == ExecTask::Kind::Backward) {
             _bwd.push_back(std::move(pending));
         } else {
@@ -159,6 +204,13 @@ StageWorker::execForward(Pending pending)
 {
     const SubnetRun &run = *pending.run;
     auto [lo, hi] = blockRange(run);
+    // Algorithm 1 line 21: predictor runs after the pop, before the
+    // forward executes — the forwards queued next get their context
+    // fetched while this one computes (Algorithm 3 lines 16-18).
+    prefetchPredicted(_predictor.beforeForward(run.subnet.id(),
+                                               queuedForwardIds()));
+    if (lo <= hi)
+        _cache.ensureResident(run.subnet, lo, hi);
     double start = secondsSinceEpoch();
     if (_exec && lo <= hi)
         _exec->forwardStage(run.subnet, lo, hi, _semantics, _stage);
@@ -188,6 +240,13 @@ StageWorker::execBackward(Pending pending)
 {
     const SubnetRun &run = *pending.run;
     auto [lo, hi] = blockRange(run);
+    // Algorithm 1 line 6: predictor runs before the backward. The
+    // commit this backward is about to publish unblocks the lowest
+    // queued forwards (Algorithm 3 lines 4-8) — re-fetch their
+    // contexts if the budget evicted them.
+    prefetchPredicted(_predictor.beforeBackward(queuedForwardIds()));
+    if (lo <= hi)
+        _cache.ensureResident(run.subnet, lo, hi);
     double start = secondsSinceEpoch();
     if (_exec && lo <= hi)
         _exec->backwardStage(run.subnet, lo, hi, _semantics, _stage);
@@ -205,6 +264,12 @@ StageWorker::execBackward(Pending pending)
             ticksFromSec(start), ticksFromSec(end), _stage,
             TraceKind::Backward, run.subnet.id(), "threads"});
     }
+
+    // The backward pass retires this subnet's stage context (§3.3):
+    // evict it so the resident set stays at the ~3 moving contexts
+    // the budget plans for.
+    if (lo <= hi)
+        _cache.evictSubnet(run.subnet, lo, hi);
 
     if (_stage > 0) {
         _prev->submit(

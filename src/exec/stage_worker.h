@@ -38,7 +38,9 @@
 
 #include "exec/commit_gate.h"
 #include "exec/task_queue.h"
+#include "memory/exec_context_cache.h"
 #include "partition/partitioner.h"
+#include "schedule/exec_predictor.h"
 #include "sim/trace.h"
 #include "supernet/subnet.h"
 #include "train/numeric_executor.h"
@@ -58,6 +60,14 @@ struct ExecTask {
     std::shared_ptr<const SubnetRun> run;
 };
 
+/** Per-worker context-management knobs (mirrors the sim's Stage). */
+struct StageContextConfig {
+    MemoryMode mode = MemoryMode::AllResident;
+    bool predictor = false;  ///< Algorithm-3 prediction enabled
+    int prefetchDepth = 2;   ///< predicted tasks to prefetch
+    std::uint64_t budgetBytes = 0;  ///< §4.2 cap; 0 = unlimited
+};
+
 /**
  * The worker thread of one pipeline stage.
  */
@@ -74,6 +84,8 @@ class StageWorker
         std::uint64_t deferrals = 0;  ///< fwd scans that found nothing
     };
 
+    using ContextConfig = StageContextConfig;
+
     /**
      * @param stage this worker's stage index
      * @param numStages pipeline depth D
@@ -82,10 +94,12 @@ class StageWorker
      * @param exec numeric executor, or nullptr for schedule-only runs
      * @param semantics parameter-update semantics (Immediate for CSP)
      * @param inboxCapacity bounded-inbox capacity (>= in-flight limit)
+     * @param ctx context cache/predictor configuration
      */
     StageWorker(int stage, int numStages, const SearchSpace &space,
                 CommitGate &gate, NumericExecutor *exec,
-                UpdateSemantics semantics, std::size_t inboxCapacity);
+                UpdateSemantics semantics, std::size_t inboxCapacity,
+                ContextConfig ctx = ContextConfig());
 
     StageWorker(const StageWorker &) = delete;
     StageWorker &operator=(const StageWorker &) = delete;
@@ -116,6 +130,12 @@ class StageWorker
     /** Post-join accounting. */
     const Stats &stats() const { return _stats; }
 
+    /** Post-join context-cache accounting. */
+    const ExecContextCache &cache() const { return _cache; }
+
+    /** Post-join prediction accounting. */
+    const ExecPredictor &predictor() const { return _predictor; }
+
     /** Post-join trace records (empty unless recordTrace). */
     const std::vector<TraceRecord> &traceRecords() const
     {
@@ -139,6 +159,12 @@ class StageWorker
     void execBackward(Pending pending);
     std::pair<int, int> blockRange(const SubnetRun &run) const;
     double secondsSinceEpoch() const;
+    /** Prefetch @p run's stage context (predictor paths). */
+    void prefetchRun(const SubnetRun &run);
+    /** The sorted forward queue as sequence IDs (predictor input). */
+    std::vector<SubnetId> queuedForwardIds() const;
+    /** Prefetch the queued forwards the predictor named. */
+    void prefetchPredicted(const std::vector<SubnetId> &picks);
 
     const int _stage;
     const int _numStages;
@@ -162,6 +188,10 @@ class StageWorker
     // Thread-local scheduling state (worker thread only).
     std::deque<Pending> _bwd;
     std::vector<Pending> _fwd;  ///< sorted by ascending sequence ID
+
+    // Context management (worker thread only; read after join()).
+    ExecContextCache _cache;
+    ExecPredictor _predictor;
 
     std::thread _thread;
     std::chrono::steady_clock::time_point _epoch;

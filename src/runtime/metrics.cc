@@ -17,8 +17,7 @@ RunMetrics::summary() const
         << formatFixed(samplesPerSec, 1) << " samples/s, bubble "
         << formatFixed(bubbleRatio, 2) << ", ALU "
         << formatFactor(totalAluUtilization, 1) << ", cache "
-        << (cacheHitRate < 0.0 ? std::string("N/A")
-                               : formatPercent(cacheHitRate));
+        << formatCacheHitRate(cacheHitRate);
     if (faultsInjected > 0) {
         oss << ", faults " << faultsInjected << " (" << recoveries
             << " recoveries, " << subnetsReplayed << " replayed, "
@@ -46,6 +45,12 @@ RunMetrics::aluImbalance() const
         hi = std::max(hi, u);
     }
     return lo > 0.0 ? hi / lo : 1.0;
+}
+
+std::string
+formatCacheHitRate(const std::optional<double> &rate)
+{
+    return rate ? formatPercent(*rate) : std::string("N/A");
 }
 
 double

@@ -8,6 +8,7 @@
 #define NASPIPE_RUNTIME_METRICS_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,10 +39,15 @@ struct RunMetrics {
     std::uint64_t cpuMemBytes = 0;  ///< pinned CPU storage
     std::uint64_t reportedParamBytes = 0;  ///< "Para." column
 
-    // Context management.
-    double cacheHitRate = 0.0;      ///< -1 when not applicable
+    // Context management. No value means "no cache": AllResident
+    // systems keep everything on the GPU, so a hit rate is not merely
+    // unknown but meaningless — the optional makes consumers say so
+    // explicitly instead of interpreting a sentinel.
+    std::optional<double> cacheHitRate;
     std::uint64_t prefetchedBytes = 0;
     std::uint64_t syncFetchedBytes = 0;
+    std::uint64_t cachePeakBytes = 0;    ///< max resident set seen
+    std::uint64_t cacheBudgetBytes = 0;  ///< §4.2 enforced cap
     std::uint64_t mirrorSyncBytes = 0;
     std::uint64_t mirrorsCreated = 0;
 
@@ -89,6 +95,14 @@ struct RunMetrics {
  * Captures why tiny batches burn wall-clock without filling the SMs.
  */
 double kernelEfficiency(int batch, int overheadBatch);
+
+/**
+ * Canonical rendering of an optional cache-hit rate: the percentage
+ * when present, "N/A" when the system has no cache. Every report
+ * surface (summary line, Table 2, CLI) uses this one formatter.
+ */
+std::string
+formatCacheHitRate(const std::optional<double> &rate);
 
 } // namespace naspipe
 

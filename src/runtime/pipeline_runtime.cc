@@ -6,49 +6,44 @@
 #include "common/logging.h"
 #include "runtime/stage.h"
 #include "schedule/csp_scheduler.h"
+#include "session/training_session.h"
 #include "sim/simulator.h"
-#include "tensor/loss.h"
 #include "train/run_checkpoint.h"
 
 namespace naspipe {
 
 /**
- * All run state lives here; the event callbacks capture `this`.
+ * The simulator-specific half of the run: the event loop, the cluster
+ * model, the per-stage schedulers/context managers, mirroring, bulk
+ * flushing and fault injection. Everything executor-independent —
+ * sampling order, score delivery, checkpoint cadence, resume replay,
+ * shared metrics — lives in the TrainingSession this Impl backs.
  */
-struct PipelineRuntime::Impl {
+struct PipelineRuntime::Impl : ExecutionBackend {
     const SearchSpace &space;
     RuntimeConfig config;
     SystemModel model;
     int numStages;
-    ActivationModel activation;
-    double scoreScale;
+
+    TrainingSession session;
 
     Simulator sim;
     std::unique_ptr<Cluster> cluster;
     std::vector<std::unique_ptr<Stage>> stages;
     std::unique_ptr<SchedulerPolicy> policy;
-    std::unique_ptr<SubnetSampler> sampler;
-    std::unique_ptr<Partitioner> partitioner;
     std::unique_ptr<HomePlacement> placement;
     std::unique_ptr<MirrorPlanner> mirrors;
     std::unique_ptr<FlushController> flushCtl;
-    std::shared_ptr<ParameterStore> store;
-    std::unique_ptr<NumericExecutor> exec;
-    std::unique_ptr<ConvergenceTracker> tracker;
-    std::shared_ptr<Trace> trace;
     SwapModel swap;
     /// Fired flags survive recovery rewinds: a replaced GPU does not
     /// crash again when the completion counter passes the trigger.
     FaultInjector injector;
 
-    CapacityPlan plan;
-    int batch = 1;
     UpdateSemantics semantics = UpdateSemantics::Immediate;
     MessageSizer sizer;
 
-    // Bookkeeping.
-    std::map<SubnetId, Subnet> subnets;  ///< never GC'd (vs deps)
-    std::map<SubnetId, SubnetPartition> partitions;
+    // Simulator-side bookkeeping (the session owns subnets, losses
+    // and completion times).
     /// Mirror entries grouped per (subnet, exec stage).
     std::map<SubnetId, std::map<int, std::vector<MirrorEntry>>>
         mirrorEntries;
@@ -60,92 +55,62 @@ struct PipelineRuntime::Impl {
     std::map<std::uint64_t, std::size_t> writesApplied;
     std::map<SubnetId, double> execBusySec;
     std::map<SubnetId, float> lossAtCompute;
-    std::map<SubnetId, float> losses;
     std::vector<SubnetId> pendingFinish;  ///< Deferred: await flush
-    SubnetId nextScoreToReport = 0;
-    std::map<SubnetId, double> scoreBuffer;
 
-    int injected = 0;
-    int finished = 0;
-    int inflight = 0;
     std::uint64_t stallEmptyQueues = 0;
     std::map<std::pair<int, SubnetId>, Tick> fwdArrival;
     std::uint64_t stallDependency = 0;
     std::uint64_t stallMirrorWait = 0;
 
-    // Fault/checkpoint state. A "phase" is one sim.run() between
-    // (re)starts; the offsets carry wall-clock and busy time across
-    // phases, and completionSec records absolute completion times.
-    bool crashed = false;      ///< fail-stop fired; sim was stopped
-    int nextCkptAt = 0;        ///< next drain barrier (completed cnt)
-    double secOffset = 0.0;    ///< sim seconds before this phase
-    double busyOffset = 0.0;   ///< busy seconds from the checkpoint
-    std::map<SubnetId, double> completionSec;
-    std::string lastCkpt;      ///< serialized last checkpoint
+    // Fault state. A "phase" is one sim.run() between (re)starts; the
+    // session's offsets carry wall-clock and busy time across phases.
+    bool crashed = false;  ///< fail-stop fired; sim was stopped
     int recoveries = 0;
     int subnetsReplayed = 0;
     double recoverySecondsTotal = 0.0;
     double lostComputeSeconds = 0.0;
-    int checkpointsWritten = 0;
-    std::uint64_t checkpointBytes = 0;
-    double checkpointSecondsTotal = 0.0;
 
     Impl(const SearchSpace &s, const RuntimeConfig &c)
         : space(s), config(c), model(c.system),
-          numStages(c.numStages),
-          activation(c.activation.bytesPerSample
-                         ? c.activation
-                         : defaultActivationModel(s.family())),
-          scoreScale(c.scoreScale > 0.0
-                         ? c.scoreScale
-                         : defaultScoreScale(s.family())),
+          numStages(c.numStages), session(s, config),
           swap(c.cluster.gpu.pcieBytesPerSec,
                c.cluster.gpu.pcieLatency),
           injector(c.faults)
     {
-        NASPIPE_ASSERT(numStages >= 1, "need >= 1 stage");
-        NASPIPE_ASSERT(c.totalSubnets >= 1, "need >= 1 subnet");
+        session.attach(this);
     }
 
     const Subnet &
     subnetOf(SubnetId id) const
     {
-        auto it = subnets.find(id);
-        NASPIPE_ASSERT(it != subnets.end(), "unknown SN", id);
-        return it->second;
+        return session.subnetOf(id);
     }
 
     std::pair<int, int>
     blockRange(int stage, SubnetId id) const
     {
-        auto it = partitions.find(id);
-        NASPIPE_ASSERT(it != partitions.end(), "no partition for SN",
-                       id);
-        const SubnetPartition &p = it->second;
-        int lo = p.firstBlock(stage);
-        int hi = p.lastBlock(stage);
-        return {lo, hi};  // lo > hi means the stage owns no blocks
+        return session.blockRange(stage, id);
     }
+
+    // ExecutionBackend: the simulator's injection veto and per-subnet
+    // registration/restore hooks, called from the session's pump()
+    // and restore().
+    bool canAdmit(SubnetId next) const override;
+    void admit(SubnetId id) override;
+    void restoreCompleted(SubnetId id) override;
 
     bool setup();
     bool upstreamWritesDone(int stage, SubnetId id) const;
     void injectSubnets();
-    bool ckptEnabled() const { return config.ckptInterval > 0; }
-    int ckptStride() const;
-    int boundaryAfter(int completedCount) const;
     double busySum() const;
     void checkFaults(Tick end);
-    RunCheckpoint buildCheckpoint(Tick end) const;
     void takeCheckpoint(Tick end);
     void resetRunState();
-    bool restore(const RunCheckpoint &ckpt);
     bool beginRecovery();
     void tryDispatch(int k);
     void startForward(int k, SubnetId id);
     void startBackward(int k, SubnetId id);
     void onSubnetComplete(int k, SubnetId id, Tick end);
-    int effectiveFeedbackLag() const;
-    void deliverScoresBelow(SubnetId maxIdExclusive);
     Tick taskDuration(const Subnet &sn, int lo, int hi,
                       TaskType type) const;
     Tick mirrorPushDelay(int writerStage, int readerStage,
@@ -158,50 +123,20 @@ struct PipelineRuntime::Impl {
 bool
 PipelineRuntime::Impl::setup()
 {
-    // Capacity planning decides whether this system can run at all
-    // and at which batch size; an explicitly pinned batch (the
-    // reproducibility methodology) is checked against capacity too.
-    CapacityPlanner planner(space, config.cluster.gpu, activation);
-    plan = config.batch > 0
-               ? planner.planWithBatch(model, numStages, config.batch)
-               : planner.plan(model, numStages);
-    if (!plan.fits)
+    if (!session.initRun())
         return false;
-    batch = plan.batch;
 
     ClusterConfig cc = config.cluster;
     cc.numStages = numStages;
     cluster = std::make_unique<Cluster>(sim, cc);
 
     policy = makePolicy(model);
-    if (config.samplerFactory) {
-        sampler = config.samplerFactory(space, config.seed);
-        NASPIPE_ASSERT(sampler, "sampler factory returned null");
-    } else if (config.hybridStreams > 0) {
-        sampler = std::make_unique<HybridSampler>(
-            space, config.seed, config.hybridStreams);
-    } else if (config.evolutionSearch) {
-        sampler = std::make_unique<EvolutionSampler>(space, config.seed);
-    } else {
-        sampler = std::make_unique<UniformSampler>(space, config.seed);
-    }
-    partitioner = std::make_unique<Partitioner>(space, batch);
     placement = std::make_unique<HomePlacement>(space, numStages);
     mirrors = std::make_unique<MirrorPlanner>(space, *placement);
     if (model.bulkFlush) {
         flushCtl = std::make_unique<FlushController>(
             model.effectiveBulk(numStages));
     }
-    store = std::make_shared<ParameterStore>(space, config.seed);
-    store->accessLog().enabled(config.numeric);
-    NumericExecutor::Config ec;
-    ec.dataSeed = deriveSeed(config.seed, "data");
-    ec.sgd = config.sgd;
-    ec.batch = batch;
-    exec = std::make_unique<NumericExecutor>(*store, ec);
-    tracker = std::make_unique<ConvergenceTracker>(scoreScale);
-    trace = std::make_shared<Trace>();
-    trace->enabled(config.traceEnabled);
 
     if (model.weightStash)
         semantics = UpdateSemantics::WeightStash;
@@ -210,8 +145,9 @@ PipelineRuntime::Impl::setup()
     else
         semantics = UpdateSemantics::Immediate;
 
-    sizer.boundaryBytesPerSample = activation.boundaryBytesPerSample;
-    sizer.batch = batch;
+    sizer.boundaryBytesPerSample =
+        session.activationModel().boundaryBytesPerSample;
+    sizer.batch = session.batch();
 
     for (int k = 0; k < numStages; k++) {
         Stage::Hooks hooks;
@@ -230,7 +166,7 @@ PipelineRuntime::Impl::setup()
         std::uint64_t cacheBudget =
             model.memory == MemoryMode::AllResident
                 ? 0
-                : 3 * plan.residentParamBytesPerGpu;
+                : 3 * session.plan().residentParamBytesPerGpu;
         stages.push_back(std::make_unique<Stage>(
             sim, space, cluster->gpu(k), k, numStages, model.memory,
             std::move(hooks), cacheBudget));
@@ -284,8 +220,10 @@ PipelineRuntime::Impl::taskDuration(const Subnet &sn, int lo, int hi,
     }
     // Kernel time scales with (overhead + batch), calibrated against
     // the family's reference batch.
+    const ActivationModel &activation = session.activationModel();
     double factor =
-        static_cast<double>(activation.overheadBatch + batch) /
+        static_cast<double>(activation.overheadBatch +
+                            session.batch()) /
         static_cast<double>(activation.overheadBatch +
                             space.referenceBatch());
     ms *= factor * activation.computeScale;
@@ -338,74 +276,82 @@ PipelineRuntime::Impl::pendingMeta(int k) const
     return meta;
 }
 
+bool
+PipelineRuntime::Impl::canAdmit(SubnetId next) const
+{
+    // BSP bulk barrier: the next bulk opens only when the previous
+    // one fully flushed.
+    return !flushCtl || flushCtl->canInject(next);
+}
+
+void
+PipelineRuntime::Impl::admit(SubnetId id)
+{
+    const Subnet &sn = subnetOf(id);
+    for (int b = 0; b < sn.size(); b++) {
+        if (space.parameterized(b, sn.choice(b)))
+            activators[sn.layer(b).key()].push_back(sn.id());
+    }
+    if (model.mirroring) {
+        auto entries = mirrors->plan(sn, session.partitionOf(id));
+        mirrors->activate(entries);
+        auto &grouped = mirrorEntries[sn.id()];
+        for (auto &entry : entries)
+            grouped[entry.execStage].push_back(entry);
+    }
+    for (auto &stage : stages)
+        stage->registerSubnet(sn);
+
+    fwdArrival[{0, sn.id()}] = sim.now();
+    // Retrieval kicks off the context fetch for the entry stage
+    // (§3.3: the fetch schedule starts when a subnet is known) —
+    // but only within the cache budget of ~3 subnet contexts, so
+    // a backed-up entry queue does not balloon GPU memory.
+    if (model.predictor && stages[0]->fwdCandidates().size() < 3) {
+        auto [lo, hi] = blockRange(0, sn.id());
+        if (lo <= hi)
+            stages[0]->ctx().prefetch(sn, lo, hi);
+    }
+
+    stages[0]->pushFwd(sn.id());
+}
+
+void
+PipelineRuntime::Impl::restoreCompleted(SubnetId id)
+{
+    const Subnet &sn = subnetOf(id);
+    for (int b = 0; b < sn.size(); b++) {
+        if (space.parameterized(b, sn.choice(b)))
+            activators[sn.layer(b).key()].push_back(sn.id());
+    }
+    if (model.mirroring) {
+        auto entries = mirrors->plan(sn, session.partitionOf(id));
+        mirrors->activate(entries);
+        auto &grouped = mirrorEntries[sn.id()];
+        for (auto &entry : entries)
+            grouped[entry.execStage].push_back(entry);
+    }
+    // Registered then immediately finished on every stage: the
+    // dependency frontiers advance past the restored prefix, and
+    // the numeric executor never opens a context for it.
+    for (auto &stage : stages) {
+        stage->registerSubnet(sn);
+        stage->mutableDeps().markFinished(sn.id());
+    }
+    for (int b = 0; b < sn.size(); b++) {
+        if (space.parameterized(b, sn.choice(b)))
+            writesApplied[sn.layer(b).key()]++;
+    }
+    if (flushCtl)
+        flushCtl->onSubnetComplete(sn.id());
+    // lastWrite stays empty: the restored store is globally
+    // consistent, so every read is immediately available.
+}
+
 void
 PipelineRuntime::Impl::injectSubnets()
 {
-    int limit = model.effectiveInflight(numStages);
-    int lag = effectiveFeedbackLag();
-    while (injected < config.totalSubnets && inflight < limit) {
-        SubnetId nextId = injected;
-        // Drain the pipeline for the next checkpoint barrier: at most
-        // nextCkptAt subnets are ever injected before the barrier, so
-        // finished == nextCkptAt implies inflight == 0 — the drained
-        // state a checkpoint captures is a pure function of the
-        // completed count under CSP.
-        if (ckptEnabled() && injected >= nextCkptAt)
-            break;
-        if (flushCtl && !flushCtl->canInject(nextId))
-            break;
-        if (lag > 0) {
-            // Feedback-driven samplers see *exactly* the scores of
-            // subnets <= i - lag before drawing subnet i, so their
-            // draws replay identically on any cluster.
-            deliverScoresBelow(nextId - lag + 1);
-            if (nextId - nextScoreToReport >= lag)
-                break;  // required scores not yet available
-        }
-        Subnet sn = sampler->next();
-        NASPIPE_ASSERT(sn.id() == nextId, "sampler IDs out of sync");
-
-        subnets.emplace(sn.id(), sn);
-        for (int b = 0; b < sn.size(); b++) {
-            if (space.parameterized(b, sn.choice(b)))
-                activators[sn.layer(b).key()].push_back(sn.id());
-        }
-        SubnetPartition part =
-            model.balancedPartition
-                ? partitioner->balanced(sn, numStages)
-                : Partitioner::even(sn.size(), numStages);
-        partitions.emplace(sn.id(), std::move(part));
-
-        if (model.mirroring) {
-            auto entries =
-                mirrors->plan(sn, partitions.at(sn.id()));
-            mirrors->activate(entries);
-            auto &grouped = mirrorEntries[sn.id()];
-            for (auto &entry : entries)
-                grouped[entry.execStage].push_back(entry);
-        }
-
-        for (auto &stage : stages)
-            stage->registerSubnet(sn);
-        if (config.numeric)
-            exec->beginSubnet(sn);
-
-        fwdArrival[{0, sn.id()}] = sim.now();
-        // Retrieval kicks off the context fetch for the entry stage
-        // (§3.3: the fetch schedule starts when a subnet is known) —
-        // but only within the cache budget of ~3 subnet contexts, so
-        // a backed-up entry queue does not balloon GPU memory.
-        if (model.predictor &&
-            stages[0]->fwdCandidates().size() < 3) {
-            auto [lo, hi] = blockRange(0, sn.id());
-            if (lo <= hi)
-                stages[0]->ctx().prefetch(sn, lo, hi);
-        }
-
-        stages[0]->pushFwd(sn.id());
-        injected++;
-        inflight++;
-    }
+    session.pump();
     tryDispatch(0);
 }
 
@@ -493,9 +439,10 @@ PipelineRuntime::Impl::startForward(int k, SubnetId id)
         sim.scheduleAt(start, [this, k, id, lo, hi] {
             const Subnet &subnet = subnetOf(id);
             if (lo <= hi)
-                exec->forwardStage(subnet, lo, hi, semantics, k);
+                session.exec().forwardStage(subnet, lo, hi, semantics,
+                                            k);
             if (k == numStages - 1)
-                lossAtCompute[id] = exec->computeLoss(subnet);
+                lossAtCompute[id] = session.exec().computeLoss(subnet);
         });
     }
 
@@ -510,7 +457,7 @@ PipelineRuntime::Impl::startForward(int k, SubnetId id)
                     rec.detail = "wait_ms=" + std::to_string(
                         ticksToMs(start - it->second));
                 }
-                trace->add(rec);
+                session.trace()->add(rec);
             }
             execBusySec[id] += ticksToSec(end - start);
             if (k + 1 < numStages) {
@@ -571,13 +518,14 @@ PipelineRuntime::Impl::startBackward(int k, SubnetId id)
         [this, k, id, lo, hi, start, end] {
             Stage &stage = *stages[static_cast<std::size_t>(k)];
             const Subnet &subnet = subnetOf(id);
-            trace->add(TraceRecord{start, end, k, TraceKind::Backward,
-                                   id, ""});
+            session.trace()->add(TraceRecord{
+                start, end, k, TraceKind::Backward, id, ""});
             execBusySec[id] += ticksToSec(end - start);
 
             // The numeric WRITE (optimizer step) lands at completion.
             if (config.numeric && lo <= hi)
-                exec->backwardStage(subnet, lo, hi, semantics, k);
+                session.exec().backwardStage(subnet, lo, hi, semantics,
+                                             k);
             if (lo <= hi && semantics != UpdateSemantics::Deferred) {
                 for (int b = lo; b <= hi; b++) {
                     if (!space.parameterized(b, subnet.choice(b)))
@@ -633,9 +581,6 @@ PipelineRuntime::Impl::startBackward(int k, SubnetId id)
 void
 PipelineRuntime::Impl::onSubnetComplete(int, SubnetId id, Tick end)
 {
-    inflight--;
-    finished++;
-
     float loss = 0.0f;
     if (config.numeric) {
         if (semantics == UpdateSemantics::Deferred) {
@@ -644,15 +589,11 @@ PipelineRuntime::Impl::onSubnetComplete(int, SubnetId id, Tick end)
             loss = lossAtCompute.at(id);
             pendingFinish.push_back(id);
         } else {
-            loss = exec->finishSubnet(subnetOf(id));
+            loss = session.exec().finishSubnet(subnetOf(id));
         }
     }
-    losses[id] = loss;
-    completionSec[id] = secOffset + ticksToSec(end);
-    tracker->addSample(completionSec[id], loss);
-    scoreBuffer[id] = lossToScore(loss, scoreScale);
-    if (effectiveFeedbackLag() == 0)
-        deliverScoresBelow(config.totalSubnets);
+    bool atBarrier = session.recordCompletion(
+        id, loss, session.secOffset() + ticksToSec(end));
 
     bool mayInject = true;
     if (flushCtl) {
@@ -662,19 +603,19 @@ PipelineRuntime::Impl::onSubnetComplete(int, SubnetId id, Tick end)
             // in sequence-ID order, then release the next bulk.
             if (config.numeric &&
                 semantics == UpdateSemantics::Deferred) {
-                exec->applyDeferredUpdates(pendingFinish);
+                session.exec().applyDeferredUpdates(pendingFinish);
                 for (SubnetId fid : pendingFinish) {
                     const Subnet &fsn = subnetOf(fid);
                     for (int b = 0; b < fsn.size(); b++) {
                         if (space.parameterized(b, fsn.choice(b)))
                             writesApplied[fsn.layer(b).key()]++;
                     }
-                    exec->finishSubnet(fsn);
+                    session.exec().finishSubnet(fsn);
                 }
                 pendingFinish.clear();
             }
-            trace->add(TraceRecord{end, end, 0, TraceKind::Flush, id,
-                                   "bulk flush"});
+            session.trace()->add(TraceRecord{
+                end, end, 0, TraceKind::Flush, id, "bulk flush"});
         }
     }
 
@@ -683,56 +624,10 @@ PipelineRuntime::Impl::onSubnetComplete(int, SubnetId id, Tick end)
     if (crashed)
         return;  // the world is frozen; run() performs the recovery
 
-    if (ckptEnabled() && finished == nextCkptAt)
+    if (atBarrier)
         takeCheckpoint(end);  // resumes injection after the write
     else if (mayInject)
         injectSubnets();
-}
-
-int
-PipelineRuntime::Impl::effectiveFeedbackLag() const
-{
-    if (config.feedbackLag != 0)
-        return std::max(0, config.feedbackLag);
-    return config.evolutionSearch ? 32 : 0;
-}
-
-void
-PipelineRuntime::Impl::deliverScoresBelow(SubnetId maxIdExclusive)
-{
-    // Deliver quality feedback to the exploration algorithm in
-    // sequence-ID order, never past the cap, so feedback-driven
-    // samplers stay deterministic regardless of completion
-    // interleavings.
-    while (nextScoreToReport < maxIdExclusive) {
-        auto it = scoreBuffer.find(nextScoreToReport);
-        if (it == scoreBuffer.end())
-            break;
-        sampler->reportScore(it->first, it->second);
-        scoreBuffer.erase(it);
-        nextScoreToReport++;
-    }
-}
-
-int
-PipelineRuntime::Impl::ckptStride() const
-{
-    int stride = config.ckptInterval;
-    if (flushCtl) {
-        // Under bulk flushing only a closed bulk leaves the store
-        // drained (deferred updates land at the bulk barrier), so
-        // checkpoint boundaries round up to bulk multiples.
-        int bulk = model.effectiveBulk(numStages);
-        stride = (stride + bulk - 1) / bulk * bulk;
-    }
-    return stride;
-}
-
-int
-PipelineRuntime::Impl::boundaryAfter(int completedCount) const
-{
-    int stride = ckptStride();
-    return (completedCount / stride + 1) * stride;
 }
 
 double
@@ -747,10 +642,10 @@ PipelineRuntime::Impl::busySum() const
 void
 PipelineRuntime::Impl::checkFaults(Tick end)
 {
-    for (const FaultSpec &f : injector.due(finished)) {
+    for (const FaultSpec &f : injector.due(session.finished())) {
         int stage = std::clamp(f.stage, 0, numStages - 1);
-        trace->add(TraceRecord{end, end, stage, TraceKind::Fault, -1,
-                               f.describe()});
+        session.trace()->add(TraceRecord{
+            end, end, stage, TraceKind::Fault, -1, f.describe()});
         inform("fault injected: ", f.describe());
         switch (f.kind) {
           case FaultKind::GpuCrash:
@@ -791,60 +686,16 @@ PipelineRuntime::Impl::checkFaults(Tick end)
         sim.stop();
 }
 
-RunCheckpoint
-PipelineRuntime::Impl::buildCheckpoint(Tick end) const
-{
-    RunCheckpoint ckpt;
-    ckpt.seed = config.seed;
-    ckpt.spaceBlocks = static_cast<std::uint32_t>(space.numBlocks());
-    ckpt.spaceChoices =
-        static_cast<std::uint32_t>(space.choicesPerBlock());
-    ckpt.totalSubnets =
-        static_cast<std::uint64_t>(config.totalSubnets);
-    ckpt.completed = static_cast<std::uint64_t>(finished);
-    ckpt.simSeconds = secOffset + ticksToSec(end);
-    ckpt.busySeconds = busyOffset + busySum();
-    ckpt.checkpointsWritten =
-        static_cast<std::uint64_t>(checkpointsWritten + 1);
-    ckpt.losses.reserve(static_cast<std::size_t>(finished));
-    ckpt.completionSec.reserve(static_cast<std::size_t>(finished));
-    for (SubnetId i = 0; i < finished; i++) {
-        ckpt.losses.push_back(losses.at(i));
-        ckpt.completionSec.push_back(completionSec.at(i));
-    }
-    std::ostringstream ss(std::ios::binary);
-    store->save(ss);
-    ckpt.storeBytes = ss.str();
-    std::ostringstream ls(std::ios::binary);
-    store->accessLog().saveTo(ls);
-    ckpt.accessLogBytes = ls.str();
-    return ckpt;
-}
-
 void
 PipelineRuntime::Impl::takeCheckpoint(Tick end)
 {
-    NASPIPE_ASSERT(inflight == 0, "checkpoint barrier reached with ",
-                   inflight, " subnets in flight");
-    RunCheckpoint ckpt = buildCheckpoint(end);
-    std::ostringstream os(std::ios::binary);
-    bool ok = ckpt.save(os);
-    NASPIPE_ASSERT(ok, "in-memory checkpoint serialization failed");
-    lastCkpt = os.str();
-    checkpointsWritten++;
-    checkpointBytes = lastCkpt.size();
-    if (!config.ckptPath.empty() &&
-        !ckpt.saveFileAtomic(config.ckptPath)) {
-        warn("continuing without the on-disk checkpoint");
-    }
-    double writeSec = static_cast<double>(lastCkpt.size()) /
-                          std::max(1.0, config.ckptWriteBytesPerSec) +
-                      0.001;
-    checkpointSecondsTotal += writeSec;
-    nextCkptAt = boundaryAfter(finished);
-    trace->add(TraceRecord{end, end + ticksFromSec(writeSec), 0,
-                           TraceKind::Checkpoint, -1,
-                           "completed=" + std::to_string(finished)});
+    RunCheckpoint ckpt = session.buildCheckpoint(
+        session.secOffset() + ticksToSec(end),
+        session.busyOffset() + busySum());
+    double writeSec = session.commitCheckpoint(ckpt);
+    session.trace()->add(TraceRecord{
+        end, end + ticksFromSec(writeSec), 0, TraceKind::Checkpoint,
+        -1, "completed=" + std::to_string(session.finished())});
     // Injection resumes once the write completes: the modeled cost
     // of a checkpoint is the pipeline drain plus this write time.
     sim.scheduleAt(end + ticksFromSec(writeSec),
@@ -858,174 +709,55 @@ PipelineRuntime::Impl::resetRunState()
     stages.clear();
     cluster.reset();
     policy.reset();
-    sampler.reset();
-    partitioner.reset();
     placement.reset();
     mirrors.reset();
     flushCtl.reset();
-    store.reset();
-    exec.reset();
-    tracker.reset();
-    trace.reset();
-    subnets.clear();
-    partitions.clear();
     mirrorEntries.clear();
     lastWrite.clear();
     activators.clear();
     writesApplied.clear();
     execBusySec.clear();
     lossAtCompute.clear();
-    losses.clear();
     pendingFinish.clear();
-    nextScoreToReport = 0;
-    scoreBuffer.clear();
-    injected = 0;
-    finished = 0;
-    inflight = 0;
     fwdArrival.clear();
-    completionSec.clear();
     crashed = false;
-    // Stall counters, fault bookkeeping, and checkpoint totals carry
-    // across phases deliberately: they are cumulative diagnostics.
-}
-
-bool
-PipelineRuntime::Impl::restore(const RunCheckpoint &ckpt)
-{
-    if (ckpt.seed != config.seed ||
-        ckpt.spaceBlocks !=
-            static_cast<std::uint32_t>(space.numBlocks()) ||
-        ckpt.spaceChoices !=
-            static_cast<std::uint32_t>(space.choicesPerBlock()) ||
-        ckpt.totalSubnets !=
-            static_cast<std::uint64_t>(config.totalSubnets)) {
-        warn("run checkpoint does not match this run: seed ",
-             ckpt.seed, " space ", ckpt.spaceBlocks, "x",
-             ckpt.spaceChoices, " total ", ckpt.totalSubnets,
-             " vs seed ", config.seed, " space ", space.numBlocks(),
-             "x", space.choicesPerBlock(), " total ",
-             config.totalSubnets);
-        return false;
-    }
-    {
-        std::istringstream in(ckpt.storeBytes);
-        if (!store->load(in))
-            return false;
-    }
-    {
-        std::istringstream in(ckpt.accessLogBytes);
-        if (!store->accessLog().loadFrom(in)) {
-            warn("run checkpoint: access log unreadable");
-            return false;
-        }
-    }
-
-    const auto completed = static_cast<SubnetId>(ckpt.completed);
-    for (SubnetId i = 0; i < completed; i++) {
-        auto loss = static_cast<float>(
-            ckpt.losses[static_cast<std::size_t>(i)]);
-        losses[i] = loss;
-        completionSec[i] =
-            ckpt.completionSec[static_cast<std::size_t>(i)];
-        scoreBuffer[i] = lossToScore(loss, scoreScale);
-    }
-    {
-        // Re-feed the convergence tracker in completion-time order.
-        std::vector<std::pair<double, float>> samples;
-        samples.reserve(static_cast<std::size_t>(completed));
-        for (SubnetId i = 0; i < completed; i++)
-            samples.emplace_back(completionSec[i], losses[i]);
-        std::sort(samples.begin(), samples.end());
-        for (const auto &[when, loss] : samples)
-            tracker->addSample(when, loss);
-    }
-
-    // Replay the sampler with feedback-lag-faithful score delivery:
-    // draws are a pure function of (seed, scores-by-ID), so this
-    // reproduces the exact subnet sequence the checkpointed run drew
-    // — the CSP property Definition 1 rests on.
-    int lag = effectiveFeedbackLag();
-    for (SubnetId i = 0; i < completed; i++) {
-        if (lag > 0)
-            deliverScoresBelow(i - lag + 1);
-        Subnet sn = sampler->next();
-        NASPIPE_ASSERT(sn.id() == i, "sampler replay out of sync: ",
-                       sn.id(), " vs ", i);
-
-        subnets.emplace(sn.id(), sn);
-        for (int b = 0; b < sn.size(); b++) {
-            if (space.parameterized(b, sn.choice(b)))
-                activators[sn.layer(b).key()].push_back(sn.id());
-        }
-        SubnetPartition part =
-            model.balancedPartition
-                ? partitioner->balanced(sn, numStages)
-                : Partitioner::even(sn.size(), numStages);
-        partitions.emplace(sn.id(), std::move(part));
-        if (model.mirroring) {
-            auto entries = mirrors->plan(sn, partitions.at(sn.id()));
-            mirrors->activate(entries);
-            auto &grouped = mirrorEntries[sn.id()];
-            for (auto &entry : entries)
-                grouped[entry.execStage].push_back(entry);
-        }
-        // Registered then immediately finished on every stage: the
-        // dependency frontiers advance past the restored prefix, and
-        // the numeric executor never opens a context for it.
-        for (auto &stage : stages) {
-            stage->registerSubnet(sn);
-            stage->mutableDeps().markFinished(sn.id());
-        }
-        for (int b = 0; b < sn.size(); b++) {
-            if (space.parameterized(b, sn.choice(b)))
-                writesApplied[sn.layer(b).key()]++;
-        }
-        if (flushCtl)
-            flushCtl->onSubnetComplete(sn.id());
-    }
-    if (lag == 0)
-        deliverScoresBelow(completed);
-
-    injected = static_cast<int>(completed);
-    finished = static_cast<int>(completed);
-    inflight = 0;
-    // lastWrite stays empty: the restored store is globally
-    // consistent, so every read is immediately available.
-    return true;
+    // Stall counters and fault bookkeeping carry across phases
+    // deliberately: they are cumulative diagnostics. The session's
+    // per-run state resets in initRun(); its checkpoint totals and
+    // time offsets carry too.
 }
 
 bool
 PipelineRuntime::Impl::beginRecovery()
 {
-    double simAtCrash = secOffset + ticksToSec(sim.now());
-    double busyAtCrash = busyOffset + busySum();
+    double simAtCrash = session.secOffset() + ticksToSec(sim.now());
+    double busyAtCrash = session.busyOffset() + busySum();
 
     RunCheckpoint ckpt;
     bool haveCkpt = false;
-    if (!lastCkpt.empty()) {
-        std::istringstream in(lastCkpt);
+    if (!session.lastCheckpoint().empty()) {
+        std::istringstream in(session.lastCheckpoint());
         bool ok = ckpt.load(in);
         NASPIPE_ASSERT(ok, "in-memory checkpoint unreadable");
         haveCkpt = true;
     }
     recoveries++;
-    subnetsReplayed += finished - static_cast<int>(ckpt.completed);
+    subnetsReplayed +=
+        session.finished() - static_cast<int>(ckpt.completed);
     lostComputeSeconds +=
         std::max(0.0, busyAtCrash - ckpt.busySeconds);
     recoverySecondsTotal += config.recoverySeconds;
-    inform("recovering: rollback from ", finished, " to ",
+    inform("recovering: rollback from ", session.finished(), " to ",
            ckpt.completed, " completed subnets (",
-           finished - static_cast<int>(ckpt.completed), " to replay)");
+           session.finished() - static_cast<int>(ckpt.completed),
+           " to replay)");
 
     resetRunState();
-    secOffset = simAtCrash + config.recoverySeconds;
-    busyOffset = ckpt.busySeconds;
     if (!setup())
         return false;  // cannot happen: the same plan fit before
-    nextCkptAt = ckptEnabled()
-                     ? boundaryAfter(static_cast<int>(ckpt.completed))
-                     : 0;
-    if (haveCkpt && !restore(ckpt))
+    session.setTimeOffsets(simAtCrash + config.recoverySeconds,
+                           ckpt.busySeconds);
+    if (haveCkpt && !session.restore(ckpt))
         return false;
     return true;
 }
@@ -1033,31 +765,18 @@ PipelineRuntime::Impl::beginRecovery()
 RunResult
 PipelineRuntime::Impl::collect()
 {
-    RunResult out;
-    out.plan = plan;
-    out.losses = losses;
-    out.store = store;
-    out.trace = trace;
-
-    out.sampled.reserve(subnets.size());
-    for (const auto &[id, sn] : subnets)
-        out.sampled.push_back(sn);
-
+    RunResult out =
+        session.collect(session.secOffset() + ticksToSec(sim.now()),
+                        session.busyOffset() + busySum());
     RunMetrics &m = out.metrics;
-    m.finishedSubnets = finished;
-    m.batch = batch;
-    m.simSeconds = secOffset + ticksToSec(sim.now());
-    if (m.simSeconds > 0.0) {
-        m.samplesPerSec = static_cast<double>(finished) * batch /
-                          m.simSeconds;
-        m.subnetsPerHour =
-            static_cast<double>(finished) / m.simSeconds * 3600.0;
-    }
+
     // Engine statistics cover only the final phase (earlier phases
     // died with the fault); utilization windows use phase-local time.
     double phaseSec = ticksToSec(sim.now());
     m.bubbleRatio = cluster->meanBubbleRatio();
-    double eff = kernelEfficiency(batch, activation.overheadBatch);
+    double eff = kernelEfficiency(session.batch(),
+                                  session.activationModel()
+                                      .overheadBatch);
     m.totalAluUtilization =
         cluster->totalAluUtilization(phaseSec) * eff;
     for (int s = 0; s < numStages; s++) {
@@ -1065,36 +784,22 @@ PipelineRuntime::Impl::collect()
             cluster->gpu(s).aluUtilization(phaseSec) * eff);
     }
 
-    double busyTotal = busyOffset + busySum();
-    if (finished > 0)
-        m.meanExecSeconds = busyTotal / finished;
-
-    m.gpuMemFactor =
-        static_cast<double>(plan.residentParamBytesPerGpu +
-                            plan.activationBytesPerGpu +
-                            CapacityPlanner::kReserveBytes) /
-        static_cast<double>(config.cluster.gpu.memoryBytes) *
-        numStages;
-    m.cpuMemBytes = plan.cpuMemBytesTotal;
-    m.reportedParamBytes = plan.reportedParamBytes;
-
-    if (model.memory == MemoryMode::AllResident) {
-        m.cacheHitRate = -1.0;
-    } else {
+    if (model.memory != MemoryMode::AllResident) {
         std::uint64_t hits = 0, misses = 0;
         for (const auto &stage : stages) {
             hits += stage->ctx().memory().hitStats().hits();
             misses += stage->ctx().memory().hitStats().misses();
+            m.prefetchedBytes += stage->ctx().stats().prefetchedBytes;
+            m.syncFetchedBytes +=
+                stage->ctx().stats().syncFetchedBytes;
+            m.cachePeakBytes = std::max(
+                m.cachePeakBytes, stage->ctx().memory().peakBytes());
+            m.cacheBudgetBytes = stage->ctx().budgetBytes();
         }
         m.cacheHitRate =
             (hits + misses)
                 ? static_cast<double>(hits) / (hits + misses)
                 : 0.0;
-        for (const auto &stage : stages) {
-            m.prefetchedBytes += stage->ctx().stats().prefetchedBytes;
-            m.syncFetchedBytes +=
-                stage->ctx().stats().syncFetchedBytes;
-        }
     }
     if (model.mirroring) {
         m.mirrorSyncBytes = mirrors->stats().syncBytes;
@@ -1110,48 +815,13 @@ PipelineRuntime::Impl::collect()
     m.subnetsReplayed = subnetsReplayed;
     m.recoverySeconds = recoverySecondsTotal;
     m.lostComputeSeconds = lostComputeSeconds;
-    m.checkpointsWritten = checkpointsWritten;
-    m.checkpointBytes = checkpointBytes;
-    m.checkpointSeconds = checkpointSecondsTotal;
-
-    // The "supernet loss" is the trailing-window mean over the last
-    // subnets *by sequence ID* (not completion order), so the metric
-    // itself is invariant across GPU counts whenever the per-subnet
-    // losses are.
-    if (!losses.empty()) {
-        std::size_t window = std::min<std::size_t>(16, losses.size());
-        double total = 0.0;
-        auto it = losses.end();
-        for (std::size_t i = 0; i < window; i++)
-            total += (--it)->second;
-        m.finalLoss = total / static_cast<double>(window);
-        m.finalScore = lossToScore(m.finalLoss, scoreScale);
-    }
-    out.curve = tracker->curve(64);
-
-    if (config.numeric) {
-        out.supernetHash = store->supernetHash();
-        m.supernetHash = out.supernetHash;
-        int violations = 0;
-        for (const LayerId &layer : store->accessLog().touchedLayers()) {
-            if (!store->accessLog().sequentiallyEquivalent(layer))
-                violations++;
-        }
-        m.causalViolations = violations;
-
-        SearchResult search =
-            searchBestSubnet(*exec, out.sampled, scoreScale,
-                             deriveSeed(config.seed, "search"));
-        out.bestSubnet = search.best.id();
-        out.searchAccuracy = search.accuracy;
-    }
     return out;
 }
 
 PipelineRuntime::PipelineRuntime(const SearchSpace &space,
                                  const RuntimeConfig &config)
     : _impl(std::make_unique<Impl>(space, config)),
-      _scoreScale(_impl->scoreScale)
+      _scoreScale(_impl->session.scoreScale())
 {
 }
 
@@ -1161,37 +831,28 @@ RunResult
 PipelineRuntime::run()
 {
     Impl &im = *_impl;
+    TrainingSession &session = im.session;
     if (!im.setup()) {
         RunResult out;
         out.oom = true;
-        out.plan = im.plan;
+        out.plan = session.plan();
         return out;
     }
-    im.nextCkptAt = im.ckptEnabled() ? im.ckptStride() : 0;
 
     if (!im.config.resumePath.empty()) {
         RunCheckpoint ckpt;
         if (!ckpt.loadFile(im.config.resumePath) ||
-            !im.restore(ckpt)) {
+            !session.restore(ckpt)) {
             RunResult out;
             out.failed = true;
             out.error = "cannot resume from checkpoint '" +
                         im.config.resumePath + "'";
-            out.plan = im.plan;
+            out.plan = session.plan();
             return out;
         }
-        im.secOffset = ckpt.simSeconds;
-        im.busyOffset = ckpt.busySeconds;
-        im.checkpointsWritten =
-            static_cast<int>(ckpt.checkpointsWritten);
-        if (im.ckptEnabled()) {
-            im.nextCkptAt =
-                im.boundaryAfter(static_cast<int>(ckpt.completed));
-        }
-        // A later fail-stop fault rolls back to this state.
-        std::ostringstream os(std::ios::binary);
-        if (ckpt.save(os))
-            im.lastCkpt = os.str();
+        session.setTimeOffsets(ckpt.simSeconds, ckpt.busySeconds);
+        session.setCheckpointsWritten(
+            static_cast<int>(ckpt.checkpointsWritten));
     }
 
     im.injectSubnets();
@@ -1207,14 +868,14 @@ PipelineRuntime::run()
             RunResult out;
             out.failed = true;
             out.error = "recovery from the last checkpoint failed";
-            out.plan = im.plan;
+            out.plan = session.plan();
             return out;
         }
         im.injectSubnets();
         im.sim.run();
     }
-    NASPIPE_ASSERT(im.finished == im.config.totalSubnets,
-                   "run ended with ", im.finished, " of ",
+    NASPIPE_ASSERT(session.finished() == im.config.totalSubnets,
+                   "run ended with ", session.finished(), " of ",
                    im.config.totalSubnets, " subnets finished");
     return im.collect();
 }

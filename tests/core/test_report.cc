@@ -64,7 +64,7 @@ TEST(Report, Table2RowCvUsesPercentScore)
 TEST(Report, Table2RowCacheNa)
 {
     auto row = fakeResult("NLP.c1", "GPipe");
-    row.run.metrics.cacheHitRate = -1.0;
+    row.run.metrics.cacheHitRate = std::nullopt;
     EXPECT_EQ(table2Row(row)[10], "N/A");
 }
 

@@ -49,14 +49,53 @@ TEST(ParallelRuntime, RejectsSimulatorOnlyFeatures)
     RuntimeConfig faulty = config(4, 8);
     faulty.faults.push_back(FaultSpec{});
     EXPECT_FALSE(ParallelRuntime::supported(faulty));
+}
 
+TEST(ParallelRuntime, RejectionReasonsNameTheFeature)
+{
+    // The reason strings are a user-facing contract: the CLI embeds
+    // them verbatim in its exit-2 diagnostics.
+    std::string why;
+
+    RuntimeConfig bsp = config(4, 8);
+    bsp.system = gpipeSystem();
+    EXPECT_FALSE(ParallelRuntime::supported(bsp, &why));
+    EXPECT_EQ(why,
+              "threaded executor requires a CSP system: BSP/ASP "
+              "weights depend on the interleaving, which real "
+              "threads cannot replay");
+
+    RuntimeConfig stash = config(4, 8);
+    stash.system = naspipeSystem();
+    stash.system.weightStash = true;
+    EXPECT_FALSE(ParallelRuntime::supported(stash, &why));
+    EXPECT_EQ(why, "weight stashing is simulator-only");
+
+    RuntimeConfig flush = config(4, 8);
+    flush.system = naspipeSystem();
+    flush.system.bulkFlush = true;
+    EXPECT_FALSE(ParallelRuntime::supported(flush, &why));
+    EXPECT_EQ(why, "bulk-flush (BSP) systems are simulator-only");
+
+    RuntimeConfig faulty = config(4, 8);
+    faulty.faults.push_back(FaultSpec{});
+    EXPECT_FALSE(ParallelRuntime::supported(faulty, &why));
+    EXPECT_EQ(why, "fault injection is simulator-only");
+}
+
+TEST(ParallelRuntime, SupportsCheckpointAndResume)
+{
+    // Drained-barrier checkpoints are executor-agnostic: the session
+    // layer gives the threaded executor the same ckpt/resume path the
+    // simulator has.
+    std::string why;
     RuntimeConfig ckpt = config(4, 8);
     ckpt.ckptInterval = 4;
-    EXPECT_FALSE(ParallelRuntime::supported(ckpt));
+    EXPECT_TRUE(ParallelRuntime::supported(ckpt, &why)) << why;
 
     RuntimeConfig resume = config(4, 8);
     resume.resumePath = "/tmp/nonexistent.ckpt";
-    EXPECT_FALSE(ParallelRuntime::supported(resume));
+    EXPECT_TRUE(ParallelRuntime::supported(resume, &why)) << why;
 }
 
 TEST(ParallelRuntime, UnsupportedConfigFailsInsteadOfRunning)

@@ -69,7 +69,7 @@ TEST(RunMetrics, PerGpuAluPopulatedByRuns)
 TEST(RunMetrics, SummaryShowsNaForAllResidentCache)
 {
     RunMetrics m;
-    m.cacheHitRate = -1.0;
+    m.cacheHitRate = std::nullopt;  // AllResident: no cache exists
     EXPECT_NE(m.summary().find("N/A"), std::string::npos);
 }
 

@@ -123,3 +123,53 @@ TEST(CliArgs, FaultAndCheckpointFlagsParse)
                          "--inject-fault crash@6 --ckpt-interval 4");
     EXPECT_EQ(r.exitCode, 0);
 }
+
+TEST(CliArgs, ThreadsRejectsNonCspSystemExitsTwo)
+{
+    // ParallelRuntime::supported()'s reason string surfaces verbatim
+    // in the exit-2 diagnostic.
+    CliResult r = runCli("--space CV.c1 --steps 8 --quiet "
+                         "--executor threads --system gpipe");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("threaded executor requires a CSP "
+                            "system"),
+              std::string::npos);
+}
+
+TEST(CliArgs, ThreadsRejectsFaultInjectionExitsTwo)
+{
+    CliResult r = runCli("--space CV.c1 --steps 8 --quiet "
+                         "--executor threads --inject-fault crash@4");
+    EXPECT_EQ(r.exitCode, 2);
+    EXPECT_NE(r.output.find("fault injection is simulator-only"),
+              std::string::npos);
+}
+
+TEST(CliArgs, ThreadsCheckpointThenResumeExitsZero)
+{
+    // Drained-barrier checkpoints are no longer simulator-only: a
+    // threaded run may write them and resume from them.
+    std::string ckpt =
+        ::testing::TempDir() + "naspipe_cli_thr.ckpt";
+    std::remove(ckpt.c_str());
+    CliResult writer =
+        runCli("--space CV.c1 --steps 12 --gpus 2 --quiet "
+               "--executor threads --ckpt-interval 4 --ckpt " +
+               ckpt);
+    EXPECT_EQ(writer.exitCode, 0) << writer.output;
+    CliResult reader =
+        runCli("--space CV.c1 --steps 12 --gpus 2 --quiet "
+               "--executor threads --verify-csp --resume " +
+               ckpt);
+    EXPECT_EQ(reader.exitCode, 0) << reader.output;
+    std::remove(ckpt.c_str());
+}
+
+TEST(CliArgs, ThreadsMissingResumeCheckpointExitsThree)
+{
+    CliResult r = runCli("--space CV.c1 --steps 8 --gpus 2 --quiet "
+                         "--executor threads "
+                         "--resume /nonexistent/run.ckpt");
+    EXPECT_EQ(r.exitCode, 3);
+    EXPECT_NE(r.output.find("error:"), std::string::npos);
+}

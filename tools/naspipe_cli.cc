@@ -308,9 +308,7 @@ main(int argc, char **argv)
                     formatFactor(m.gpuMemFactor, 1).c_str(),
                     m.cpuMemBytes ? formatBytes(m.cpuMemBytes).c_str()
                                   : "0",
-                    m.cacheHitRate < 0
-                        ? "N/A"
-                        : formatPercent(m.cacheHitRate).c_str());
+                    formatCacheHitRate(m.cacheHitRate).c_str());
         if (m.faultsInjected > 0 || m.recoveries > 0) {
             std::printf("faults      %d injected  %d recoveries  "
                         "%d subnets replayed\n",
