@@ -1,11 +1,11 @@
 #include "exec/parallel_runtime.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "common/logging.h"
 #include "exec/commit_gate.h"
 #include "exec/stage_worker.h"
+#include "obs/wall_clock.h"
 #include "session/training_session.h"
 #include "train/run_checkpoint.h"
 
@@ -53,7 +53,7 @@ struct ParallelRuntime::Impl : ExecutionBackend {
     std::unique_ptr<BoundedTaskQueue<std::shared_ptr<const SubnetRun>>>
         completions;
 
-    std::chrono::steady_clock::time_point epoch;
+    obs::TimePoint epoch;
 
     Impl(const SearchSpace &s, const RuntimeConfig &c)
         : space(s), config(c), model(c.system),
@@ -67,9 +67,7 @@ struct ParallelRuntime::Impl : ExecutionBackend {
     double
     elapsed() const
     {
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - epoch)
-            .count();
+        return obs::secondsSince(epoch);
     }
 
     /**
@@ -198,11 +196,21 @@ ParallelRuntime::Impl::collect()
         m.perStageBusySec.push_back(s.busySec);
         m.perStageGateWaitSec.push_back(s.gateWaitSec);
         m.perStageIdleSec.push_back(s.idleSec);
+        m.perStageForwards.push_back(s.forwards);
+        m.perStageBackwards.push_back(s.backwards);
+        m.perStageDeferrals.push_back(s.deferrals);
+        // The sim's stall taxonomy, threaded counterpart: a deferral
+        // is Algorithm 2 blocking every queued forward, an idle
+        // wakeup is a sleep with nothing queued at all.
+        m.stallDependency += s.deferrals;
+        m.stallEmptyQueues += s.idleWakeups;
         m.gateWaitSeconds += s.gateWaitSec;
         if (wall > 0.0) {
             bubbleTotal +=
                 std::clamp(1.0 - s.busySec / wall, 0.0, 1.0);
         }
+        // Stage-ascending merge: deterministic observation order.
+        out.observations.stages.push_back(worker->observation());
     }
     m.bubbleRatio =
         numStages > 0 ? bubbleTotal / numStages : 0.0;
@@ -300,7 +308,7 @@ ParallelRuntime::run()
         session.store()->materializeAll();
     }
 
-    im.epoch = std::chrono::steady_clock::now();
+    im.epoch = obs::now();
     for (auto &worker : im.workers)
         worker->start(im.epoch, im.config.traceEnabled);
 

@@ -6,17 +6,6 @@
 
 namespace naspipe {
 
-namespace {
-
-double
-secondsBetween(std::chrono::steady_clock::time_point a,
-               std::chrono::steady_clock::time_point b)
-{
-    return std::chrono::duration<double>(b - a).count();
-}
-
-} // namespace
-
 StageWorker::StageWorker(int stage, int numStages,
                          const SearchSpace &space, CommitGate &gate,
                          NumericExecutor *exec,
@@ -42,8 +31,7 @@ StageWorker::connect(
 }
 
 void
-StageWorker::start(std::chrono::steady_clock::time_point epoch,
-                   bool recordTrace)
+StageWorker::start(obs::TimePoint epoch, bool recordTrace)
 {
     _epoch = epoch;
     _recordTrace = recordTrace;
@@ -95,7 +83,7 @@ StageWorker::blockRange(const SubnetRun &run) const
 double
 StageWorker::secondsSinceEpoch() const
 {
-    return secondsBetween(_epoch, std::chrono::steady_clock::now());
+    return obs::secondsSince(_epoch);
 }
 
 void
@@ -182,7 +170,7 @@ StageWorker::resolveClaims(Pending &pending)
 }
 
 int
-StageWorker::findRunnableForward()
+StageWorker::findRunnableForward(std::uint64_t *blockedOn)
 {
     for (std::size_t i = 0; i < _fwd.size(); i++) {
         resolveClaims(_fwd[i]);
@@ -190,6 +178,12 @@ StageWorker::findRunnableForward()
         for (const CommitGate::Claim &claim : _fwd[i].claims) {
             if (!_gate.readable(claim)) {
                 ready = false;
+                // Attribute the stall to the chain holding the
+                // lowest-sequence candidate: per the liveness
+                // argument it is the one whose commit this stage is
+                // really waiting for.
+                if (i == 0 && blockedOn)
+                    *blockedOn = claim.layerKey;
                 break;
             }
         }
@@ -259,6 +253,11 @@ StageWorker::execBackward(Pending pending)
     double end = secondsSinceEpoch();
     _stats.busySec += end - start;
     _stats.backwards++;
+    if (!pending.claims.empty()) {
+        if (_lastCommitSec >= 0.0)
+            _obs.commitGapSeconds.record(end - _lastCommitSec);
+        _lastCommitSec = end;
+    }
     if (_recordTrace) {
         _traceRecords.push_back(TraceRecord{
             ticksFromSec(start), ticksFromSec(end), _stage,
@@ -300,7 +299,8 @@ StageWorker::runLoop()
             execBackward(std::move(task));
             continue;
         }
-        int idx = findRunnableForward();
+        std::uint64_t blockedOn = 0;
+        int idx = findRunnableForward(&blockedOn);
         if (idx >= 0) {
             Pending task = std::move(
                 _fwd[static_cast<std::size_t>(idx)]);
@@ -318,18 +318,31 @@ StageWorker::runLoop()
         bool gateWait = !_fwd.empty();
         if (gateWait)
             _stats.deferrals++;
-        auto waitStart = std::chrono::steady_clock::now();
+        else
+            _stats.idleWakeups++;
+        obs::TimePoint waitStart = obs::now();
         {
             std::unique_lock<std::mutex> lock(_mu);
             _cv.wait(lock,
                      [&] { return _signals != seen || _stop; });
         }
-        double waited = secondsBetween(
-            waitStart, std::chrono::steady_clock::now());
-        if (gateWait)
+        double waited = obs::secondsSince(waitStart);
+        if (gateWait) {
             _stats.gateWaitSec += waited;
-        else
+            _obs.recordGateWait(blockedOn, waited);
+            if (_recordTrace) {
+                double startSec =
+                    obs::secondsBetween(_epoch, waitStart);
+                _traceRecords.push_back(TraceRecord{
+                    ticksFromSec(startSec),
+                    ticksFromSec(startSec + waited), _stage,
+                    TraceKind::Stall,
+                    _fwd.front().run->subnet.id(),
+                    "gate L" + std::to_string(blockedOn)});
+            }
+        } else {
             _stats.idleSec += waited;
+        }
     }
 }
 

@@ -27,7 +27,6 @@
 #define NASPIPE_EXEC_STAGE_WORKER_H
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +38,8 @@
 #include "exec/commit_gate.h"
 #include "exec/task_queue.h"
 #include "memory/exec_context_cache.h"
+#include "obs/run_observations.h"
+#include "obs/wall_clock.h"
 #include "partition/partitioner.h"
 #include "schedule/exec_predictor.h"
 #include "sim/trace.h"
@@ -82,6 +83,7 @@ class StageWorker
         std::uint64_t forwards = 0;
         std::uint64_t backwards = 0;
         std::uint64_t deferrals = 0;  ///< fwd scans that found nothing
+        std::uint64_t idleWakeups = 0;  ///< sleeps with empty queues
     };
 
     using ContextConfig = StageContextConfig;
@@ -110,8 +112,7 @@ class StageWorker
                      complete);
 
     /** Start the worker thread; @p epoch anchors trace timestamps. */
-    void start(std::chrono::steady_clock::time_point epoch,
-               bool recordTrace);
+    void start(obs::TimePoint epoch, bool recordTrace);
 
     /** Enqueue a task (blocking when the inbox is full). */
     void submit(ExecTask task);
@@ -142,6 +143,10 @@ class StageWorker
         return _traceRecords;
     }
 
+    /** Post-join wall-mode observations (histograms, gate-wait
+     *  attribution by layer). */
+    const obs::StageObservation &observation() const { return _obs; }
+
   private:
     /** A deferred-or-ready task with its resolved gate claims. */
     struct Pending {
@@ -152,8 +157,10 @@ class StageWorker
 
     void runLoop();
     void drainInbox();
-    /** Index into _fwd of the lowest-ID readable forward, or -1. */
-    int findRunnableForward();
+    /** Index into _fwd of the lowest-ID readable forward, or -1; on
+     *  -1 with queued forwards, @p blockedOn receives the layer key
+     *  whose chain blocks the lowest-sequence candidate. */
+    int findRunnableForward(std::uint64_t *blockedOn);
     void resolveClaims(Pending &pending);
     void execForward(Pending pending);
     void execBackward(Pending pending);
@@ -194,10 +201,12 @@ class StageWorker
     ExecPredictor _predictor;
 
     std::thread _thread;
-    std::chrono::steady_clock::time_point _epoch;
+    obs::TimePoint _epoch;
     bool _recordTrace = false;
     Stats _stats;
     std::vector<TraceRecord> _traceRecords;
+    obs::StageObservation _obs;
+    double _lastCommitSec = -1.0;  ///< for the commit-gap histogram
 };
 
 } // namespace naspipe

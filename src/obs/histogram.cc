@@ -1,0 +1,94 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace naspipe {
+namespace obs {
+
+FixedHistogram::FixedHistogram(std::vector<double> bounds)
+    : _bounds(std::move(bounds)),
+      _counts(_bounds.size() + 1, 0)
+{
+    NASPIPE_ASSERT(std::is_sorted(_bounds.begin(), _bounds.end()),
+                   "histogram bounds must be ascending");
+}
+
+void
+FixedHistogram::record(double value)
+{
+    NASPIPE_ASSERT(!_counts.empty(), "histogram has no buckets");
+    std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(_bounds.begin(), _bounds.end(), value) -
+        _bounds.begin());
+    _counts[idx]++;
+    _sum += value;
+    _max = std::max(_max, value);
+}
+
+void
+FixedHistogram::merge(const FixedHistogram &other)
+{
+    if (other._counts.empty())
+        return;
+    if (_counts.empty()) {
+        *this = other;
+        return;
+    }
+    NASPIPE_ASSERT(_bounds == other._bounds,
+                   "merging histograms with different bounds");
+    for (std::size_t i = 0; i < _counts.size(); i++)
+        _counts[i] += other._counts[i];
+    _sum += other._sum;
+    _max = std::max(_max, other._max);
+}
+
+std::uint64_t
+FixedHistogram::total() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t c : _counts)
+        n += c;
+    return n;
+}
+
+std::string
+FixedHistogram::toJson(int boundDigits) const
+{
+    std::ostringstream oss;
+    oss << "{\"bounds\":[";
+    for (std::size_t i = 0; i < _bounds.size(); i++) {
+        if (i)
+            oss << ",";
+        oss << formatFixed(_bounds[i], boundDigits);
+    }
+    oss << "],\"counts\":[";
+    for (std::size_t i = 0; i < _counts.size(); i++) {
+        if (i)
+            oss << ",";
+        oss << _counts[i];
+    }
+    oss << "],\"total\":" << total()
+        << ",\"sum\":" << formatFixed(_sum, boundDigits)
+        << ",\"max\":" << formatFixed(_max, boundDigits) << "}";
+    return oss.str();
+}
+
+std::vector<double>
+latencySecondsBounds()
+{
+    return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0};
+}
+
+std::vector<double>
+logicalTickBounds()
+{
+    // Ticks are nanoseconds of modeled time: 1us .. 10s, decades.
+    return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+} // namespace obs
+} // namespace naspipe

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-bucket histograms for the metrics registry.
+ *
+ * Bucket bounds are fixed at construction and shared by every
+ * instance built from the same bound set, so merging two histograms
+ * is element-wise count addition — associative, commutative, and
+ * (because the registry merges in stage order) deterministic. No
+ * dynamic rebucketing, no quantile sketches: anything
+ * data-dependent in the *structure* of a metric would make two
+ * identical-seed runs disagree on the export layout.
+ */
+
+#ifndef NASPIPE_OBS_HISTOGRAM_H
+#define NASPIPE_OBS_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+namespace obs {
+
+/**
+ * Counts of samples falling into fixed half-open buckets
+ * [bounds[i-1], bounds[i]); the last bucket is unbounded above.
+ */
+class FixedHistogram
+{
+  public:
+    FixedHistogram() = default;
+
+    /** @param bounds ascending upper bounds; one overflow bucket is
+     *  appended implicitly. */
+    explicit FixedHistogram(std::vector<double> bounds);
+
+    /** Record one sample. */
+    void record(double value);
+
+    /** Element-wise add @p other's counts (bounds must match). */
+    void merge(const FixedHistogram &other);
+
+    const std::vector<double> &bounds() const { return _bounds; }
+    const std::vector<std::uint64_t> &counts() const { return _counts; }
+
+    std::uint64_t total() const;
+    double sum() const { return _sum; }
+    double max() const { return _max; }
+
+    bool empty() const { return total() == 0; }
+
+    /** JSON object: {"bounds":[...],"counts":[...],...}. */
+    std::string toJson(int boundDigits = 6) const;
+
+  private:
+    std::vector<double> _bounds;
+    std::vector<std::uint64_t> _counts;
+    double _sum = 0.0;
+    double _max = 0.0;
+};
+
+/** Canonical bucket bounds (seconds) for wait/latency metrics:
+ *  1us, 10us, 100us, 1ms, 10ms, 100ms, 1s. */
+std::vector<double> latencySecondsBounds();
+
+/** Canonical bucket bounds (logical ticks) for schedule analysis. */
+std::vector<double> logicalTickBounds();
+
+} // namespace obs
+} // namespace naspipe
+
+#endif // NASPIPE_OBS_HISTOGRAM_H

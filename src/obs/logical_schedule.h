@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Logical-mode span source: the CSP schedule replayed on a
+ * deterministic logical clock.
+ *
+ * The threaded executor's wall-clock spans are real but
+ * unreproducible — the OS interleaves workers differently every run.
+ * Logical mode instead *derives* the timeline from the schedule
+ * itself: given the sampled subnets and their partitions (both pure
+ * functions of the seed), it list-schedules every forward/backward
+ * task under Algorithm 1/2's policy (one task at a time per stage,
+ * backward-first, lowest-sequence-ID-first among gate-ready
+ * forwards) on a tick clock whose task costs come from the profiled
+ * layer database. Every field of the result — span names, sequence
+ * IDs, stages, start/end ticks, gate-wait attributions — is a pure
+ * function of (seed, schedule), so two identical-seed runs export
+ * byte-identical traces, and the simulator and the threaded executor
+ * agree on the analysis.
+ *
+ * The gate-wait attribution answers the profiling question the
+ * ROADMAP's auto-partitioner needs: for each deferred forward,
+ * *which* layer's causal chain held it back, for how many ticks, and
+ * which earlier subnet's commit released it.
+ */
+
+#ifndef NASPIPE_OBS_LOGICAL_SCHEDULE_H
+#define NASPIPE_OBS_LOGICAL_SCHEDULE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "sim/trace.h"
+#include "supernet/search_space.h"
+#include "supernet/subnet.h"
+
+namespace naspipe {
+namespace obs {
+
+/** One attributed gate wait: who waited, on which chain, how long. */
+struct LogicalGateWait {
+    int stage = -1;              ///< stage whose forward was deferred
+    std::uint64_t layerKey = 0;  ///< blocking layer's dense key
+    SubnetId waiter = -1;        ///< deferred subnet
+    SubnetId blocker = -1;       ///< subnet whose commit released it
+    Tick ticks = 0;              ///< wait length on the logical clock
+};
+
+/** The deterministic logical timeline of one run. */
+struct LogicalSchedule {
+    /** Forward/Backward spans plus Stall spans for gate waits,
+     *  sorted by (start, stage, kind, subnet). */
+    std::vector<TraceRecord> spans;
+    Tick makespan = 0;                  ///< end of the last span
+    std::vector<Tick> stageBusyTicks;   ///< per-stage busy total
+    Tick totalGateWaitTicks = 0;
+    /** Sorted by (stage, layerKey, waiter). */
+    std::vector<LogicalGateWait> gateWaits;
+};
+
+/**
+ * Build the logical schedule of a run.
+ *
+ * @param space the search space (profiled costs, parameterized())
+ * @param subnets sampled subnets in sequence order
+ * @param partitions per-subnet stage partitions, parallel to
+ *        @p subnets
+ * @param numStages pipeline depth D
+ * @param batch batch size the profiled costs scale to (>= 1)
+ * @param inflightLimit max subnets in flight (the injection gate);
+ *        <= 0 means unlimited
+ */
+LogicalSchedule
+buildLogicalSchedule(const SearchSpace &space,
+                     const std::vector<Subnet> &subnets,
+                     const std::vector<SubnetPartition> &partitions,
+                     int numStages, int batch, int inflightLimit);
+
+} // namespace obs
+} // namespace naspipe
+
+#endif // NASPIPE_OBS_LOGICAL_SCHEDULE_H

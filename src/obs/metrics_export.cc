@@ -1,0 +1,232 @@
+#include "obs/metrics_export.h"
+
+#include <string>
+
+#include "supernet/profile.h"
+
+namespace naspipe {
+namespace obs {
+
+namespace {
+
+std::string
+stagePrefix(int stage)
+{
+    return "stage/" + std::to_string(stage) + "/";
+}
+
+} // namespace
+
+MetricsRegistry
+buildRunRegistry(const RunResult &result,
+                 const RunObservations *observations,
+                 const LogicalSchedule *logical,
+                 const RunMetadata &meta)
+{
+    MetricsRegistry reg;
+    const RunMetrics &m = result.metrics;
+    // Simulated seconds are modeled time — Stable. Real wall-clock
+    // seconds vary run to run — Timing.
+    const Stability timing = meta.deterministicTiming
+                                 ? Stability::Stable
+                                 : Stability::Timing;
+
+    // Identity and progress.
+    reg.counter("run/finished_subnets",
+                static_cast<std::uint64_t>(m.finishedSubnets));
+    reg.counter("run/batch", static_cast<std::uint64_t>(m.batch));
+    reg.counter("run/seed", meta.seed);
+    reg.counter("run/stages",
+                static_cast<std::uint64_t>(meta.numStages));
+    reg.counter("run/exec_workers",
+                static_cast<std::uint64_t>(m.execWorkers));
+    reg.text("run/space", meta.space);
+    reg.text("run/executor", meta.executor);
+    reg.counter("run/checkpoints_written",
+                static_cast<std::uint64_t>(m.checkpointsWritten));
+
+    // Training quality: pure functions of (seed, schedule) under CSP.
+    reg.gauge("quality/final_loss", m.finalLoss, 6);
+    reg.gauge("quality/final_score", m.finalScore, 6);
+    reg.counter("quality/supernet_hash", m.supernetHash);
+    reg.counter("quality/causal_violations",
+                static_cast<std::uint64_t>(m.causalViolations));
+
+    // Commit gate.
+    reg.counter("gate/commits", m.gateCommits);
+
+    // Dispatch diagnostics. The simulator's stall counters are
+    // schedule-determined; the threaded executor's deferral counts
+    // depend on real interleaving, so per-stage deferrals are tagged
+    // with the backend's timing stability.
+    reg.counter("sched/stall_empty_queues", m.stallEmptyQueues,
+                timing);
+    reg.counter("sched/stall_dependency", m.stallDependency, timing);
+    reg.counter("sched/stall_mirror_wait", m.stallMirrorWait, timing);
+
+    // Per-stage structural counters (threads): every stage executes
+    // exactly one forward and one backward per subnet, so these are
+    // Stable and double as a schedule-shape check.
+    for (std::size_t s = 0; s < m.perStageForwards.size(); s++) {
+        reg.counter(stagePrefix(static_cast<int>(s)) + "forwards",
+                    m.perStageForwards[s]);
+    }
+    for (std::size_t s = 0; s < m.perStageBackwards.size(); s++) {
+        reg.counter(stagePrefix(static_cast<int>(s)) + "backwards",
+                    m.perStageBackwards[s]);
+    }
+    for (std::size_t s = 0; s < m.perStageDeferrals.size(); s++) {
+        reg.counter(stagePrefix(static_cast<int>(s)) + "deferrals",
+                    m.perStageDeferrals[s], timing);
+    }
+
+    // Timing aggregates.
+    reg.gauge("time/sim_s", m.simSeconds, 6, timing);
+    reg.gauge("time/wall_s", m.wallSeconds, 6, Stability::Timing);
+    reg.gauge("time/gate_wait_s", m.gateWaitSeconds, 6,
+              Stability::Timing);
+    reg.gauge("time/bubble_ratio", m.bubbleRatio, 6, timing);
+    reg.gauge("time/samples_per_s", m.samplesPerSec, 3, timing);
+    reg.gauge("time/subnets_per_hour", m.subnetsPerHour, 3, timing);
+    for (std::size_t s = 0; s < m.perStageBusySec.size(); s++) {
+        reg.gauge(stagePrefix(static_cast<int>(s)) + "busy_s",
+                  m.perStageBusySec[s], 6, Stability::Timing);
+    }
+    for (std::size_t s = 0; s < m.perStageGateWaitSec.size(); s++) {
+        reg.gauge(stagePrefix(static_cast<int>(s)) + "gate_wait_s",
+                  m.perStageGateWaitSec[s], 6, Stability::Timing);
+    }
+    for (std::size_t s = 0; s < m.perStageIdleSec.size(); s++) {
+        reg.gauge(stagePrefix(static_cast<int>(s)) + "idle_s",
+                  m.perStageIdleSec[s], 6, Stability::Timing);
+    }
+
+    // Context cache (threads wall mode / sim).
+    if (m.cacheHitRate.has_value()) {
+        reg.gauge("cache/hit_rate", *m.cacheHitRate, 6, timing);
+        reg.counter("cache/prefetched_bytes", m.prefetchedBytes,
+                    timing);
+        reg.counter("cache/sync_fetched_bytes", m.syncFetchedBytes,
+                    timing);
+        reg.counter("cache/peak_bytes", m.cachePeakBytes, timing);
+        reg.counter("cache/budget_bytes", m.cacheBudgetBytes);
+    }
+
+    // Wall-mode per-stage observations.
+    if (observations) {
+        for (std::size_t s = 0; s < observations->stages.size();
+             s++) {
+            const StageObservation &obs = observations->stages[s];
+            const std::string prefix =
+                stagePrefix(static_cast<int>(s));
+            reg.counter(prefix + "idle_wakeups", obs.idleWakeups,
+                        Stability::Timing);
+            if (!obs.gateWaitSeconds.empty()) {
+                reg.histogram(prefix + "gate_wait_s_hist",
+                              obs.gateWaitSeconds, 6,
+                              Stability::Timing);
+            }
+            if (!obs.commitGapSeconds.empty()) {
+                reg.histogram(prefix + "commit_gap_s_hist",
+                              obs.commitGapSeconds, 6,
+                              Stability::Timing);
+            }
+            for (const auto &[layerKey, wait] : obs.waitsByLayer) {
+                const std::string base = prefix + "gate_wait/layer/" +
+                                         std::to_string(layerKey);
+                reg.counter(base + "/count", wait.count,
+                            Stability::Timing);
+                reg.gauge(base + "/seconds", wait.seconds, 6,
+                          Stability::Timing);
+            }
+        }
+    }
+
+    // Logical-schedule analysis: Stable by construction — this is
+    // the section identical-seed byte-identity is asserted on.
+    if (logical) {
+        reg.counter("logical/makespan_ticks", logical->makespan);
+        reg.counter("logical/gate_wait_ticks",
+                    logical->totalGateWaitTicks);
+        reg.counter("logical/span_count",
+                    static_cast<std::uint64_t>(logical->spans.size()));
+        reg.counter(
+            "logical/gate_wait_count",
+            static_cast<std::uint64_t>(logical->gateWaits.size()));
+        Tick busyTotal = 0;
+        for (std::size_t s = 0; s < logical->stageBusyTicks.size();
+             s++) {
+            reg.counter(stagePrefix(static_cast<int>(s)) +
+                            "logical_busy_ticks",
+                        logical->stageBusyTicks[s]);
+            busyTotal += logical->stageBusyTicks[s];
+        }
+        if (logical->makespan > 0 &&
+            !logical->stageBusyTicks.empty()) {
+            double denom =
+                static_cast<double>(logical->makespan) *
+                static_cast<double>(logical->stageBusyTicks.size());
+            reg.gauge("logical/bubble_ratio",
+                      1.0 - static_cast<double>(busyTotal) / denom,
+                      6);
+        }
+        FixedHistogram waits(logicalTickBounds());
+        // Attribution rollup per (stage, layer): the partitioning
+        // signal — which chain a stage spent its logical waits on.
+        std::map<std::pair<int, std::uint64_t>, GateWaitByLayer>
+            byStageLayer;
+        for (const LogicalGateWait &w : logical->gateWaits) {
+            waits.record(static_cast<double>(w.ticks));
+            GateWaitByLayer &slot =
+                byStageLayer[{w.stage, w.layerKey}];
+            slot.count++;
+            slot.seconds += ticksToSec(w.ticks);
+        }
+        if (!waits.empty())
+            reg.histogram("logical/gate_wait_ticks_hist", waits, 0,
+                          Stability::Stable);
+        for (const auto &[key, wait] : byStageLayer) {
+            const std::string base =
+                stagePrefix(key.first) + "logical_gate_wait/layer/" +
+                std::to_string(key.second);
+            reg.counter(base + "/count", wait.count);
+            reg.gauge(base + "/seconds", wait.seconds, 6);
+        }
+    }
+
+    // Profiled layer cost table (Table 5): the per-layer inputs a
+    // cost-aware auto-partitioner would consume, exported next to
+    // the waits they should explain.
+    for (const LayerSpec &spec : LayerProfileDb::instance().all()) {
+        const std::string base =
+            std::string("profile/layer/") + layerKindName(spec.kind);
+        reg.gauge(base + "/fwd_ms", spec.fwdMs, 3);
+        reg.gauge(base + "/bwd_ms", spec.bwdMs, 3);
+        reg.gauge(base + "/swap_ms", spec.swapMs, 3);
+        reg.counter(base + "/param_bytes", spec.paramBytes);
+    }
+
+    return reg;
+}
+
+std::string
+metricsJson(const RunResult &result,
+            const RunObservations *observations,
+            const LogicalSchedule *logical, const RunMetadata &meta)
+{
+    MetricsRegistry reg =
+        buildRunRegistry(result, observations, logical, meta);
+    std::vector<std::pair<std::string, std::string>> headers = {
+        {"space", meta.space},
+        {"executor", meta.executor},
+        {"mode", meta.wallMode ? "wall" : "logical"},
+        {"seed", std::to_string(meta.seed)},
+        {"steps", std::to_string(meta.steps)},
+        {"stages", std::to_string(meta.numStages)},
+        {"batch", std::to_string(meta.batch)},
+    };
+    return reg.exportJson(headers, !meta.wallMode);
+}
+
+} // namespace obs
+} // namespace naspipe

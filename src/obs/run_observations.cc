@@ -1,0 +1,23 @@
+#include "obs/run_observations.h"
+
+namespace naspipe {
+namespace obs {
+
+StageObservation::StageObservation()
+    : gateWaitSeconds(latencySecondsBounds()),
+      commitGapSeconds(latencySecondsBounds())
+{
+}
+
+void
+StageObservation::recordGateWait(std::uint64_t layerKey,
+                                 double seconds)
+{
+    gateWaitSeconds.record(seconds);
+    GateWaitByLayer &slot = waitsByLayer[layerKey];
+    slot.count++;
+    slot.seconds += seconds;
+}
+
+} // namespace obs
+} // namespace naspipe

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-stage wall-mode observations of the threaded executor.
+ *
+ * Each StageWorker owns one StageObservation and fills it from its
+ * own thread — no locking, no sharing. After join() the runtime
+ * merges them, stage-ascending, into a RunObservations that the
+ * metrics exporter renders. Everything here is wall-clock derived
+ * and therefore Timing-stability: it is exported in --obs-wall mode
+ * only and never enters the byte-identical logical outputs.
+ *
+ * The headline measurement is gate-wait *attribution*: when
+ * Algorithm 2 defers every queued forward, the worker records which
+ * layer's causal chain blocked the lowest-sequence candidate and how
+ * long the stage then slept — "stage S waited W on the chain of
+ * layer L" — which is exactly the signal a cost-aware partitioner
+ * needs to move hot layers off congested stages.
+ */
+
+#ifndef NASPIPE_OBS_RUN_OBSERVATIONS_H
+#define NASPIPE_OBS_RUN_OBSERVATIONS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace naspipe {
+namespace obs {
+
+/** Accumulated gate waits attributed to one layer's chain. */
+struct GateWaitByLayer {
+    std::uint64_t count = 0;
+    double seconds = 0.0;
+};
+
+/** What one stage worker observed over its lifetime. */
+struct StageObservation {
+    StageObservation();
+
+    /** Per-sleep gate-wait lengths (candidates queued, none ready). */
+    FixedHistogram gateWaitSeconds;
+    /** Gaps between consecutive commits published by this stage. */
+    FixedHistogram commitGapSeconds;
+    /** Gate waits keyed by the blocking layer's dense key. */
+    std::map<std::uint64_t, GateWaitByLayer> waitsByLayer;
+    /** Sleeps with truly empty queues (fill/drain bubbles). */
+    std::uint64_t idleWakeups = 0;
+
+    /** Record one gate wait of @p seconds blocked on @p layerKey. */
+    void recordGateWait(std::uint64_t layerKey, double seconds);
+};
+
+/** All stages' observations, index = stage. */
+struct RunObservations {
+    std::vector<StageObservation> stages;
+
+    bool empty() const { return stages.empty(); }
+};
+
+} // namespace obs
+} // namespace naspipe
+
+#endif // NASPIPE_OBS_RUN_OBSERVATIONS_H

@@ -1,0 +1,69 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "obs/metrics_registry.h"
+
+namespace naspipe {
+namespace obs {
+
+const char *
+traceSchemaName()
+{
+    return "naspipe-trace/1";
+}
+
+std::string
+chromeTraceJson(const std::vector<TraceRecord> &records,
+                const TraceHeader &header)
+{
+    std::ostringstream oss;
+    oss << "{\"traceEvents\":[";
+
+    // Track metadata first: Perfetto shows these as process/thread
+    // labels instead of bare pid/tid integers.
+    oss << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+           "\"tid\":0,\"args\":{\"name\":\"naspipe pipeline\"}}";
+    for (int s = 0; s < header.numStages; s++) {
+        oss << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+               "\"tid\":"
+            << s << ",\"args\":{\"name\":\"stage " << s << "\"}}";
+    }
+
+    for (const TraceRecord &r : records) {
+        std::string name = traceKindName(r.kind);
+        if (r.subnet >= 0)
+            name += " SN" + std::to_string(r.subnet);
+        // Ticks are integer nanoseconds; microsecond timestamps with
+        // three decimals render them exactly. Zero-length markers get
+        // 1 us so they stay visible.
+        double tsUs = static_cast<double>(r.start) /
+                      static_cast<double>(kTicksPerUs);
+        double durUs =
+            std::max(1.0, static_cast<double>(r.end - r.start) /
+                              static_cast<double>(kTicksPerUs));
+        oss << ",{\"name\":\"" << jsonEscape(name)
+            << "\",\"ph\":\"X\",\"ts\":" << formatFixed(tsUs, 3)
+            << ",\"dur\":" << formatFixed(durUs, 3)
+            << ",\"pid\":0,\"tid\":" << r.stage
+            << ",\"args\":{\"subnet\":" << r.subnet;
+        if (!r.detail.empty())
+            oss << ",\"detail\":\"" << jsonEscape(r.detail) << "\"";
+        oss << "}}";
+    }
+
+    oss << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+        << "\"schema\":\"" << traceSchemaName() << "\""
+        << ",\"space\":\"" << jsonEscape(header.space) << "\""
+        << ",\"executor\":\"" << jsonEscape(header.executor) << "\""
+        << ",\"mode\":\"" << jsonEscape(header.mode) << "\""
+        << ",\"seed\":\"" << header.seed << "\""
+        << ",\"steps\":\"" << header.steps << "\""
+        << ",\"stages\":\"" << header.numStages << "\"}}";
+    return oss.str();
+}
+
+} // namespace obs
+} // namespace naspipe

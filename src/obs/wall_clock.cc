@@ -1,0 +1,25 @@
+#include "obs/wall_clock.h"
+
+namespace naspipe {
+namespace obs {
+
+TimePoint
+now()
+{
+    return std::chrono::steady_clock::now();
+}
+
+double
+secondsBetween(TimePoint a, TimePoint b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+double
+secondsSince(TimePoint a)
+{
+    return secondsBetween(a, now());
+}
+
+} // namespace obs
+} // namespace naspipe

@@ -78,6 +78,12 @@ struct RunMetrics {
     std::vector<double> perStageBusySec;
     std::vector<double> perStageGateWaitSec;
     std::vector<double> perStageIdleSec;
+    // Per-stage task counters. Forward/backward counts are
+    // structural (one each per subnet per stage); deferral counts
+    // depend on the real interleaving.
+    std::vector<std::uint64_t> perStageForwards;
+    std::vector<std::uint64_t> perStageBackwards;
+    std::vector<std::uint64_t> perStageDeferrals;
 
     // Training quality (numeric engine).
     double finalLoss = 0.0;

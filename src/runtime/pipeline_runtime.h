@@ -23,6 +23,7 @@
 
 #include "hw/cluster.h"
 #include "memory/swap_model.h"
+#include "obs/run_observations.h"
 #include "partition/mirror.h"
 #include "partition/partitioner.h"
 #include "partition/placement.h"
@@ -125,6 +126,13 @@ struct RunResult {
     std::vector<ConvergencePoint> curve;
     std::map<SubnetId, float> losses;  ///< per-subnet training loss
     std::vector<Subnet> sampled;       ///< subnets in sequence order
+    /** Per-subnet stage partitions, parallel to sampled — the other
+     *  half of the schedule the logical-mode observability layer
+     *  reconstructs timelines from. */
+    std::vector<SubnetPartition> partitions;
+    /** Threaded executor's wall-mode stage observations (empty for
+     *  simulated runs). Timing-stability data; see src/obs/. */
+    obs::RunObservations observations;
     SubnetId bestSubnet = -1;          ///< post-training search winner
     double searchAccuracy = 0.0;
     std::uint64_t supernetHash = 0;    ///< bitwise weight fingerprint

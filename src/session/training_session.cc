@@ -370,6 +370,7 @@ TrainingSession::collect(double totalSeconds, double busyTotal)
     out.store = _store;
     out.trace = _trace;
     out.sampled = _subnets;  // by construction in sequence order
+    out.partitions = _partitions;
 
     RunMetrics &m = out.metrics;
     m.finishedSubnets = _finished;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * End-to-end determinism contract of the observability layer:
+ * logical-mode trace and metrics exports are byte-identical across
+ * identical-seed runs on NLP.c1 and CV.c1 for BOTH executors, the
+ * two executors agree modulo the executor tag, and enabling tracing
+ * never perturbs the training result (weight hash, final loss).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "exec/parallel_runtime.h"
+#include "obs/logical_schedule.h"
+#include "obs/metrics_export.h"
+#include "obs/trace_export.h"
+#include "runtime/pipeline_runtime.h"
+
+namespace naspipe {
+namespace {
+
+constexpr int kStages = 4;
+constexpr int kSteps = 16;
+constexpr std::uint64_t kSeed = 11;
+
+RuntimeConfig
+makeConfig(bool traceEnabled)
+{
+    RuntimeConfig config;
+    config.system = naspipeSystem();
+    config.numStages = kStages;
+    config.totalSubnets = kSteps;
+    config.seed = kSeed;
+    config.traceEnabled = traceEnabled;
+    return config;
+}
+
+struct Export {
+    std::string trace;
+    std::string metrics;
+    std::uint64_t hash = 0;
+};
+
+/**
+ * One full run + logical-mode export, as naspipe_cli would do it.
+ * @p deterministicTiming mirrors the CLI default (!threaded) unless
+ * overridden: the simulator's seconds are simulated ticks, so they
+ * are tagged Stable and survive the logical filter.
+ */
+Export
+runAndExport(const std::string &spaceName, bool threaded,
+             int deterministicTiming = -1)
+{
+    SearchSpace space = makeSpaceByName(spaceName);
+    RuntimeConfig config = makeConfig(false);
+    RunResult result = threaded ? runTrainingThreaded(space, config)
+                                : runTraining(space, config);
+    EXPECT_FALSE(result.oom);
+    EXPECT_FALSE(result.failed);
+
+    obs::LogicalSchedule logical = obs::buildLogicalSchedule(
+        space, result.sampled, result.partitions, kStages,
+        result.metrics.batch,
+        config.system.effectiveInflight(kStages));
+
+    obs::TraceHeader header;
+    header.space = spaceName;
+    header.executor = threaded ? "threads" : "sim";
+    header.mode = "logical";
+    header.seed = kSeed;
+    header.steps = kSteps;
+    header.numStages = kStages;
+
+    obs::RunMetadata meta;
+    meta.space = spaceName;
+    meta.executor = header.executor;
+    meta.seed = kSeed;
+    meta.steps = kSteps;
+    meta.numStages = kStages;
+    meta.batch = result.metrics.batch;
+    meta.wallMode = false;
+    meta.deterministicTiming = deterministicTiming < 0
+                                   ? !threaded
+                                   : deterministicTiming != 0;
+
+    Export out;
+    out.trace = obs::chromeTraceJson(logical.spans, header);
+    out.metrics = obs::metricsJson(result, &result.observations,
+                                   &logical, meta);
+    out.hash = result.supernetHash;
+    return out;
+}
+
+void
+replaceAll(std::string &s, const std::string &from,
+           const std::string &to)
+{
+    for (std::size_t pos = s.find(from); pos != std::string::npos;
+         pos = s.find(from, pos + to.size()))
+        s.replace(pos, from.size(), to);
+}
+
+class ObsDeterminism
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ObsDeterminism, LogicalExportsByteIdenticalSim)
+{
+    Export a = runAndExport(GetParam(), false);
+    Export b = runAndExport(GetParam(), false);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.metrics, b.metrics);
+    EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST_P(ObsDeterminism, LogicalExportsByteIdenticalThreads)
+{
+    Export a = runAndExport(GetParam(), true);
+    Export b = runAndExport(GetParam(), true);
+    EXPECT_EQ(a.trace, b.trace);
+    EXPECT_EQ(a.metrics, b.metrics);
+    EXPECT_EQ(a.hash, b.hash);
+}
+
+/** Extract the `"key":value` fragment (through the value). */
+std::string
+fieldOf(const std::string &json, const std::string &key)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t start = json.find(needle);
+    if (start == std::string::npos)
+        return "<missing " + key + ">";
+    std::size_t end = json.find_first_of(",}", start);
+    return json.substr(start, end - start);
+}
+
+TEST_P(ObsDeterminism, ExecutorsAgreeModuloTag)
+{
+    // The logical trace is a pure function of (seed, schedule), so
+    // sim and threads produce the same bytes once the executor tag
+    // in the header is normalized away. The metrics documents differ
+    // only in executor identity fields and the per-executor counter
+    // set; every shared logical/quality entry must agree exactly.
+    Export sim = runAndExport(GetParam(), false, 0);
+    Export thr = runAndExport(GetParam(), true);
+    EXPECT_EQ(sim.hash, thr.hash);
+
+    std::string thrTrace = thr.trace;
+    replaceAll(thrTrace, "\"executor\":\"threads\"",
+               "\"executor\":\"sim\"");
+    EXPECT_EQ(sim.trace, thrTrace);
+
+    for (const char *key :
+         {"quality/supernet_hash", "quality/final_loss",
+          "quality/final_score", "quality/causal_violations",
+          "logical/makespan_ticks", "logical/gate_wait_ticks",
+          "logical/gate_wait_count", "logical/span_count",
+          "logical/bubble_ratio", "run/finished_subnets",
+          "stage/0/logical_busy_ticks",
+          "stage/3/logical_busy_ticks"}) {
+        EXPECT_EQ(fieldOf(sim.metrics, key),
+                  fieldOf(thr.metrics, key))
+            << "divergent shared metric: " << key;
+    }
+}
+
+TEST_P(ObsDeterminism, TracingDoesNotPerturbTraining)
+{
+    // Turning observability on must not change a single weight bit
+    // or the loss curve, in either executor.
+    SearchSpace space = makeSpaceByName(GetParam());
+
+    RunResult simOff = runTraining(space, makeConfig(false));
+    RunResult simOn = runTraining(space, makeConfig(true));
+    EXPECT_EQ(simOff.supernetHash, simOn.supernetHash);
+    EXPECT_EQ(simOff.metrics.finalLoss, simOn.metrics.finalLoss);
+
+    RunResult thrOff = runTrainingThreaded(space, makeConfig(false));
+    RunResult thrOn = runTrainingThreaded(space, makeConfig(true));
+    EXPECT_EQ(thrOff.supernetHash, thrOn.supernetHash);
+    EXPECT_EQ(thrOff.metrics.finalLoss, thrOn.metrics.finalLoss);
+    EXPECT_EQ(simOff.supernetHash, thrOn.supernetHash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spaces, ObsDeterminism,
+                         ::testing::Values("NLP.c1", "CV.c1"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '.')
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace
+} // namespace naspipe

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests of the observability primitives: fixed-bucket
+ * histograms, the metrics registry's deterministic export, the
+ * Chrome trace exporter, and the logical-schedule builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "obs/histogram.h"
+#include "obs/logical_schedule.h"
+#include "obs/metrics_export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_export.h"
+#include "runtime/pipeline_runtime.h"
+
+namespace naspipe {
+namespace {
+
+TEST(FixedHistogram, BucketPlacementAndOverflow)
+{
+    obs::FixedHistogram h({1.0, 10.0, 100.0});
+    h.record(0.5);    // bucket 0: < 1
+    h.record(1.0);    // bucket 1: upper_bound semantics, 1.0 -> (1,10]
+    h.record(5.0);    // bucket 1
+    h.record(50.0);   // bucket 2
+    h.record(1000.0); // overflow bucket
+    EXPECT_EQ(h.counts(),
+              (std::vector<std::uint64_t>{1, 2, 1, 1}));
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 1056.5);
+}
+
+TEST(FixedHistogram, MergeAddsCounts)
+{
+    obs::FixedHistogram a({1.0, 2.0}), b({1.0, 2.0});
+    a.record(0.5);
+    b.record(1.5);
+    b.record(9.0);
+    a.merge(b);
+    EXPECT_EQ(a.counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+    EXPECT_EQ(a.total(), 3u);
+
+    // Merging into a default-constructed histogram adopts the other.
+    obs::FixedHistogram empty;
+    empty.merge(a);
+    EXPECT_EQ(empty.counts(), a.counts());
+}
+
+TEST(FixedHistogram, JsonIsStable)
+{
+    obs::FixedHistogram h({0.001, 0.01});
+    h.record(0.005);
+    std::string once = h.toJson(3);
+    EXPECT_EQ(once, h.toJson(3));
+    EXPECT_NE(once.find("\"bounds\":[0.001,0.010]"),
+              std::string::npos);
+    EXPECT_NE(once.find("\"counts\":[0,1,0]"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ExportsInLexicographicOrder)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("z/last", 1);
+    reg.counter("a/first", 2);
+    reg.gauge("m/middle", 0.5, 2);
+    std::string json = reg.exportJson({}, false);
+    std::size_t a = json.find("a/first");
+    std::size_t m = json.find("m/middle");
+    std::size_t z = json.find("z/last");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(m, std::string::npos);
+    ASSERT_NE(z, std::string::npos);
+    EXPECT_LT(a, m);
+    EXPECT_LT(m, z);
+}
+
+TEST(MetricsRegistry, StableOnlyDropsTimingEntries)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("keep/structural", 7);
+    reg.gauge("drop/wall_s", 1.25, 3, obs::Stability::Timing);
+    obs::FixedHistogram h(obs::latencySecondsBounds());
+    h.record(0.002);
+    reg.histogram("drop/hist", h, 6, obs::Stability::Timing);
+
+    std::string all = reg.exportJson({}, false);
+    EXPECT_NE(all.find("drop/wall_s"), std::string::npos);
+    EXPECT_NE(all.find("drop/hist"), std::string::npos);
+
+    std::string stable = reg.exportJson({}, true);
+    EXPECT_NE(stable.find("keep/structural"), std::string::npos);
+    EXPECT_EQ(stable.find("drop/wall_s"), std::string::npos);
+    EXPECT_EQ(stable.find("drop/hist"), std::string::npos);
+}
+
+TEST(MetricsRegistry, HeadersAndEscaping)
+{
+    obs::MetricsRegistry reg;
+    reg.text("note", "a \"quoted\"\nvalue");
+    std::string json = reg.exportJson({{"space", "NLP.c1"}}, false);
+    EXPECT_NE(json.find("\"schema\":\"naspipe-metrics/1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"space\":\"NLP.c1\""), std::string::npos);
+    EXPECT_NE(json.find("a \\\"quoted\\\"\\nvalue"),
+              std::string::npos);
+}
+
+TEST(TraceExport, EmitsMetadataAndEscapes)
+{
+    std::vector<TraceRecord> records{
+        {0, 2 * kTicksPerUs, 0, TraceKind::Forward, 3, "de\"tail"},
+    };
+    obs::TraceHeader header;
+    header.space = "NLP.c1";
+    header.executor = "sim";
+    header.mode = "logical";
+    header.numStages = 2;
+    std::string json = obs::chromeTraceJson(records, header);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"stage 1\""), std::string::npos);
+    EXPECT_NE(json.find("fwd SN3"), std::string::npos);
+    EXPECT_NE(json.find("de\\\"tail"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\":\"naspipe-trace/1\""),
+              std::string::npos);
+    // Byte-stable for identical input.
+    EXPECT_EQ(json, obs::chromeTraceJson(records, header));
+}
+
+class LogicalScheduleTest : public ::testing::Test
+{
+  protected:
+    static RunResult run()
+    {
+        SearchSpace space = makeSpaceByName("NLP.c1");
+        RuntimeConfig config;
+        config.system = naspipeSystem();
+        config.numStages = 4;
+        config.totalSubnets = 12;
+        config.seed = 7;
+        RunResult result = runTraining(space, config);
+        EXPECT_FALSE(result.oom);
+        EXPECT_FALSE(result.failed);
+        return result;
+    }
+};
+
+TEST_F(LogicalScheduleTest, StructureMatchesSchedule)
+{
+    SearchSpace space = makeSpaceByName("NLP.c1");
+    RunResult result = run();
+    ASSERT_EQ(result.sampled.size(), result.partitions.size());
+
+    obs::LogicalSchedule sched = obs::buildLogicalSchedule(
+        space, result.sampled, result.partitions, 4,
+        result.metrics.batch, 4);
+
+    // Exactly one forward and one backward span per (subnet, stage),
+    // plus one Stall span per attributed gate wait.
+    std::size_t fwd = 0, bwd = 0, stall = 0;
+    for (const TraceRecord &r : sched.spans) {
+        ASSERT_GE(r.stage, 0);
+        ASSERT_LT(r.stage, 4);
+        ASSERT_LE(r.start, r.end);
+        if (r.kind == TraceKind::Forward)
+            fwd++;
+        else if (r.kind == TraceKind::Backward)
+            bwd++;
+        else if (r.kind == TraceKind::Stall)
+            stall++;
+    }
+    EXPECT_EQ(fwd, result.sampled.size() * 4);
+    EXPECT_EQ(bwd, result.sampled.size() * 4);
+    EXPECT_EQ(stall, sched.gateWaits.size());
+
+    // Canonically sorted spans; makespan covers every end.
+    EXPECT_TRUE(std::is_sorted(
+        sched.spans.begin(), sched.spans.end(),
+        [](const TraceRecord &a, const TraceRecord &b) {
+            return a.start < b.start;
+        }));
+    Tick maxEnd = 0;
+    for (const TraceRecord &r : sched.spans)
+        if (r.kind != TraceKind::Stall)
+            maxEnd = std::max(maxEnd, r.end);
+    EXPECT_EQ(sched.makespan, maxEnd);
+    ASSERT_EQ(sched.stageBusyTicks.size(), 4u);
+    for (Tick busy : sched.stageBusyTicks)
+        EXPECT_LE(busy, sched.makespan);
+
+    // Gate waits name real stages and positive wait lengths.
+    Tick waitSum = 0;
+    for (const obs::LogicalGateWait &w : sched.gateWaits) {
+        EXPECT_GE(w.stage, 0);
+        EXPECT_LT(w.stage, 4);
+        EXPECT_GT(w.ticks, 0u);
+        EXPECT_LT(w.blocker, w.waiter);
+        waitSum += w.ticks;
+    }
+    EXPECT_EQ(waitSum, sched.totalGateWaitTicks);
+}
+
+TEST_F(LogicalScheduleTest, DeterministicAcrossCalls)
+{
+    SearchSpace space = makeSpaceByName("NLP.c1");
+    RunResult result = run();
+    obs::LogicalSchedule a = obs::buildLogicalSchedule(
+        space, result.sampled, result.partitions, 4,
+        result.metrics.batch, 4);
+    obs::LogicalSchedule b = obs::buildLogicalSchedule(
+        space, result.sampled, result.partitions, 4,
+        result.metrics.batch, 4);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.totalGateWaitTicks, b.totalGateWaitTicks);
+    ASSERT_EQ(a.spans.size(), b.spans.size());
+    for (std::size_t i = 0; i < a.spans.size(); i++) {
+        EXPECT_EQ(a.spans[i].start, b.spans[i].start);
+        EXPECT_EQ(a.spans[i].end, b.spans[i].end);
+        EXPECT_EQ(a.spans[i].stage, b.spans[i].stage);
+        EXPECT_EQ(a.spans[i].subnet, b.spans[i].subnet);
+        EXPECT_EQ(a.spans[i].detail, b.spans[i].detail);
+    }
+}
+
+} // namespace
+} // namespace naspipe

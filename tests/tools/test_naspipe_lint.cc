@@ -41,7 +41,40 @@ TEST(LintRules, TableListsEveryRule)
               (std::vector<std::string>{
                   "unordered-iteration", "raw-random",
                   "pointer-key-container", "relaxed-memory-order",
-                  "det-suppression"}));
+                  "det-suppression", "wall-clock"}));
+}
+
+TEST(LintRules, WallClockFiresOutsideObs)
+{
+    std::string src =
+        "auto t = std::chrono::steady_clock::now();\n";
+    EXPECT_EQ(rulesOf(scanSource("src/exec/worker.cc", src)),
+              std::vector<std::string>{"wall-clock"});
+    EXPECT_EQ(rulesOf(scanSource(
+                  "tools/some_tool.cc",
+                  "std::chrono::system_clock::now();\n")),
+              std::vector<std::string>{"wall-clock"});
+    EXPECT_EQ(rulesOf(scanSource(
+                  "tests/t.cc",
+                  "using C = std::chrono::high_resolution_clock;\n")),
+              std::vector<std::string>{"wall-clock"});
+}
+
+TEST(LintRules, WallClockSkipsObsAndBench)
+{
+    std::string src =
+        "auto t = std::chrono::steady_clock::now();\n";
+    EXPECT_TRUE(scanSource("src/obs/wall_clock.cc", src).empty());
+    EXPECT_TRUE(scanSource("bench/micro_numeric.cc", src).empty());
+    // Mentions in comments or strings never fire.
+    EXPECT_TRUE(scanSource("src/a.cc",
+                           "// steady_clock is banned here\n"
+                           "const char *s = \"steady_clock\";\n")
+                    .empty());
+    // Durations without a clock are fine.
+    EXPECT_TRUE(scanSource("src/a.cc",
+                           "std::chrono::duration<double> d{};\n")
+                    .empty());
 }
 
 TEST(LintRules, UnorderedIterationFires)

@@ -17,6 +17,7 @@ constexpr const char *kRawRandom = "raw-random";
 constexpr const char *kPointerKeyContainer = "pointer-key-container";
 constexpr const char *kRelaxedMemoryOrder = "relaxed-memory-order";
 constexpr const char *kDetSuppression = "det-suppression";
+constexpr const char *kWallClock = "wall-clock";
 
 std::string
 normalizePath(const std::string &path)
@@ -282,6 +283,11 @@ ruleTable()
          "TODO(" "det) comment — catch-all determinism deferrals are "
          "banned; fix the hazard or use a reasoned "
          "naspipe-lint: allow(rule) on the exact line"},
+        {kWallClock,
+         "std::chrono clock read outside src/obs/ and bench/ — "
+         "wall-clock is the canonical nondeterminism source; measure "
+         "through the obs::WallTimer / obs::now() wrappers so every "
+         "clock dependency stays auditable in one place"},
     };
     return kTable;
 }
@@ -304,6 +310,8 @@ scanSource(const std::string &path, const std::string &content)
     const std::set<std::string> unordered = unorderedVariables(lines);
     const bool inExec = pathContains(normalized, "src/exec/");
     const bool inRngHome = pathContains(normalized, "common/rng.");
+    const bool inClockHome = pathContains(normalized, "src/obs/") ||
+                             pathContains(normalized, "bench/");
 
     std::vector<Finding> findings;
     auto add = [&](std::size_t idx, const char *rule) {
@@ -320,6 +328,8 @@ scanSource(const std::string &path, const std::string &content)
     static const std::regex pointerKey(
         R"(std\s*::\s*(?:map|set)\s*<\s*[^,<>]*\*)");
     static const std::regex todoDet(R"(TODO\s*\(\s*det\s*\))");
+    static const std::regex wallClock(
+        R"(\b(?:steady_clock|system_clock|high_resolution_clock)\b)");
 
     for (std::size_t i = 0; i < lines.code.size(); i++) {
         const std::string &code = lines.code[i];
@@ -339,6 +349,8 @@ scanSource(const std::string &path, const std::string &content)
             code.find("memory_order_relaxed") != std::string::npos) {
             add(i, kRelaxedMemoryOrder);
         }
+        if (!inClockHome && std::regex_search(code, wallClock))
+            add(i, kWallClock);
         if (std::regex_search(raw, todoDet))
             add(i, kDetSuppression);
     }

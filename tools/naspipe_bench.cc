@@ -1,0 +1,326 @@
+/**
+ * @file
+ * naspipe_bench — the repo's committed perf trajectory.
+ *
+ * Runs a pinned benchmark suite and writes one schema-versioned JSON
+ * document (naspipe-bench/1) that is committed at the repo root as
+ * BENCH_<pr>.json, so the perf trajectory of the codebase is
+ * reviewable PR over PR:
+ *
+ *   - micro: fixed-iteration timings of the numeric plane (layer
+ *     forward/backward, sequential subnet step, supernet hash,
+ *     checkpoint serialization) — the same workloads as
+ *     bench/micro_numeric, without the google-benchmark dependency
+ *     so the harness runs everywhere the library builds;
+ *   - scaling: the bench/parallel_scaling sweep (threaded executor
+ *     at 1/2/4 workers vs the simulator) with the bitwise
+ *     sim-vs-threads weight check that guards CSP equivalence;
+ *   - logical: the deterministic logical-schedule analysis (makespan,
+ *     gate-wait ticks) of the pinned workload — a *stable* perf
+ *     model that must be byte-identical run over run.
+ *
+ * Wall-clock numbers vary machine to machine; the stable section and
+ * every hash/match field must not. CI runs `--smoke` on every push.
+ *
+ * Usage:
+ *   naspipe_bench [--out FILE] [--pr N] [--steps N] [--smoke]
+ *                 [--quiet]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "exec/parallel_runtime.h"
+#include "obs/logical_schedule.h"
+#include "obs/metrics_registry.h"
+#include "obs/wall_clock.h"
+#include "supernet/sampler.h"
+#include "train/numeric_executor.h"
+
+namespace {
+
+using namespace naspipe;
+
+constexpr const char *kSchema = "naspipe-bench/1";
+
+struct Options {
+    std::string outPath = "BENCH_6.json";
+    int pr = 6;
+    int steps = 64;
+    bool smoke = false;
+    bool quiet = false;
+};
+
+struct MicroResult {
+    std::string name;
+    std::uint64_t iterations = 0;
+    double usPerIter = 0.0;
+};
+
+struct ScalingResult {
+    int workers = 0;
+    double simSeconds = 0.0;     ///< simulator wall time
+    double threadSeconds = 0.0;  ///< threaded-executor wall time
+    double subnetsPerSec = 0.0;  ///< threaded throughput
+    std::uint64_t simHash = 0;
+    std::uint64_t threadHash = 0;
+    bool bitwiseMatch = false;
+};
+
+double
+microLoop(std::uint64_t iterations, const std::function<void()> &body)
+{
+    obs::WallTimer timer;
+    for (std::uint64_t i = 0; i < iterations; i++)
+        body();
+    return timer.seconds() * 1e6 / static_cast<double>(iterations);
+}
+
+std::vector<MicroResult>
+runMicro(const Options &opt)
+{
+    std::vector<MicroResult> out;
+    auto bench = [&](const char *name, std::uint64_t iters,
+                     const std::function<void()> &body) {
+        MicroResult r;
+        r.name = name;
+        r.iterations = iters;
+        r.usPerIter = microLoop(iters, body);
+        out.push_back(r);
+        if (!opt.quiet) {
+            std::printf("micro  %-24s %10.3f us/iter (%llu iters)\n",
+                        name, r.usPerIter,
+                        static_cast<unsigned long long>(iters));
+        }
+    };
+    const std::uint64_t scale = opt.smoke ? 1 : 8;
+
+    {
+        LayerParams params;
+        initLayerParams(params, 3, 0, 0);
+        Tensor in(kLayerDim), outT(kLayerDim);
+        in.fill(0.25f);
+        bench("layer_forward", 2000 * scale,
+              [&] { layerForward(params, in, outT); });
+        Tensor gradOut(kLayerDim), gradIn(kLayerDim);
+        gradOut.fill(0.1f);
+        LayerGrads grads;
+        bench("layer_backward", 2000 * scale, [&] {
+            grads.clear();
+            layerBackward(params, in, gradOut, gradIn, grads);
+        });
+    }
+    {
+        SearchSpace space("bench", SpaceFamily::Nlp, 48, 72, 7, 0.37);
+        ParameterStore store(space, 7);
+        NumericExecutor::Config config;
+        config.batch = 160;
+        NumericExecutor exec(store, config);
+        UniformSampler sampler(space, 13);
+        bench("train_sequential_subnet", 4 * scale, [&] {
+            Subnet sn = sampler.next();
+            exec.trainSequential(sn);
+        });
+    }
+    {
+        SearchSpace space("bench", SpaceFamily::Nlp, 48, 24, 7, 0.37);
+        ParameterStore store(space, 7);
+        store.supernetHash();  // materialize all layers once
+        bench("supernet_hash", 8 * scale,
+              [&] { store.supernetHash(); });
+        bench("checkpoint_save", 4 * scale, [&] {
+            std::stringstream buffer;
+            store.save(buffer);
+        });
+    }
+    return out;
+}
+
+RuntimeConfig
+workloadConfig(int workers, int steps)
+{
+    RuntimeConfig config;
+    config.system = naspipeSystem();
+    config.numStages = workers;
+    config.totalSubnets = steps;
+    config.seed = 7;
+    return config;
+}
+
+std::vector<ScalingResult>
+runScaling(const SearchSpace &space, const Options &opt)
+{
+    std::vector<ScalingResult> out;
+    for (int workers : {1, 2, 4}) {
+        RuntimeConfig config = workloadConfig(workers, opt.steps);
+
+        obs::WallTimer simTimer;
+        RunResult sim = runTraining(space, config);
+        double simSec = simTimer.seconds();
+        NASPIPE_ASSERT(!sim.oom && !sim.failed,
+                       "bench sim run failed at ", workers,
+                       " workers");
+
+        RunResult thr = runTrainingThreaded(space, config);
+        NASPIPE_ASSERT(!thr.oom && !thr.failed,
+                       "bench threaded run failed at ", workers,
+                       " workers");
+
+        ScalingResult r;
+        r.workers = workers;
+        r.simSeconds = simSec;
+        r.threadSeconds = thr.metrics.wallSeconds;
+        r.subnetsPerSec =
+            r.threadSeconds > 0.0
+                ? static_cast<double>(opt.steps) / r.threadSeconds
+                : 0.0;
+        r.simHash = sim.supernetHash;
+        r.threadHash = thr.supernetHash;
+        r.bitwiseMatch = sim.supernetHash == thr.supernetHash;
+        out.push_back(r);
+        if (!opt.quiet) {
+            std::printf("scale  %d workers: threads %.3fs "
+                        "(%.1f subnets/s)  bitwise %s\n",
+                        workers, r.threadSeconds, r.subnetsPerSec,
+                        r.bitwiseMatch ? "ok" : "MISMATCH");
+        }
+    }
+    return out;
+}
+
+std::string
+renderJson(const Options &opt, const std::vector<MicroResult> &micro,
+           const std::vector<ScalingResult> &scaling,
+           const RunResult &reference,
+           const obs::LogicalSchedule &logical)
+{
+    std::ostringstream oss;
+    oss << "{\"schema\":\"" << kSchema << "\"";
+    oss << ",\"pr\":" << opt.pr;
+    oss << ",\"config\":{\"space\":\"NLP.c1\",\"seed\":7"
+        << ",\"steps\":" << opt.steps
+        << ",\"smoke\":" << (opt.smoke ? "true" : "false") << "}";
+
+    oss << ",\"micro\":{";
+    for (std::size_t i = 0; i < micro.size(); i++) {
+        if (i)
+            oss << ",";
+        oss << "\"" << obs::jsonEscape(micro[i].name)
+            << "\":{\"us_per_iter\":"
+            << formatFixed(micro[i].usPerIter, 3)
+            << ",\"iterations\":" << micro[i].iterations << "}";
+    }
+    oss << "}";
+
+    oss << ",\"scaling\":[";
+    for (std::size_t i = 0; i < scaling.size(); i++) {
+        const ScalingResult &r = scaling[i];
+        if (i)
+            oss << ",";
+        oss << "{\"workers\":" << r.workers
+            << ",\"sim_s\":" << formatFixed(r.simSeconds, 4)
+            << ",\"threads_s\":" << formatFixed(r.threadSeconds, 4)
+            << ",\"subnets_per_s\":"
+            << formatFixed(r.subnetsPerSec, 1)
+            << ",\"bitwise_match\":"
+            << (r.bitwiseMatch ? "true" : "false") << "}";
+    }
+    oss << "]";
+
+    // The stable section: pure functions of (seed, schedule). Two
+    // harness runs on any machines must agree on every byte here.
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      reference.supernetHash));
+    oss << ",\"stable\":{\"supernet_hash\":\"" << hash << "\""
+        << ",\"final_loss\":"
+        << formatFixed(reference.metrics.finalLoss, 6)
+        << ",\"gate_commits\":" << reference.metrics.gateCommits
+        << ",\"logical_makespan_ticks\":" << logical.makespan
+        << ",\"logical_gate_wait_ticks\":"
+        << logical.totalGateWaitTicks
+        << ",\"logical_span_count\":" << logical.spans.size()
+        << "}}";
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--out")
+            opt.outPath = value();
+        else if (arg == "--pr")
+            opt.pr = std::atoi(value());
+        else if (arg == "--steps")
+            opt.steps = std::atoi(value());
+        else if (arg == "--smoke")
+            opt.smoke = true;
+        else if (arg == "--quiet")
+            opt.quiet = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--out FILE] [--pr N] [--steps N] "
+                        "[--smoke] [--quiet]\n",
+                        argv[0]);
+            return 0;
+        } else {
+            fatal("unknown argument: ", arg);
+        }
+    }
+    if (opt.smoke)
+        opt.steps = std::min(opt.steps, 16);
+    NASPIPE_ASSERT(opt.steps >= 1, "need >= 1 step");
+
+    std::vector<MicroResult> micro = runMicro(opt);
+
+    SearchSpace space = makeSpaceByName("NLP.c1");
+    std::vector<ScalingResult> scaling = runScaling(space, opt);
+
+    // Reference run for the stable section: 4 workers, the same
+    // pinned workload the acceptance tests use.
+    RuntimeConfig refConfig = workloadConfig(4, opt.steps);
+    RunResult reference = runTrainingThreaded(space, refConfig);
+    NASPIPE_ASSERT(!reference.oom && !reference.failed,
+                   "bench reference run failed");
+    obs::LogicalSchedule logical = obs::buildLogicalSchedule(
+        space, reference.sampled, reference.partitions, 4,
+        reference.metrics.batch,
+        refConfig.system.effectiveInflight(4));
+
+    std::string json =
+        renderJson(opt, micro, scaling, reference, logical);
+    std::ofstream out(opt.outPath);
+    out << json << "\n";
+    if (!out)
+        fatal("cannot write ", opt.outPath);
+    if (!opt.quiet)
+        std::printf("wrote  %s (%s)\n", opt.outPath.c_str(), kSchema);
+
+    for (const ScalingResult &r : scaling) {
+        if (!r.bitwiseMatch) {
+            std::fprintf(stderr,
+                         "error: sim/threads weight hash mismatch at "
+                         "%d workers\n",
+                         r.workers);
+            return 1;
+        }
+    }
+    return 0;
+}

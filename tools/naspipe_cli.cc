@@ -10,11 +10,21 @@
  *               [--verify-csp] [--inject-fault SPEC]
  *               [--ckpt-interval N] [--ckpt FILE.ckpt]
  *               [--resume FILE.ckpt] [--trace FILE.json]
- *               [--checkpoint FILE.ckpt] [--csv FILE.csv] [--quiet]
+ *               [--trace-out FILE.json] [--metrics-out FILE.json]
+ *               [--obs-wall] [--checkpoint FILE.ckpt]
+ *               [--csv FILE.csv] [--quiet]
  *
  * --executor threads runs the training on real OS threads (one per
  * stage) through the CommitGate; weights are bitwise identical to
  * --executor sim (the default discrete-event simulation).
+ *
+ * --trace-out writes a Perfetto-loadable span trace and
+ * --metrics-out the unified metrics registry (src/obs/). Both
+ * default to *logical* mode: every structural field is a pure
+ * function of (seed, schedule), so identical-seed runs emit
+ * byte-identical files with either executor. --obs-wall switches
+ * both to real wall-clock spans and Timing metrics instead
+ * (threaded runs only record wall spans; unreproducible by nature).
  *
  * --verify-csp runs the CspOracle over the run: the full access log
  * is audited post-run (both executors), and with --executor threads
@@ -41,8 +51,12 @@
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/table.h"
 #include "core/engine.h"
 #include "exec/parallel_runtime.h"
+#include "obs/logical_schedule.h"
+#include "obs/metrics_export.h"
+#include "obs/trace_export.h"
 #include "schedule/ssp_scheduler.h"
 #include "sim/fault_injector.h"
 #include "verify/csp_oracle.h"
@@ -63,7 +77,9 @@ usage(const char *argv0)
         "          [--verify-csp] [--inject-fault SPEC] "
         "[--ckpt-interval N]\n"
         "          [--ckpt FILE.ckpt] [--resume FILE.ckpt]\n"
-        "          [--trace FILE.json] [--checkpoint FILE.ckpt]\n"
+        "          [--trace FILE.json] [--trace-out FILE.json]\n"
+        "          [--metrics-out FILE.json] [--obs-wall]\n"
+        "          [--checkpoint FILE.ckpt]\n"
         "          [--csv FILE.csv] [--quiet]\n"
         "spaces:  NLP.c0 NLP.c1 NLP.c2 NLP.c3 CV.c1 CV.c2 CV.c3\n"
         "systems: naspipe gpipe pipedream vpipe ssp\n"
@@ -138,11 +154,13 @@ main(int argc, char **argv)
     std::string executorName = "sim";
     std::string tracePath, checkpointPath, csvPath;
     std::string ckptPath, resumePath;
+    std::string traceOutPath, metricsOutPath;
     std::vector<FaultSpec> faults;
     int gpus = 8, steps = 64, batch = 0, staleness = 2;
     int hybrid = 0, ckptInterval = 0;
     std::uint64_t seed = 7;
     bool evolution = false, quiet = false, verifyCsp = false;
+    bool obsWall = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -204,6 +222,12 @@ main(int argc, char **argv)
             resumePath = value();
         else if (arg == "--trace")
             tracePath = value();
+        else if (arg == "--trace-out")
+            traceOutPath = value();
+        else if (arg == "--metrics-out")
+            metricsOutPath = value();
+        else if (arg == "--obs-wall")
+            obsWall = true;
         else if (arg == "--checkpoint")
             checkpointPath = value();
         else if (arg == "--csv")
@@ -241,7 +265,11 @@ main(int argc, char **argv)
     config.batch = batch;
     config.evolutionSearch = evolution;
     config.hybridStreams = hybrid;
-    config.traceEnabled = !tracePath.empty();
+    // Wall-mode trace export needs live span recording; logical-mode
+    // export rebuilds the timeline from the schedule instead, so the
+    // run itself stays untouched by observability.
+    config.traceEnabled =
+        !tracePath.empty() || (obsWall && !traceOutPath.empty());
     config.faults = faults;
     config.ckptInterval = ckptInterval;
     config.ckptPath = ckptPath;
@@ -297,6 +325,22 @@ main(int argc, char **argv)
                         m.wallSeconds, m.gateWaitSeconds,
                         static_cast<unsigned long long>(
                             m.gateCommits));
+            // Per-stage accounting: the threaded counterpart of the
+            // sim's stall taxonomy (busy / gate wait / idle).
+            TextTable table({"stage", "busy s", "gate wait s",
+                             "idle s", "fwd", "bwd", "deferrals"});
+            for (std::size_t s = 0; s < m.perStageBusySec.size();
+                 s++) {
+                table.addRow(
+                    {std::to_string(s),
+                     formatFixed(m.perStageBusySec[s], 3),
+                     formatFixed(m.perStageGateWaitSec[s], 3),
+                     formatFixed(m.perStageIdleSec[s], 3),
+                     std::to_string(m.perStageForwards[s]),
+                     std::to_string(m.perStageBackwards[s]),
+                     std::to_string(m.perStageDeferrals[s])});
+            }
+            std::printf("%s", table.render().c_str());
         }
         std::printf("throughput  %.1f samples/s  (%.0f subnets/h, "
                     "batch %d)\n",
@@ -350,6 +394,55 @@ main(int argc, char **argv)
         if (!quiet)
             std::printf("trace       %s (chrome://tracing)\n",
                         tracePath.c_str());
+    }
+    if (!traceOutPath.empty() || !metricsOutPath.empty()) {
+        // The deterministic observability exports. The logical
+        // schedule is rebuilt from (sampled, partitions) — both pure
+        // functions of the seed — never from run timing.
+        obs::LogicalSchedule logical = obs::buildLogicalSchedule(
+            space, result.sampled, result.partitions, gpus,
+            result.metrics.batch,
+            config.system.effectiveInflight(gpus));
+        obs::TraceHeader header;
+        header.space = spaceName;
+        header.executor = executorName;
+        header.mode = obsWall ? "wall" : "logical";
+        header.seed = seed;
+        header.steps = steps;
+        header.numStages = gpus;
+        if (!traceOutPath.empty()) {
+            std::ofstream out(traceOutPath);
+            out << obs::chromeTraceJson(obsWall
+                                            ? result.trace->records()
+                                            : logical.spans,
+                                        header);
+            if (!out)
+                fatal("cannot write trace ", traceOutPath);
+            if (!quiet)
+                std::printf("trace-out   %s (%s mode, Perfetto)\n",
+                            traceOutPath.c_str(),
+                            header.mode.c_str());
+        }
+        if (!metricsOutPath.empty()) {
+            obs::RunMetadata meta;
+            meta.space = spaceName;
+            meta.executor = executorName;
+            meta.seed = seed;
+            meta.steps = steps;
+            meta.numStages = gpus;
+            meta.batch = result.metrics.batch;
+            meta.wallMode = obsWall;
+            meta.deterministicTiming = !threaded;
+            std::ofstream out(metricsOutPath);
+            out << obs::metricsJson(result, &result.observations,
+                                    &logical, meta);
+            if (!out)
+                fatal("cannot write metrics ", metricsOutPath);
+            if (!quiet)
+                std::printf("metrics-out %s (%s mode)\n",
+                            metricsOutPath.c_str(),
+                            header.mode.c_str());
+        }
     }
     if (!checkpointPath.empty()) {
         if (!result.store->saveFile(checkpointPath))
