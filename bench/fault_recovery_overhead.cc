@@ -8,25 +8,41 @@
  * cost replayed subnets on every failure. Every row terminates with
  * the same supernet weights — the recovery path never trades
  * reproducibility for speed.
+ *
+ * `--executor threads` runs the same sweep on the threaded executor
+ * (supervised workers, watchdog, in-place recovery) instead of the
+ * simulator; the bitwise column then certifies that real-thread
+ * recovery lands on the same weights too.
  */
 
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/string_util.h"
 #include "common/table.h"
+#include "exec/parallel_runtime.h"
 
 using namespace naspipe;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool threaded = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--executor") == 0 &&
+            i + 1 < argc) {
+            threaded = std::strcmp(argv[i + 1], "threads") == 0;
+            i++;
+        }
+    }
     int steps = bench::defaultSteps(64);
     bench::banner(
         "Fault recovery: checkpoint interval vs lost work "
         "(NLP.c2, 8 GPUs, one GPU crash at step " +
         std::to_string(3 * steps / 4) + " of " +
-        std::to_string(steps) + ")");
+        std::to_string(steps) + ", executor " +
+        (threaded ? "threads" : "sim") + ")");
 
     SearchSpace space = makeSpaceByName("NLP.c2");
 
@@ -36,7 +52,12 @@ main()
     base.totalSubnets = steps;
     base.seed = 7;
 
-    RunResult faultFree = runTraining(space, base);
+    auto run = [&](const RuntimeConfig &config) {
+        return threaded ? runTrainingThreaded(space, config)
+                        : runTraining(space, config);
+    };
+
+    RunResult faultFree = run(base);
     if (faultFree.oom) {
         std::printf("NLP.c2 does not fit on 8 GPUs — skipping\n");
         return 0;
@@ -58,13 +79,13 @@ main()
         RuntimeConfig config = base;
         config.ckptInterval = interval;
         config.faults = {crash};
-        RunResult run = runTraining(space, config);
-        if (run.failed) {
+        RunResult result = run(config);
+        if (result.failed) {
             std::printf("interval %d failed: %s\n", interval,
-                        run.error.c_str());
+                        result.error.c_str());
             continue;
         }
-        const RunMetrics &m = run.metrics;
+        const RunMetrics &m = result.metrics;
         double overhead =
             m.simSeconds / faultFree.metrics.simSeconds - 1.0;
         table.addRow({
@@ -78,8 +99,8 @@ main()
             formatFixed(m.lostComputeSeconds, 2) + "s",
             formatFixed(m.simSeconds, 2) + "s",
             formatPercent(overhead),
-            run.supernetHash == faultFree.supernetHash ? "yes"
-                                                       : "NO",
+            result.supernetHash == faultFree.supernetHash ? "yes"
+                                                          : "NO",
         });
     }
     table.print(std::cout);

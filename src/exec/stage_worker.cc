@@ -1,6 +1,8 @@
 #include "exec/stage_worker.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
 
@@ -63,6 +65,22 @@ StageWorker::requestStop()
         _stop = true;
         _signals++;
     }
+    _cv.notify_one();
+}
+
+void
+StageWorker::requestAbort()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        _stop = true;
+        _abort = true;
+        _signals++;
+    }
+    // Closing the inbox releases any peer blocked pushing into it —
+    // without this, quiescing after a crash could wedge a surviving
+    // worker mid-submit.
+    _inbox.close();
     _cv.notify_one();
 }
 
@@ -196,6 +214,11 @@ StageWorker::findRunnableForward(std::uint64_t *blockedOn)
 void
 StageWorker::execForward(Pending pending)
 {
+    // An armed degrade latch slows this task down (scheduling-neutral:
+    // CSP order is unaffected, only wall time stretches).
+    if (_degradeTasks.load() > 0 && _degradeTasks.fetch_sub(1) > 0)
+        for (int i = 0; i < 64; i++)
+            std::this_thread::yield();
     const SubnetRun &run = *pending.run;
     auto [lo, hi] = blockRange(run);
     // Algorithm 1 line 21: predictor runs after the pop, before the
@@ -213,6 +236,7 @@ StageWorker::execForward(Pending pending)
     double end = secondsSinceEpoch();
     _stats.busySec += end - start;
     _stats.forwards++;
+    _hb.beat();
     if (_recordTrace) {
         _traceRecords.push_back(TraceRecord{
             ticksFromSec(start), ticksFromSec(end), _stage,
@@ -232,6 +256,9 @@ StageWorker::execForward(Pending pending)
 void
 StageWorker::execBackward(Pending pending)
 {
+    if (_degradeTasks.load() > 0 && _degradeTasks.fetch_sub(1) > 0)
+        for (int i = 0; i < 64; i++)
+            std::this_thread::yield();
     const SubnetRun &run = *pending.run;
     auto [lo, hi] = blockRange(run);
     // Algorithm 1 line 6: predictor runs before the backward. The
@@ -253,6 +280,7 @@ StageWorker::execBackward(Pending pending)
     double end = secondsSinceEpoch();
     _stats.busySec += end - start;
     _stats.backwards++;
+    _hb.beat();
     if (!pending.claims.empty()) {
         if (_lastCommitSec >= 0.0)
             _obs.commitGapSeconds.record(end - _lastCommitSec);
@@ -279,6 +307,21 @@ StageWorker::execBackward(Pending pending)
 }
 
 void
+StageWorker::stallFor(int ticks)
+{
+    // A stall models a transient slowdown: the worker stays alive
+    // (state Stalled, heartbeat frozen) but executes nothing for a
+    // bounded number of short waits. Bounded waits — not a condition
+    // wait — so the stall ends even if no signal ever arrives.
+    _hb.setState(fault::WorkerState::Stalled);
+    std::unique_lock<std::mutex> lock(_mu);
+    for (int i = 0; i < ticks && !_stop; i++)
+        _cv.wait_for(lock, std::chrono::milliseconds(1));
+    lock.unlock();
+    _hb.setState(fault::WorkerState::Running);
+}
+
+void
 StageWorker::runLoop()
 {
     for (;;) {
@@ -286,11 +329,30 @@ StageWorker::runLoop()
         // or submit that lands mid-scan prevents the sleep below.
         std::uint64_t seen;
         bool stopping;
+        bool aborting;
         {
             std::lock_guard<std::mutex> lock(_mu);
             seen = _signals;
             stopping = _stop;
+            aborting = _abort;
         }
+        // Fault latches first: a crashed worker abandons everything
+        // (its inbox closes so no peer blocks pushing to it); an
+        // aborted worker exits the same way but counts as a clean
+        // supervised shutdown.
+        if (_crashLatch.exchange(false)) {
+            _inbox.close();
+            _hb.setState(fault::WorkerState::Crashed);
+            return;
+        }
+        if (aborting) {
+            _inbox.close();
+            _hb.setState(fault::WorkerState::Exited);
+            return;
+        }
+        int stall = _stallTicks.exchange(0);
+        if (stall > 0)
+            stallFor(stall);
         drainInbox();
 
         if (!_bwd.empty()) {
@@ -309,8 +371,10 @@ StageWorker::runLoop()
             continue;
         }
 
-        if (stopping && _fwd.empty() && _inbox.empty())
+        if (stopping && _fwd.empty() && _inbox.empty()) {
+            _hb.setState(fault::WorkerState::Exited);
             break;
+        }
 
         // Nothing runnable: an unreadable forward means we are
         // waiting on the commit gate; truly empty queues are idle

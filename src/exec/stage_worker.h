@@ -37,6 +37,7 @@
 
 #include "exec/commit_gate.h"
 #include "exec/task_queue.h"
+#include "fault/heartbeat.h"
 #include "memory/exec_context_cache.h"
 #include "obs/run_observations.h"
 #include "obs/wall_clock.h"
@@ -123,8 +124,31 @@ class StageWorker
     /** Ask the loop to exit once its queues drain, then notify. */
     void requestStop();
 
+    /**
+     * Ask the loop to exit *immediately*, abandoning queued work, and
+     * close the inbox so no producer can block on it. Used when the
+     * supervisor quiesces the pipeline after a fail-stop incident —
+     * the abandoned tasks are rebuilt from the checkpoint replay.
+     */
+    void requestAbort();
+
     /** Join the worker thread. */
     void join();
+
+    /** @name Fault injection (supervision layer)
+     * Latches armed by the coordinator at task boundaries; the worker
+     * thread consumes them at the top of its scheduling loop (crash,
+     * stall) or per executed task (degrade). @{ */
+    /** Fail-stop: the loop abandons its inbox and exits. */
+    void injectCrash() { _crashLatch = true; notify(); }
+    /** Sleep through @p ticks bounded waits before the next task. */
+    void injectStall(int ticks) { _stallTicks = ticks; notify(); }
+    /** Slow down the next @p tasks executed tasks. */
+    void injectDegrade(int tasks) { _degradeTasks = tasks; }
+    /** @} */
+
+    /** Liveness signal for the watchdog (progress + state). */
+    const fault::WorkerHeartbeat &heartbeat() const { return _hb; }
 
     int stage() const { return _stage; }
 
@@ -157,6 +181,8 @@ class StageWorker
 
     void runLoop();
     void drainInbox();
+    /** Consume a stall latch: sleep through @p ticks bounded waits. */
+    void stallFor(int ticks);
     /** Index into _fwd of the lowest-ID readable forward, or -1; on
      *  -1 with queued forwards, @p blockedOn receives the layer key
      *  whose chain blocks the lowest-sequence candidate. */
@@ -191,6 +217,13 @@ class StageWorker
     std::condition_variable _cv;
     std::uint64_t _signals = 0;
     bool _stop = false;
+    bool _abort = false;
+
+    // Fault latches (coordinator writes, worker thread consumes).
+    std::atomic<bool> _crashLatch{false};
+    std::atomic<int> _stallTicks{0};
+    std::atomic<int> _degradeTasks{0};
+    fault::WorkerHeartbeat _hb;
 
     // Thread-local scheduling state (worker thread only).
     std::deque<Pending> _bwd;

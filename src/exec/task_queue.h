@@ -40,26 +40,53 @@ class BoundedTaskQueue
     BoundedTaskQueue(const BoundedTaskQueue &) = delete;
     BoundedTaskQueue &operator=(const BoundedTaskQueue &) = delete;
 
-    /** Blocking push; waits while the queue is at capacity. */
+    /**
+     * Blocking push; waits while the queue is at capacity. A push
+     * into a closed queue drops the item silently — the consumer is
+     * gone (crashed or aborted) and the coordinator will rebuild the
+     * pipeline state from a checkpoint anyway.
+     */
     void
     push(T item)
     {
         std::unique_lock<std::mutex> lock(_mu);
-        _space.wait(lock, [this] { return _items.size() < _capacity; });
+        _space.wait(lock, [this] {
+            return _closed || _items.size() < _capacity;
+        });
+        if (_closed)
+            return;
         _items.push_back(std::move(item));
         _ready.notify_one();
     }
 
-    /** Non-blocking push; returns false when at capacity. */
+    /** Non-blocking push; returns false when at capacity or closed. */
     bool
     tryPush(T item)
     {
         std::lock_guard<std::mutex> lock(_mu);
-        if (_items.size() >= _capacity)
+        if (_closed || _items.size() >= _capacity)
             return false;
         _items.push_back(std::move(item));
         _ready.notify_one();
         return true;
+    }
+
+    /**
+     * Close the queue: subsequent pushes drop their item and any
+     * producer blocked on a full queue is released. A dead consumer
+     * closes its own inbox so no producer can wait on it forever.
+     * pop() semantics are unchanged — only close queues whose
+     * consumer will never pop again.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(_mu);
+            _closed = true;
+        }
+        _space.notify_all();
+        _ready.notify_all();
     }
 
     /** Blocking pop of one item (consumer thread only). */
@@ -122,6 +149,7 @@ class BoundedTaskQueue
     std::condition_variable _ready;
     std::condition_variable _space;
     std::deque<T> _items;
+    bool _closed = false;
 };
 
 } // namespace naspipe

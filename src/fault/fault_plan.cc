@@ -1,4 +1,4 @@
-#include "sim/fault_injector.h"
+#include "fault/fault_plan.h"
 
 #include <algorithm>
 #include <cstdlib>

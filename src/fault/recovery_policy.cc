@@ -1,0 +1,21 @@
+#include "fault/recovery_policy.h"
+
+#include <algorithm>
+
+namespace naspipe {
+namespace fault {
+
+double
+RecoveryPolicy::nextBackoffSeconds()
+{
+    double backoff = _config.baseBackoffSeconds;
+    for (int i = 0;
+         i < _consecutive && backoff < _config.maxBackoffSeconds; i++)
+        backoff *= 2.0;
+    _consecutive++;
+    _total++;
+    return std::min(backoff, _config.maxBackoffSeconds);
+}
+
+} // namespace fault
+} // namespace naspipe

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Watchdog — the supervision layer's failure detector.
+ *
+ * A Watchdog owns one polling thread that scans a set of worker
+ * heartbeats and reports the first incident it sees to a callback:
+ *
+ *  - **Crash detection** (always on): a heartbeat whose state is
+ *    Crashed names its worker as the victim. This is state-based and
+ *    deterministic — the worker latched the fault at a task boundary
+ *    of the logical schedule; the watchdog merely relays it.
+ *  - **Hang detection** (opt-in, Config::wallDeadline): when the sum
+ *    of all logical-progress counters stops advancing for longer
+ *    than the wall deadline, the run is declared hung. Wall deadlines
+ *    are inherently timing-dependent, so they are armed only when
+ *    the caller explicitly opted into wall-clock observability.
+ *
+ * The callback fires at most once per Watchdog lifetime; the runtime
+ * recreates the watchdog with the respawned workers after each
+ * recovery phase, which doubles as the re-arm.
+ */
+
+#ifndef NASPIPE_FAULT_WATCHDOG_H
+#define NASPIPE_FAULT_WATCHDOG_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/heartbeat.h"
+#include "obs/wall_clock.h"
+
+namespace naspipe {
+namespace fault {
+
+class Watchdog
+{
+  public:
+    struct Config {
+        /** Arm the wall-clock hang deadline (timing-dependent;
+         *  deterministic runs leave it off and rely on crash
+         *  states only). */
+        bool wallDeadline = false;
+        /** Seconds without any logical progress before the run is
+         *  declared hung (wallDeadline only). */
+        double deadlineSeconds = 30.0;
+        /** Heartbeat scan period in milliseconds. */
+        int pollMs = 2;
+    };
+
+    /** Incident report: victim worker index and a reason string. */
+    using IncidentFn =
+        std::function<void(int worker, const std::string &reason)>;
+
+    /**
+     * Start supervising @p hearts (borrowed; they must outlive the
+     * watchdog). @p onIncident is invoked from the watchdog thread,
+     * at most once.
+     */
+    Watchdog(Config config,
+             std::vector<const WorkerHeartbeat *> hearts,
+             IncidentFn onIncident);
+
+    /** Stops the polling thread and joins it. */
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Incidents reported so far (0 or 1). */
+    int incidents() const;
+
+  private:
+    void loop();
+    std::uint64_t totalProgress() const;
+    /** Scan for an incident; fills @p worker / @p reason. */
+    bool detect(int *worker, std::string *reason);
+
+    const Config _config;
+    const std::vector<const WorkerHeartbeat *> _hearts;
+    const IncidentFn _onIncident;
+
+    mutable std::mutex _mu;
+    std::condition_variable _cv;
+    bool _stop = false;
+    bool _fired = false;
+    int _incidents = 0;
+
+    // Hang-deadline tracking (watchdog thread only).
+    std::uint64_t _lastProgress = 0;
+    obs::TimePoint _lastProgressAt;
+
+    std::thread _thread;
+};
+
+} // namespace fault
+} // namespace naspipe
+
+#endif // NASPIPE_FAULT_WATCHDOG_H

@@ -55,6 +55,25 @@ buildRunRegistry(const RunResult &result,
     // Commit gate.
     reg.counter("gate/commits", m.gateCommits);
 
+    // Faults and recovery. Fault firing, rollback targets and replay
+    // counts are pure functions of (plan, checkpoint cadence) — the
+    // fault plan's clock is the completion count — so the structural
+    // counters are Stable on either executor. The recovery seconds
+    // are modeled (recoverySeconds + deterministic backoff), hence
+    // the backend's timing stability; lost compute is real measured
+    // busy time on threads, hence Timing.
+    reg.counter("fault/injected",
+                static_cast<std::uint64_t>(m.faultsInjected));
+    reg.counter("fault/recoveries",
+                static_cast<std::uint64_t>(m.recoveries));
+    reg.counter("fault/replay_subnets",
+                static_cast<std::uint64_t>(m.subnetsReplayed));
+    reg.counter("fault/retries_exhausted",
+                static_cast<std::uint64_t>(m.retriesExhausted));
+    reg.gauge("fault/recovery_s", m.recoverySeconds, 6, timing);
+    reg.gauge("fault/lost_compute_s", m.lostComputeSeconds, 6,
+              Stability::Timing);
+
     // Dispatch diagnostics. The simulator's stall counters are
     // schedule-determined; the threaded executor's deferral counts
     // depend on real interleaving, so per-stage deferrals are tagged

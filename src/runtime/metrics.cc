@@ -23,6 +23,8 @@ RunMetrics::summary() const
             << " recoveries, " << subnetsReplayed << " replayed, "
             << formatFixed(recoverySeconds + lostComputeSeconds, 2)
             << "s lost)";
+        if (retriesExhausted)
+            oss << ", retries exhausted";
     }
     if (checkpointsWritten > 0)
         oss << ", ckpts " << checkpointsWritten;

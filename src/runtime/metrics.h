@@ -63,6 +63,7 @@ struct RunMetrics {
     int subnetsReplayed = 0;   ///< subnets redone after rollbacks
     double recoverySeconds = 0.0;     ///< detect+restart wall clock
     double lostComputeSeconds = 0.0;  ///< busy time discarded
+    int retriesExhausted = 0;  ///< 1 when recovery gave up (exit 5)
     int checkpointsWritten = 0;
     std::uint64_t checkpointBytes = 0;  ///< size of the last one
     double checkpointSeconds = 0.0;     ///< total time spent writing

@@ -29,9 +29,9 @@
 #include "partition/placement.h"
 #include "runtime/messages.h"
 #include "runtime/metrics.h"
+#include "fault/fault_plan.h"
 #include "schedule/bsp_scheduler.h"
 #include "schedule/scheduler.h"
-#include "sim/fault_injector.h"
 #include "sim/trace.h"
 #include "supernet/sampler.h"
 #include "train/convergence.h"
@@ -103,6 +103,30 @@ struct RuntimeConfig {
     double ckptWriteBytesPerSec = 2e9;
     /** Modeled detection + restart wall clock per recovery. */
     double recoverySeconds = 5.0;
+    /**
+     * Consecutive recoveries (no completed subnet in between) before
+     * the run gives up; the CLI maps exhaustion to exit code 5.
+     */
+    int recoveryMaxRetries = 3;
+    /** Base of the modeled exponential recovery backoff. */
+    double recoveryBackoffSeconds = 1.0;
+    /**
+     * Arm the watchdog's wall-clock hang deadline (threaded executor
+     * only). Crash detection is state-based and always on; the wall
+     * deadline is opt-in because it is timing-dependent — the CLI
+     * enables it with --obs-wall.
+     */
+    bool wallWatchdog = false;
+    /** Wall deadline for the hang detector when wallWatchdog is on. */
+    double watchdogDeadlineSeconds = 30.0;
+    /**
+     * Called by the threaded executor at the start of each recovery
+     * epoch with the 1-based recovery count, before workers respawn.
+     * Recovery recreates the commit gate, so per-layer chains restart
+     * at rank 0; a live CspOracle attached via commitObserver must
+     * reset its chain cursors here (CspOracle::resetLiveChains).
+     */
+    std::function<void(int)> recoveryObserver;
     /** @} */
 
     /**
@@ -120,6 +144,8 @@ struct RuntimeConfig {
 struct RunResult {
     bool oom = false;          ///< capacity planner rejected the run
     bool failed = false;       ///< run aborted (bad resume, etc.)
+    /** Failed because recovery retries ran out (CLI exit 5). */
+    bool retriesExhausted = false;
     std::string error;         ///< diagnostic when failed
     CapacityPlan plan;
     RunMetrics metrics;

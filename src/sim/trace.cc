@@ -30,6 +30,8 @@ traceKindName(TraceKind kind)
         return "fault";
       case TraceKind::Checkpoint:
         return "ckpt";
+      case TraceKind::Recovery:
+        return "recovery";
     }
     return "?";
 }

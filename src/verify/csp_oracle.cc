@@ -279,4 +279,11 @@ CspOracle::clear()
     _observedCommits = 0;
 }
 
+void
+CspOracle::resetLiveChains()
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    _chains.clear();
+}
+
 } // namespace naspipe

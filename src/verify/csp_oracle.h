@@ -130,6 +130,15 @@ class CspOracle
     /** Drop all state (violations, chain cursors, counters). */
     void clear();
 
+    /**
+     * Drop only the live chain cursors, keeping violations and
+     * counters. Call at each recovery epoch of the threaded executor
+     * (RuntimeConfig::recoveryObserver): recovery recreates the
+     * CommitGate, so every layer's chain legitimately restarts at
+     * rank 0 and replayed commits would otherwise trip CommitOrder.
+     */
+    void resetLiveChains();
+
   private:
     void addViolation(CspViolation violation);
 

@@ -44,11 +44,14 @@ TEST(ParallelRuntime, SupportsCspOnly)
     EXPECT_FALSE(ParallelRuntime::supported(asp));
 }
 
-TEST(ParallelRuntime, RejectsSimulatorOnlyFeatures)
+TEST(ParallelRuntime, SupportsFaultInjection)
 {
+    // Fault injection went executor-agnostic with the supervision
+    // layer: a fault plan is no longer a reason to reject threads.
+    std::string why;
     RuntimeConfig faulty = config(4, 8);
     faulty.faults.push_back(FaultSpec{});
-    EXPECT_FALSE(ParallelRuntime::supported(faulty));
+    EXPECT_TRUE(ParallelRuntime::supported(faulty, &why)) << why;
 }
 
 TEST(ParallelRuntime, RejectionReasonsNameTheFeature)
@@ -76,11 +79,6 @@ TEST(ParallelRuntime, RejectionReasonsNameTheFeature)
     flush.system.bulkFlush = true;
     EXPECT_FALSE(ParallelRuntime::supported(flush, &why));
     EXPECT_EQ(why, "bulk-flush (BSP) systems are simulator-only");
-
-    RuntimeConfig faulty = config(4, 8);
-    faulty.faults.push_back(FaultSpec{});
-    EXPECT_FALSE(ParallelRuntime::supported(faulty, &why));
-    EXPECT_EQ(why, "fault injection is simulator-only");
 }
 
 TEST(ParallelRuntime, SupportsCheckpointAndResume)

@@ -292,6 +292,113 @@ TEST(CheckpointProperties, AccessLogRejectsDamagedStream)
     }
 }
 
+/** Write `bytes` verbatim over `path`. */
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(CheckpointProperties, CorruptRunCheckpointFileIsRejectedCleanly)
+{
+    // The on-disk half of the fuzz: damage a real NPRC v1 *file* —
+    // every byte of the header, a stride through the payload, every
+    // truncation prefix — and loadFile must return false each time,
+    // never abort. This is the file the CLI's --resume hands to a
+    // fresh process, so "clean false" here is what backs exit code 3.
+    RunCheckpoint ckpt;
+    ckpt.seed = 42;
+    ckpt.spaceBlocks = 12;
+    ckpt.spaceChoices = 4;
+    ckpt.totalSubnets = 16;
+    ckpt.completed = 2;
+    ckpt.simSeconds = 3.5;
+    ckpt.losses = {0.5, 0.4};
+    ckpt.completionSec = {1.0, 2.0};
+    ckpt.storeBytes = "store-payload-stand-in";
+    std::string path =
+        ::testing::TempDir() + "naspipe_fuzz_run.ckpt";
+    ASSERT_TRUE(ckpt.saveFileAtomic(path));
+    std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 32u);
+
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += (pos < 32 ? 1 : 13)) {
+        std::string damaged = bytes;
+        damaged[pos] ^= 0x40;
+        writeFile(path, damaged);
+        RunCheckpoint loaded;
+        EXPECT_FALSE(loaded.loadFile(path))
+            << "file byte flip at " << pos << " accepted";
+    }
+    for (std::size_t len = 0; len < bytes.size(); len += 7) {
+        writeFile(path, bytes.substr(0, len));
+        RunCheckpoint loaded;
+        EXPECT_FALSE(loaded.loadFile(path))
+            << "file truncation to " << len << " bytes accepted";
+    }
+    // Undamaged file still loads after the fuzz sweep.
+    writeFile(path, bytes);
+    RunCheckpoint loaded;
+    EXPECT_TRUE(loaded.loadFile(path));
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointProperties, CorruptStoreFileIsRejectedCleanly)
+{
+    // Same sweep for a ParameterStore v2 file.
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    scribble(store);
+    std::string path =
+        ::testing::TempDir() + "naspipe_fuzz_store.bin";
+    ASSERT_TRUE(store.saveFile(path));
+    std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 64u);
+
+    for (std::size_t pos = 0; pos < bytes.size();
+         pos += (pos < 64 ? 1 : 41)) {
+        std::string damaged = bytes;
+        damaged[pos] ^= 0x02;
+        writeFile(path, damaged);
+        ParameterStore restored(space, 7);
+        EXPECT_FALSE(restored.loadFile(path))
+            << "file byte flip at " << pos << " accepted";
+    }
+    for (std::size_t len = 0; len < bytes.size();
+         len += (len < 64 ? 1 : 59)) {
+        writeFile(path, bytes.substr(0, len));
+        ParameterStore restored(space, 7);
+        EXPECT_FALSE(restored.loadFile(path))
+            << "file truncation to " << len << " bytes accepted";
+    }
+    writeFile(path, bytes);
+    ParameterStore restored(space, 7);
+    EXPECT_TRUE(restored.loadFile(path));
+    EXPECT_EQ(restored.supernetHash(), store.supernetHash());
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointProperties, MissingFilesAreCleanFalses)
+{
+    RunCheckpoint ckpt;
+    EXPECT_FALSE(ckpt.loadFile("/nonexistent/naspipe.ckpt"));
+    SearchSpace space = makeTinySpace();
+    ParameterStore store(space, 7);
+    EXPECT_FALSE(store.loadFile("/nonexistent/naspipe_store.bin"));
+}
+
 TEST(CheckpointProperties, AtomicSaveLeavesNoTempFileBehind)
 {
     RunCheckpoint ckpt;

@@ -3,7 +3,8 @@
  * naspipe_cli argument-parsing and exit-code contract tests. Each
  * case launches the real binary (path injected by CMake as
  * NASPIPE_CLI_PATH) and checks the documented exit codes: 0 success,
- * 2 argument error / OOM, 3 run failure, 4 CSP verification failure.
+ * 2 argument error / OOM, 3 run failure, 4 CSP verification failure,
+ * 5 recovery retries exhausted.
  */
 
 #include <gtest/gtest.h>
@@ -136,13 +137,52 @@ TEST(CliArgs, ThreadsRejectsNonCspSystemExitsTwo)
               std::string::npos);
 }
 
-TEST(CliArgs, ThreadsRejectsFaultInjectionExitsTwo)
+TEST(CliArgs, ThreadsCrashRecoversAndVerifiesCspExitsZero)
 {
-    CliResult r = runCli("--space CV.c1 --steps 8 --quiet "
-                         "--executor threads --inject-fault crash@4");
-    EXPECT_EQ(r.exitCode, 2);
-    EXPECT_NE(r.output.find("fault injection is simulator-only"),
+    // Fault injection is executor-agnostic now: a threaded run that
+    // loses a stage worker recovers from the last drained checkpoint
+    // and still passes the live + post-hoc CSP audit.
+    CliResult r =
+        runCli("--space CV.c1 --steps 12 --gpus 2 "
+               "--executor threads --verify-csp --ckpt-interval 4 "
+               "--inject-fault crash@6,stage=1");
+    EXPECT_EQ(r.exitCode, 0) << r.output;
+    EXPECT_NE(r.output.find("verify-csp  ok"), std::string::npos);
+    EXPECT_NE(r.output.find("1 recoveries"), std::string::npos);
+}
+
+TEST(CliArgs, ThreadsRetriesExhaustedExitsFive)
+{
+    // --recovery-retries 0 refuses the first retry, so the first
+    // fail-stop fault is terminal: the documented exit code 5.
+    CliResult r =
+        runCli("--space CV.c1 --steps 12 --gpus 2 --quiet "
+               "--executor threads --ckpt-interval 4 "
+               "--recovery-retries 0 --inject-fault crash@6,stage=1");
+    EXPECT_EQ(r.exitCode, 5) << r.output;
+    EXPECT_NE(r.output.find("recovery retries exhausted"),
               std::string::npos);
+}
+
+TEST(CliArgs, ThreadsCorruptResumeCheckpointExitsThree)
+{
+    // A corrupt checkpoint file must be a clean run failure (exit 3),
+    // never an abort: the loader validates magic/version/checksum.
+    std::string ckpt =
+        ::testing::TempDir() + "naspipe_cli_corrupt.ckpt";
+    {
+        FILE *f = fopen(ckpt.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[] = "NOT A CHECKPOINT";
+        fwrite(junk, 1, sizeof(junk), f);
+        fclose(f);
+    }
+    CliResult r = runCli("--space CV.c1 --steps 8 --gpus 2 --quiet "
+                         "--executor threads --resume " +
+                         ckpt);
+    EXPECT_EQ(r.exitCode, 3) << r.output;
+    EXPECT_NE(r.output.find("error:"), std::string::npos);
+    std::remove(ckpt.c_str());
 }
 
 TEST(CliArgs, ThreadsCheckpointThenResumeExitsZero)

@@ -10,6 +10,8 @@ auto-detected from its schema tag:
   naspipe-trace/1    Chrome trace-event export (otherData.schema)
   naspipe-metrics/1  unified metrics registry export
   naspipe-bench/1    committed perf trajectory (BENCH_<pr>.json)
+  naspipe-bench/2    as /1 plus a required `recovery` section (the
+                     threaded crash→recover→bitwise-verify record)
 
 Exits 0 when every file validates, 1 otherwise, printing one line per
 problem. No third-party dependencies — CI runs this on a bare python3.
@@ -20,7 +22,7 @@ import sys
 
 TRACE_SCHEMA = "naspipe-trace/1"
 METRICS_SCHEMA = "naspipe-metrics/1"
-BENCH_SCHEMA = "naspipe-bench/1"
+BENCH_SCHEMAS = ("naspipe-bench/1", "naspipe-bench/2")
 
 
 def check_trace(doc, err):
@@ -90,9 +92,27 @@ def check_metrics(doc, err):
         check_histogram(name, hist, err)
 
 
+def check_recovery(recovery, err):
+    if not isinstance(recovery, dict):
+        err("recovery section missing")
+        return
+    for key in ("workers", "ckpt_interval", "crash_step",
+                "recoveries", "replayed", "recovery_s",
+                "bitwise_match"):
+        if key not in recovery:
+            err("recovery.%s missing" % key)
+    if not recovery.get("bitwise_match"):
+        err("recovery: crash-recovered weights diverge from the "
+            "fault-free run")
+    if recovery.get("recoveries", 0) < 1:
+        err("recovery: no recovery happened (crash never fired?)")
+    if recovery.get("replayed", -1) < 0:
+        err("recovery: negative replayed count")
+
+
 def check_bench(doc, err):
-    if doc.get("schema") != BENCH_SCHEMA:
-        err("schema != %s" % BENCH_SCHEMA)
+    if doc.get("schema") not in BENCH_SCHEMAS:
+        err("schema not in %s" % (BENCH_SCHEMAS,))
     if not isinstance(doc.get("pr"), int):
         err("pr missing")
     micro = doc.get("micro")
@@ -111,6 +131,8 @@ def check_bench(doc, err):
             if not entry.get("bitwise_match"):
                 err("scaling %s workers: sim/threads hash MISMATCH"
                     % entry.get("workers"))
+    if doc.get("schema") == "naspipe-bench/2":
+        check_recovery(doc.get("recovery"), err)
     stable = doc.get("stable", {})
     for key in ("supernet_hash", "final_loss",
                 "logical_makespan_ticks", "logical_span_count"):
@@ -136,7 +158,7 @@ def check_file(path):
         check_trace(doc, err)
     elif schema == METRICS_SCHEMA:
         check_metrics(doc, err)
-    elif schema == BENCH_SCHEMA:
+    elif schema in BENCH_SCHEMAS:
         check_bench(doc, err)
     else:
         err("unrecognized schema tag %r" % schema)

@@ -17,7 +17,12 @@
  *     sim-vs-threads weight check that guards CSP equivalence;
  *   - logical: the deterministic logical-schedule analysis (makespan,
  *     gate-wait ticks) of the pinned workload — a *stable* perf
- *     model that must be byte-identical run over run.
+ *     model that must be byte-identical run over run;
+ *   - recovery: a threaded run that loses a stage worker to an
+ *     injected crash, recovers in place from the last drained
+ *     checkpoint, and must land bitwise on the fault-free weights —
+ *     the committed record of what a failure costs (replayed
+ *     subnets, modeled downtime) and that it costs no correctness.
  *
  * Wall-clock numbers vary machine to machine; the stable section and
  * every hash/match field must not. CI runs `--smoke` on every push.
@@ -48,11 +53,11 @@ namespace {
 
 using namespace naspipe;
 
-constexpr const char *kSchema = "naspipe-bench/1";
+constexpr const char *kSchema = "naspipe-bench/2";
 
 struct Options {
-    std::string outPath = "BENCH_6.json";
-    int pr = 6;
+    std::string outPath = "BENCH_7.json";
+    int pr = 7;
     int steps = 64;
     bool smoke = false;
     bool quiet = false;
@@ -72,6 +77,17 @@ struct ScalingResult {
     std::uint64_t simHash = 0;
     std::uint64_t threadHash = 0;
     bool bitwiseMatch = false;
+};
+
+struct RecoveryResult {
+    int workers = 0;
+    int ckptInterval = 0;
+    int crashStep = 0;
+    int recoveries = 0;
+    int replayed = 0;              ///< subnets redone after rollback
+    double recoverySeconds = 0.0;  ///< modeled detect+restart time
+    double wallOverheadSeconds = 0.0;  ///< crash wall - clean wall
+    bool bitwiseMatch = false;     ///< recovered == fault-free hash
 };
 
 double
@@ -195,10 +211,52 @@ runScaling(const SearchSpace &space, const Options &opt)
     return out;
 }
 
+/**
+ * Crash a stage worker at 3/4 of the run on the threaded executor
+ * and measure what the supervised recovery costs relative to the
+ * fault-free `reference` run (same workload, same worker count).
+ */
+RecoveryResult
+runRecovery(const SearchSpace &space, const Options &opt,
+            const RunResult &reference)
+{
+    RecoveryResult r;
+    r.workers = 4;
+    r.ckptInterval = std::max(2, opt.steps / 4);
+    r.crashStep = 3 * opt.steps / 4;
+
+    RuntimeConfig config = workloadConfig(r.workers, opt.steps);
+    config.ckptInterval = r.ckptInterval;
+    FaultSpec crash;
+    crash.kind = FaultKind::GpuCrash;
+    crash.atStep = r.crashStep;
+    crash.stage = 2;
+    config.faults = {crash};
+
+    RunResult run = runTrainingThreaded(space, config);
+    NASPIPE_ASSERT(!run.oom && !run.failed,
+                   "bench recovery run failed: ", run.error);
+    r.recoveries = run.metrics.recoveries;
+    r.replayed = run.metrics.subnetsReplayed;
+    r.recoverySeconds = run.metrics.recoverySeconds;
+    r.wallOverheadSeconds = std::max(
+        0.0,
+        run.metrics.wallSeconds - reference.metrics.wallSeconds);
+    r.bitwiseMatch = run.supernetHash == reference.supernetHash;
+    if (!opt.quiet) {
+        std::printf("fault  crash@%d: %d recoveries, %d replayed, "
+                    "%.2fs modeled downtime, bitwise %s\n",
+                    r.crashStep, r.recoveries, r.replayed,
+                    r.recoverySeconds,
+                    r.bitwiseMatch ? "ok" : "MISMATCH");
+    }
+    return r;
+}
+
 std::string
 renderJson(const Options &opt, const std::vector<MicroResult> &micro,
            const std::vector<ScalingResult> &scaling,
-           const RunResult &reference,
+           const RecoveryResult &recovery, const RunResult &reference,
            const obs::LogicalSchedule &logical)
 {
     std::ostringstream oss;
@@ -233,6 +291,18 @@ renderJson(const Options &opt, const std::vector<MicroResult> &micro,
             << (r.bitwiseMatch ? "true" : "false") << "}";
     }
     oss << "]";
+
+    oss << ",\"recovery\":{\"workers\":" << recovery.workers
+        << ",\"ckpt_interval\":" << recovery.ckptInterval
+        << ",\"crash_step\":" << recovery.crashStep
+        << ",\"recoveries\":" << recovery.recoveries
+        << ",\"replayed\":" << recovery.replayed
+        << ",\"recovery_s\":"
+        << formatFixed(recovery.recoverySeconds, 3)
+        << ",\"wall_overhead_s\":"
+        << formatFixed(recovery.wallOverheadSeconds, 4)
+        << ",\"bitwise_match\":"
+        << (recovery.bitwiseMatch ? "true" : "false") << "}";
 
     // The stable section: pure functions of (seed, schedule). Two
     // harness runs on any machines must agree on every byte here.
@@ -304,8 +374,10 @@ main(int argc, char **argv)
         reference.metrics.batch,
         refConfig.system.effectiveInflight(4));
 
-    std::string json =
-        renderJson(opt, micro, scaling, reference, logical);
+    RecoveryResult recovery = runRecovery(space, opt, reference);
+
+    std::string json = renderJson(opt, micro, scaling, recovery,
+                                  reference, logical);
     std::ofstream out(opt.outPath);
     out << json << "\n";
     if (!out)
@@ -321,6 +393,12 @@ main(int argc, char **argv)
                          r.workers);
             return 1;
         }
+    }
+    if (!recovery.bitwiseMatch) {
+        std::fprintf(stderr,
+                     "error: crash-recovered weights diverge from "
+                     "the fault-free run\n");
+        return 1;
     }
     return 0;
 }

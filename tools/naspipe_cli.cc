@@ -32,6 +32,19 @@
  * Violations print a report naming layer, stage and the offending
  * sequence IDs, and the process exits 4.
  *
+ * --inject-fault works with both executors: the simulator transitions
+ * its hardware models, the threaded executor latches the fault into
+ * the victim stage worker (a crashed worker abandons its inbox; the
+ * heartbeat watchdog detects it and the run rolls back to the last
+ * drained checkpoint, respawns the stage and replays in CSP order to
+ * bitwise-identical weights). Recovery retries are bounded
+ * (--recovery-retries, default 3 consecutive) with modeled
+ * exponential backoff; exhaustion exits 5.
+ *
+ * Exit codes: 0 ok, 2 bad arguments or OOM, 3 run failure (bad
+ * resume file etc.), 4 CSP invariant violated, 5 recovery retries
+ * exhausted.
+ *
  * Spaces: NLP.c0..c3, CV.c1..c3 (Table 1).
  * Systems: naspipe, gpipe, pipedream, vpipe, naspipe-no-scheduler,
  *          naspipe-no-predictor, naspipe-no-mirroring, ssp
@@ -57,8 +70,8 @@
 #include "obs/logical_schedule.h"
 #include "obs/metrics_export.h"
 #include "obs/trace_export.h"
+#include "fault/fault_plan.h"
 #include "schedule/ssp_scheduler.h"
-#include "sim/fault_injector.h"
 #include "verify/csp_oracle.h"
 
 namespace {
@@ -76,6 +89,7 @@ usage(const char *argv0)
         "[--executor sim|threads]\n"
         "          [--verify-csp] [--inject-fault SPEC] "
         "[--ckpt-interval N]\n"
+        "          [--recovery-retries N]\n"
         "          [--ckpt FILE.ckpt] [--resume FILE.ckpt]\n"
         "          [--trace FILE.json] [--trace-out FILE.json]\n"
         "          [--metrics-out FILE.json] [--obs-wall]\n"
@@ -86,7 +100,9 @@ usage(const char *argv0)
         "         naspipe-no-scheduler naspipe-no-predictor\n"
         "         naspipe-no-mirroring\n"
         "faults:  KIND@STEP[,stage=N][,ms=X][,factor=F]\n"
-        "         KIND: crash|stall|degrade|drop; repeatable\n",
+        "         KIND: crash|stall|degrade|drop; repeatable\n"
+        "exit:    0 ok, 2 bad args/OOM, 3 run failure,\n"
+        "         4 CSP violation, 5 recovery retries exhausted\n",
         argv0);
 }
 
@@ -157,7 +173,7 @@ main(int argc, char **argv)
     std::string traceOutPath, metricsOutPath;
     std::vector<FaultSpec> faults;
     int gpus = 8, steps = 64, batch = 0, staleness = 2;
-    int hybrid = 0, ckptInterval = 0;
+    int hybrid = 0, ckptInterval = 0, recoveryRetries = 3;
     std::uint64_t seed = 7;
     bool evolution = false, quiet = false, verifyCsp = false;
     bool obsWall = false;
@@ -210,6 +226,8 @@ main(int argc, char **argv)
         }
         else if (arg == "--ckpt-interval")
             ckptInterval = static_cast<int>(intValue(0, 1000000));
+        else if (arg == "--recovery-retries")
+            recoveryRetries = static_cast<int>(intValue(0, 1000));
         else if (arg == "--inject-fault") {
             FaultSpec spec;
             std::string why;
@@ -274,6 +292,10 @@ main(int argc, char **argv)
     config.ckptInterval = ckptInterval;
     config.ckptPath = ckptPath;
     config.resumePath = resumePath;
+    config.recoveryMaxRetries = recoveryRetries;
+    // Crash detection stays state-based (deterministic); the wall
+    // hang deadline follows the wall-observability opt-in.
+    config.wallWatchdog = obsWall;
 
     bool threaded = executorName == "threads";
     if (threaded) {
@@ -290,6 +312,13 @@ main(int argc, char **argv)
                                           std::size_t rank, int stg) {
             oracle.observeCommit(layerKey, subnet, rank, stg);
         };
+        // Recovery recreates the commit gate, so every causal chain
+        // legitimately restarts at rank 0 — drop the live cursors at
+        // each recovery epoch (the post-run audit still covers the
+        // full replayed history).
+        config.recoveryObserver = [&oracle](int) {
+            oracle.resetLiveChains();
+        };
     }
     RunResult result = threaded ? runTrainingThreaded(space, config)
                                 : runTraining(space, config);
@@ -300,7 +329,7 @@ main(int argc, char **argv)
     }
     if (result.failed) {
         std::fprintf(stderr, "error: %s\n", result.error.c_str());
-        return 3;
+        return result.retriesExhausted ? 5 : 3;
     }
 
     bool cspOk = true;
