@@ -112,6 +112,9 @@ struct ParallelRuntime::Impl : ExecutionBackend {
         auto run = std::make_shared<SubnetRun>();
         run->subnet = sn;
         run->partition = session.partitionOf(id);
+        // Single-tenant: ticket = sequence ID keeps the workers'
+        // forward queues in Algorithm 2's lowest-ID-first order.
+        run->ticket = static_cast<std::uint64_t>(id);
         for (int b = 0; b < sn.size(); b++) {
             if (space.parameterized(b, sn.choice(b)))
                 gate->registerActivation(sn.layer(b).key(), sn.id());
@@ -233,6 +236,7 @@ ParallelRuntime::Impl::startWorkers()
     fault::Watchdog::Config wc;
     wc.wallDeadline = config.wallWatchdog;
     wc.deadlineSeconds = config.watchdogDeadlineSeconds;
+    wc.pollMs = config.watchdogPollMs;
     std::vector<const fault::WorkerHeartbeat *> hearts;
     hearts.reserve(workers.size());
     for (const auto &worker : workers)

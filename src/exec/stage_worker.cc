@@ -125,6 +125,9 @@ StageWorker::queuedForwardIds() const
 void
 StageWorker::prefetchPredicted(const std::vector<SubnetId> &picks)
 {
+    // Predictor paths are single-tenant only (a multi-tenant pool
+    // runs with the predictor off), so _fwd's ticket order is
+    // sequence-ID order here and the binary search stays valid.
     for (SubnetId id : picks) {
         auto at = std::lower_bound(
             _fwd.begin(), _fwd.end(), id,
@@ -158,13 +161,16 @@ StageWorker::drainInbox()
         if (task.kind == ExecTask::Kind::Backward) {
             _bwd.push_back(std::move(pending));
         } else {
-            // Keep forwards sorted by sequence ID so the runnable
-            // scan is exactly Algorithm 2's lowest-ID-first walk.
-            SubnetId id = pending.run->subnet.id();
+            // Keep forwards sorted by dispatch ticket so the
+            // runnable scan walks Algorithm 2's lowest-first order.
+            // Single-tenant runs set ticket = sequence ID; a
+            // multi-tenant pool's tickets encode the serve
+            // scheduler's deterministic cross-job admission order.
+            std::uint64_t ticket = pending.run->ticket;
             auto at = std::lower_bound(
-                _fwd.begin(), _fwd.end(), id,
-                [](const Pending &p, SubnetId v) {
-                    return p.run->subnet.id() < v;
+                _fwd.begin(), _fwd.end(), ticket,
+                [](const Pending &p, std::uint64_t v) {
+                    return p.run->ticket < v;
                 });
             _fwd.insert(at, std::move(pending));
         }
@@ -179,9 +185,9 @@ StageWorker::resolveClaims(Pending &pending)
     const SubnetRun &run = *pending.run;
     auto [lo, hi] = blockRange(run);
     for (int b = lo; b <= hi; b++) {
-        if (!_space.parameterized(b, run.subnet.choice(b)))
+        if (!spaceOf(run).parameterized(b, run.subnet.choice(b)))
             continue;
-        pending.claims.push_back(_gate.resolve(
+        pending.claims.push_back(gateOf(run).resolve(
             run.subnet.layer(b).key(), run.subnet.id()));
     }
     pending.claimsResolved = true;
@@ -194,7 +200,7 @@ StageWorker::findRunnableForward(std::uint64_t *blockedOn)
         resolveClaims(_fwd[i]);
         bool ready = true;
         for (const CommitGate::Claim &claim : _fwd[i].claims) {
-            if (!_gate.readable(claim)) {
+            if (!gateOf(*_fwd[i].run).readable(claim)) {
                 ready = false;
                 // Attribute the stall to the chain holding the
                 // lowest-sequence candidate: per the liveness
@@ -228,11 +234,12 @@ StageWorker::execForward(Pending pending)
                                                queuedForwardIds()));
     if (lo <= hi)
         _cache.ensureResident(run.subnet, lo, hi);
+    NumericExecutor *exec = execOf(run);
     double start = secondsSinceEpoch();
-    if (_exec && lo <= hi)
-        _exec->forwardStage(run.subnet, lo, hi, _semantics, _stage);
-    if (_exec && _stage == _numStages - 1)
-        _exec->computeLoss(run.subnet);
+    if (exec && lo <= hi)
+        exec->forwardStage(run.subnet, lo, hi, _semantics, _stage);
+    if (exec && _stage == _numStages - 1)
+        exec->computeLoss(run.subnet);
     double end = secondsSinceEpoch();
     _stats.busySec += end - start;
     _stats.forwards++;
@@ -268,15 +275,16 @@ StageWorker::execBackward(Pending pending)
     prefetchPredicted(_predictor.beforeBackward(queuedForwardIds()));
     if (lo <= hi)
         _cache.ensureResident(run.subnet, lo, hi);
+    NumericExecutor *exec = execOf(run);
     double start = secondsSinceEpoch();
-    if (_exec && lo <= hi)
-        _exec->backwardStage(run.subnet, lo, hi, _semantics, _stage);
+    if (exec && lo <= hi)
+        exec->backwardStage(run.subnet, lo, hi, _semantics, _stage);
     // Commit strictly after the optimizer steps: the release edge in
     // CommitGate::commit is what publishes the new parameter bytes to
     // the next activator's forward read.
     resolveClaims(pending);
     for (const CommitGate::Claim &claim : pending.claims)
-        _gate.commit(claim, _stage);
+        gateOf(run).commit(claim, _stage);
     double end = secondsSinceEpoch();
     _stats.busySec += end - start;
     _stats.backwards++;

@@ -49,10 +49,38 @@
 
 namespace naspipe {
 
+/**
+ * Per-job execution context for multi-tenant pools (src/serve).
+ *
+ * A shared-pool StageWorker serves tasks from many independent
+ * search jobs; each job owns its own commit gate (causal chains),
+ * numeric executor and parameter store. A task resolves those
+ * through the binding its SubnetRun carries — a null binding means
+ * the single-tenant path, which uses the worker-construction
+ * defaults and behaves exactly as before. The binding is immutable
+ * while any of its tasks is in flight and must outlive them.
+ */
+struct JobBinding {
+    int jobId = 0;
+    const SearchSpace *space = nullptr;
+    CommitGate *gate = nullptr;
+    NumericExecutor *exec = nullptr;
+};
+
 /** Immutable per-subnet execution record shared by every stage. */
 struct SubnetRun {
     Subnet subnet;
     SubnetPartition partition;
+    /** Owning job in a multi-tenant pool; null = single-tenant. */
+    const JobBinding *job = nullptr;
+    /**
+     * Global dispatch ticket: the cross-job priority the forward
+     * queues sort by. The serve scheduler assigns tickets in its
+     * deterministic admission order; single-tenant runtimes set
+     * ticket = sequence ID, so ticket order is exactly Algorithm 2's
+     * lowest-ID-first order and nothing changes for them.
+     */
+    std::uint64_t ticket = 0;
 };
 
 /** A pipeline token travelling between stage workers. */
@@ -181,6 +209,21 @@ class StageWorker
 
     void runLoop();
     void drainInbox();
+    /** @name Multi-tenant resolution (job binding, else defaults)
+     * @{ */
+    const SearchSpace &spaceOf(const SubnetRun &run) const
+    {
+        return run.job ? *run.job->space : _space;
+    }
+    CommitGate &gateOf(const SubnetRun &run) const
+    {
+        return run.job ? *run.job->gate : _gate;
+    }
+    NumericExecutor *execOf(const SubnetRun &run) const
+    {
+        return run.job ? run.job->exec : _exec;
+    }
+    /** @} */
     /** Consume a stall latch: sleep through @p ticks bounded waits. */
     void stallFor(int ticks);
     /** Index into _fwd of the lowest-ID readable forward, or -1; on

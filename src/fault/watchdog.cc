@@ -31,6 +31,9 @@ Watchdog::Watchdog(Config config,
 {
     NASPIPE_ASSERT(!_hearts.empty(), "watchdog needs >= 1 heartbeat");
     NASPIPE_ASSERT(_onIncident, "watchdog needs an incident sink");
+    NASPIPE_ASSERT(_config.pollMs >= 1,
+                   "watchdog poll cadence must be >= 1 ms, got ",
+                   _config.pollMs);
     _lastProgress = totalProgress();
     _lastProgressAt = obs::now();
     _thread = std::thread([this] { loop(); });

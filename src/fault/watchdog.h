@@ -47,7 +47,9 @@ class Watchdog
         /** Seconds without any logical progress before the run is
          *  declared hung (wallDeadline only). */
         double deadlineSeconds = 30.0;
-        /** Heartbeat scan period in milliseconds. */
+        /** Heartbeat scan period in milliseconds (>= 1; configured
+         *  via RuntimeConfig::watchdogPollMs / the CLIs'
+         *  --watchdog-interval-ms). */
         int pollMs = 2;
     };
 

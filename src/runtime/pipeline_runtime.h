@@ -120,6 +120,14 @@ struct RuntimeConfig {
     /** Wall deadline for the hang detector when wallWatchdog is on. */
     double watchdogDeadlineSeconds = 30.0;
     /**
+     * Heartbeat scan cadence of the watchdog's polling thread in
+     * milliseconds (CLI --watchdog-interval-ms). Purely a detection
+     * latency / idle-wakeup trade-off: crash detection is state-based,
+     * so the cadence never changes what is detected, only how fast —
+     * serve tests tighten it, battery-friendly runs relax it.
+     */
+    int watchdogPollMs = 2;
+    /**
      * Called by the threaded executor at the start of each recovery
      * epoch with the 1-based recovery count, before workers respawn.
      * Recovery recreates the commit gate, so per-layer chains restart

@@ -1,0 +1,149 @@
+#include "serve/pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/wall_clock.h"
+
+namespace naspipe {
+namespace serve {
+
+SharedStagePool::SharedStagePool(const SearchSpace &defaultSpace,
+                                 Config config)
+    : _defaultSpace(defaultSpace), _config(config)
+{
+    NASPIPE_ASSERT(_config.numStages >= 1,
+                   "pool needs >= 1 stage, got ", _config.numStages);
+    NASPIPE_ASSERT(_config.inboxCapacity >= 1,
+                   "pool inbox capacity must be >= 1");
+}
+
+SharedStagePool::~SharedStagePool()
+{
+    if (_started && !_joined)
+        abort();
+}
+
+void
+SharedStagePool::start()
+{
+    NASPIPE_ASSERT(!_started, "pool already started");
+    _completions = std::make_unique<
+        BoundedTaskQueue<std::shared_ptr<const SubnetRun>>>(
+        _config.inboxCapacity);
+
+    // AllResident, predictor off: job stores pre-materialize at
+    // admission and the cache/predictor layer is per-run bookkeeping
+    // that a multi-tenant queue would only muddle (it never touches
+    // numerics, so per-job weights are unaffected).
+    StageWorker::ContextConfig ctx;
+    ctx.mode = MemoryMode::AllResident;
+    ctx.predictor = false;
+
+    for (int k = 0; k < _config.numStages; k++) {
+        _workers.push_back(std::make_unique<StageWorker>(
+            k, _config.numStages, _defaultSpace, _defaultGate,
+            nullptr, UpdateSemantics::Immediate,
+            _config.inboxCapacity, ctx));
+    }
+    for (int k = 0; k < _config.numStages; k++) {
+        _workers[static_cast<std::size_t>(k)]->connect(
+            k + 1 < _config.numStages
+                ? _workers[static_cast<std::size_t>(k) + 1].get()
+                : nullptr,
+            k > 0 ? _workers[static_cast<std::size_t>(k) - 1].get()
+                  : nullptr,
+            k == 0
+                ? [this](std::shared_ptr<const SubnetRun> run) {
+                      _completions->push(std::move(run));
+                  }
+                : std::function<
+                      void(std::shared_ptr<const SubnetRun>)>());
+    }
+
+    obs::TimePoint epoch = obs::now();
+    for (auto &worker : _workers)
+        worker->start(epoch, _config.recordTrace);
+
+    // Service-level supervision: an incident here means a worker
+    // thread actually died or the whole pool hung — never a job
+    // fault (those are coordinator-logical). The sentinel lands in
+    // the completion queue, where the coordinator already blocks.
+    fault::Watchdog::Config wc;
+    wc.wallDeadline = _config.wallDeadline;
+    wc.deadlineSeconds = _config.deadlineSeconds;
+    wc.pollMs = _config.watchdogPollMs;
+    std::vector<const fault::WorkerHeartbeat *> hearts;
+    hearts.reserve(_workers.size());
+    for (const auto &worker : _workers)
+        hearts.push_back(&worker->heartbeat());
+    _watchdog = std::make_unique<fault::Watchdog>(
+        wc, std::move(hearts),
+        [this](int worker, const std::string &reason) {
+            {
+                std::lock_guard<std::mutex> lock(_incidentMu);
+                _incidentStage = worker;
+                _incidentReason = reason;
+            }
+            _completions->push(nullptr);
+        });
+    _started = true;
+}
+
+void
+SharedStagePool::dispatch(std::shared_ptr<const SubnetRun> run)
+{
+    NASPIPE_ASSERT(_started, "dispatch into a stopped pool");
+    NASPIPE_ASSERT(run && run->job,
+                   "serve pool tasks must carry a job binding");
+    _workers[0]->submit(
+        ExecTask{ExecTask::Kind::Forward, std::move(run)});
+}
+
+void
+SharedStagePool::notifyAll()
+{
+    for (auto &worker : _workers)
+        worker->notify();
+}
+
+void
+SharedStagePool::shutdown()
+{
+    if (!_started || _joined)
+        return;
+    // Watchdog first: a clean drain flips every heartbeat to Exited,
+    // which must not read as an incident.
+    _watchdog.reset();
+    for (auto &worker : _workers)
+        worker->requestStop();
+    for (auto &worker : _workers)
+        worker->join();
+    _joined = true;
+}
+
+void
+SharedStagePool::abort()
+{
+    if (!_started || _joined)
+        return;
+    _watchdog.reset();
+    for (auto &worker : _workers)
+        worker->requestAbort();
+    for (auto &worker : _workers)
+        worker->join();
+    _joined = true;
+}
+
+std::string
+SharedStagePool::incidentDescription() const
+{
+    std::lock_guard<std::mutex> lock(_incidentMu);
+    if (_incidentStage < 0)
+        return "no incident";
+    return "pool stage " + std::to_string(_incidentStage) + ": " +
+           _incidentReason;
+}
+
+} // namespace serve
+} // namespace naspipe

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SharedStagePool — one StageWorker pipeline serving every job.
+ *
+ * The pool is the multiplexed half of the serve architecture: D
+ * worker threads (one per pipeline stage), one completion queue, one
+ * watchdog — shared by all tenants. Tasks carry their job's binding,
+ * so a worker resolves the right commit gate / numeric executor per
+ * task; the workers themselves hold no job state, which is what
+ * makes a tenant's crash recovery a pure coordinator-side operation
+ * (no thread is ever torn down on a job fault).
+ *
+ * Worker context management runs AllResident with the predictor off:
+ * every job's store pre-materializes at admission, and the context
+ * cache is pure bookkeeping (never numerics), so sharing it across
+ * tenants would only entangle their metric accounting — while the
+ * per-job weights stay bitwise-identical either way.
+ *
+ * The pool watchdog supervises the *service*, not the jobs: job
+ * faults never latch a worker crash (they are job-logical events),
+ * so an incident here means a real defect or a hang — the service
+ * maps it to a service-level failure, distinct from any per-job
+ * failure.
+ */
+
+#ifndef NASPIPE_SERVE_POOL_H
+#define NASPIPE_SERVE_POOL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/stage_worker.h"
+#include "exec/task_queue.h"
+#include "fault/watchdog.h"
+
+namespace naspipe {
+namespace serve {
+
+class SharedStagePool
+{
+  public:
+    struct Config {
+        int numStages = 4;  ///< pipeline depth shared by every job
+        /** Stage-inbox and completion-queue capacity; size to at
+         *  least the admitted jobs' summed in-flight windows. */
+        std::size_t inboxCapacity = 16;
+        /** Watchdog heartbeat scan cadence (--watchdog-interval-ms). */
+        int watchdogPollMs = 2;
+        /** Opt-in wall-clock hang deadline (timing-dependent). */
+        bool wallDeadline = false;
+        double deadlineSeconds = 30.0;
+        bool recordTrace = false;
+    };
+
+    /**
+     * @param defaultSpace single-tenant fallback the worker
+     *        constructor requires; every serve task carries a job
+     *        binding, so it is never consulted (it must merely
+     *        outlive the pool)
+     */
+    SharedStagePool(const SearchSpace &defaultSpace, Config config);
+
+    ~SharedStagePool();
+
+    SharedStagePool(const SharedStagePool &) = delete;
+    SharedStagePool &operator=(const SharedStagePool &) = delete;
+
+    /** Build and start the workers and the watchdog. */
+    void start();
+
+    /** Submit a forward into stage 0 (coordinator thread). */
+    void dispatch(std::shared_ptr<const SubnetRun> run);
+
+    /** Wake every worker (job-gate commit hook). */
+    void notifyAll();
+
+    /** Fully-retired subnets (stage 0 backward done) plus the
+     *  watchdog's nullptr incident sentinel. */
+    BoundedTaskQueue<std::shared_ptr<const SubnetRun>> &
+    completions()
+    {
+        return *_completions;
+    }
+
+    /** Clean shutdown: drain-stop the workers and join. */
+    void shutdown();
+
+    /** Emergency teardown: abandon queued work and join. */
+    void abort();
+
+    /** Last watchdog incident (valid after the nullptr sentinel). */
+    std::string incidentDescription() const;
+
+    int numStages() const { return _config.numStages; }
+    bool started() const { return _started; }
+
+    /** Post-shutdown per-stage accounting. */
+    const StageWorker &worker(int stage) const
+    {
+        return *_workers[static_cast<std::size_t>(stage)];
+    }
+
+  private:
+    const SearchSpace &_defaultSpace;
+    const Config _config;
+
+    /** Single-tenant fallback gate the worker constructor requires;
+     *  never used by bound tasks. */
+    CommitGate _defaultGate;
+
+    std::vector<std::unique_ptr<StageWorker>> _workers;
+    std::unique_ptr<
+        BoundedTaskQueue<std::shared_ptr<const SubnetRun>>>
+        _completions;
+
+    // Declared after the queue: the watchdog's incident callback
+    // pushes the sentinel into it, so it must be destroyed first.
+    std::unique_ptr<fault::Watchdog> _watchdog;
+    mutable std::mutex _incidentMu;
+    int _incidentStage = -1;
+    std::string _incidentReason;
+
+    bool _started = false;
+    bool _joined = false;
+};
+
+} // namespace serve
+} // namespace naspipe
+
+#endif // NASPIPE_SERVE_POOL_H

@@ -1,0 +1,84 @@
+#include "serve/scheduler.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+namespace serve {
+
+void
+JobScheduler::addJob(int jobId, int weight)
+{
+    NASPIPE_ASSERT(weight >= 1, "WRR weight must be >= 1, got ",
+                   weight);
+    NASPIPE_ASSERT(!hasJob(jobId), "job ", jobId,
+                   " already scheduled");
+    _jobs[jobId] = Entry{weight, 0};
+}
+
+void
+JobScheduler::removeJob(int jobId)
+{
+    _jobs.erase(jobId);
+}
+
+bool
+JobScheduler::hasJob(int jobId) const
+{
+    return _jobs.count(jobId) != 0;
+}
+
+int
+JobScheduler::pickAdmit(const std::vector<int> &eligible)
+{
+    if (eligible.empty())
+        return -1;
+    // Smooth WRR over the eligible subset: grow every candidate's
+    // credit by its weight, the richest candidate wins (lowest job
+    // ID on ties — std::map iteration is ascending, and only a
+    // strictly greater credit displaces the incumbent), and the
+    // winner pays back the round's total weight. Jobs that are
+    // ineligible this round (window full, checkpoint barrier,
+    // feedback lag) neither gain nor pay — their share is simply
+    // redistributed for the round, which keeps the pick a pure
+    // function of the eligibility sequence.
+    long long total = 0;
+    int pick = -1;
+    long long best = 0;
+    for (int id : eligible) {
+        auto it = _jobs.find(id);
+        NASPIPE_ASSERT(it != _jobs.end(), "job ", id,
+                       " not registered with the scheduler");
+        it->second.credit += it->second.weight;
+        total += it->second.weight;
+        if (pick < 0 || it->second.credit > best) {
+            pick = id;
+            best = it->second.credit;
+        }
+    }
+    _jobs[pick].credit -= total;
+    return pick;
+}
+
+int
+JobScheduler::pickDrain(const std::vector<int> &eligible)
+{
+    if (eligible.empty())
+        return -1;
+    // Rotate: first eligible job strictly above the cursor, wrapping
+    // to the lowest. Re-entrant under a changing eligible set — the
+    // cursor only remembers the last pick.
+    int pick = -1;
+    for (int id : eligible) {
+        if (id > _drainCursor) {
+            pick = id;
+            break;
+        }
+    }
+    if (pick < 0)
+        pick = eligible.front();
+    _drainCursor = pick;
+    return pick;
+}
+
+} // namespace serve
+} // namespace naspipe

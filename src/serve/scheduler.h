@@ -1,0 +1,80 @@
+/**
+ * @file
+ * JobScheduler — the deterministic cross-job interleaving policy.
+ *
+ * The serve layer multiplexes N independent searches over one worker
+ * pool, and the multiplexing itself must be reproducible: given the
+ * same job specs (weights, seeds, arrival order), the sequence of
+ * scheduling decisions — which job injects the next subnet, which
+ * job's completion is applied next — must be a pure function of
+ * those inputs, never of thread timing. Per-job *weights* are
+ * already interleaving-invariant under CSP (each job has its own
+ * causal chains), so determinism here is about the service-level
+ * trajectory: status progressions, checkpoint barriers, fault
+ * trigger points and metric exports replay bit-for-bit.
+ *
+ * Two decisions, two deterministic rules:
+ *
+ *  - **Admission** uses smooth weighted round-robin: every eligible
+ *    job's credit grows by its weight, the highest credit (lowest
+ *    job ID on ties) wins the slot and pays back the sum of the
+ *    eligible weights. Over any window, job i receives slots in
+ *    proportion weight_i / sum(weights) — priorities are bandwidth
+ *    shares, not strict precedence, so no tenant starves.
+ *  - **Completion draining** rotates a cursor over the jobs that
+ *    have work in flight: the coordinator commits to applying the
+ *    chosen job's next completion (buffering others until it
+ *    arrives), so the applied-event order is schedule-chosen, not
+ *    arrival-chosen.
+ */
+
+#ifndef NASPIPE_SERVE_SCHEDULER_H
+#define NASPIPE_SERVE_SCHEDULER_H
+
+#include <map>
+#include <vector>
+
+namespace naspipe {
+namespace serve {
+
+class JobScheduler
+{
+  public:
+    /** Register a job with its WRR weight (>= 1). */
+    void addJob(int jobId, int weight);
+
+    /** Drop a finished job (its credit state is discarded). */
+    void removeJob(int jobId);
+
+    /** Whether @p jobId is currently registered. */
+    bool hasJob(int jobId) const;
+
+    /**
+     * Pick the next admission slot among @p eligible (ascending job
+     * IDs; must all be registered). Smooth WRR: deterministic, and
+     * on ties the lowest job ID wins. Returns -1 when @p eligible is
+     * empty.
+     */
+    int pickAdmit(const std::vector<int> &eligible);
+
+    /**
+     * Pick which job's completion to apply next among @p eligible
+     * (ascending job IDs). Plain rotation — completions are paced by
+     * the pipeline itself, so fairness weighting belongs to
+     * admission only. Returns -1 when @p eligible is empty.
+     */
+    int pickDrain(const std::vector<int> &eligible);
+
+  private:
+    struct Entry {
+        int weight = 1;
+        long long credit = 0;
+    };
+    std::map<int, Entry> _jobs;
+    int _drainCursor = -1;  ///< last drain pick (rotation point)
+};
+
+} // namespace serve
+} // namespace naspipe
+
+#endif // NASPIPE_SERVE_SCHEDULER_H

@@ -131,11 +131,39 @@ TrainingSession::deliverScoresBelow(SubnetId maxIdExclusive)
 int
 TrainingSession::pump()
 {
+    return pump(_config.totalSubnets);
+}
+
+bool
+TrainingSession::admissible()
+{
+    NASPIPE_ASSERT(_backend, "no execution backend attached");
+    if (_injected >= _config.totalSubnets)
+        return false;
+    if (_inflight >= _model.effectiveInflight(_numStages))
+        return false;
+    if (ckptEnabled() && _injected >= _nextCkptAt)
+        return false;
+    if (!_backend->canAdmit(_injected))
+        return false;
+    int lag = effectiveFeedbackLag();
+    if (lag > 0) {
+        deliverScoresBelow(_injected - lag + 1);
+        if (_injected - _nextScoreToReport >= lag)
+            return false;
+    }
+    return true;
+}
+
+int
+TrainingSession::pump(int maxCount)
+{
     NASPIPE_ASSERT(_backend, "no execution backend attached");
     int limit = _model.effectiveInflight(_numStages);
     int lag = effectiveFeedbackLag();
     int count = 0;
-    while (_injected < _config.totalSubnets && _inflight < limit) {
+    while (count < maxCount && _injected < _config.totalSubnets &&
+           _inflight < limit) {
         SubnetId nextId = _injected;
         // Drain the pipeline for the next checkpoint barrier: at most
         // nextCkptAt subnets are ever injected before the barrier, so

@@ -119,6 +119,26 @@ class TrainingSession
     int pump();
 
     /**
+     * As pump(), but injects at most @p maxCount subnets. The serve
+     * layer's cross-job scheduler admits one subnet per scheduling
+     * slot (pump(1)) so a weighted round-robin over jobs decides the
+     * global interleaving instead of each job greedily filling its
+     * window.
+     */
+    int pump(int maxCount);
+
+    /**
+     * Whether pump() would inject at least one subnet right now —
+     * the same gate checks (injection budget, in-flight window,
+     * checkpoint drain barrier, backend veto, feedback lag) without
+     * admitting anything. Not const: due scores are delivered to the
+     * sampler, exactly as pump() would before drawing — delivery is
+     * uniquely determined by sequence ID, so probing never perturbs
+     * the deterministic draw order.
+     */
+    bool admissible();
+
+    /**
      * Record subnet @p id's completion at absolute time @p atSeconds
      * with training loss @p loss. Updates counters, the convergence
      * tracker and the score buffer (delivering immediately when the

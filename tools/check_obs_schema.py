@@ -12,6 +12,9 @@ auto-detected from its schema tag:
   naspipe-bench/1    committed perf trajectory (BENCH_<pr>.json)
   naspipe-bench/2    as /1 plus a required `recovery` section (the
                      threaded crash→recover→bitwise-verify record)
+  naspipe-bench/3    as /2 plus a required `serve` section (the
+                     multi-tenant shared-pool record: job count,
+                     aggregate throughput, per-job bitwise gate)
 
 Exits 0 when every file validates, 1 otherwise, printing one line per
 problem. No third-party dependencies — CI runs this on a bare python3.
@@ -22,7 +25,8 @@ import sys
 
 TRACE_SCHEMA = "naspipe-trace/1"
 METRICS_SCHEMA = "naspipe-metrics/1"
-BENCH_SCHEMAS = ("naspipe-bench/1", "naspipe-bench/2")
+BENCH_SCHEMAS = ("naspipe-bench/1", "naspipe-bench/2",
+                 "naspipe-bench/3")
 
 
 def check_trace(doc, err):
@@ -75,7 +79,14 @@ def check_histogram(name, hist, err):
 def check_metrics(doc, err):
     if doc.get("schema") != METRICS_SCHEMA:
         err("schema != %s" % METRICS_SCHEMA)
-    for key in ("space", "executor", "mode", "seed", "steps", "stages"):
+    # A serve-mode export covers many jobs, so the per-run identity
+    # headers live under job/<id>/... metrics instead.
+    if doc.get("mode") == "serve":
+        headers = ("mode", "stages")
+    else:
+        headers = ("space", "executor", "mode", "seed", "steps",
+                   "stages")
+    for key in headers:
         if key not in doc:
             err("header %r missing" % key)
     metrics = doc.get("metrics")
@@ -88,6 +99,14 @@ def check_metrics(doc, err):
     for key in ("run/finished_subnets", "quality/supernet_hash"):
         if key not in metrics:
             err("required metric %r missing" % key)
+    if doc.get("mode") == "serve":
+        if metrics.get("serve/jobs", 0) < 1:
+            err("serve-mode export without serve/jobs")
+        for name in metrics:
+            if name.startswith("job/"):
+                break
+        else:
+            err("serve-mode export without job/<id>/ namespaces")
     for name, hist in doc.get("histograms", {}).items():
         check_histogram(name, hist, err)
 
@@ -108,6 +127,34 @@ def check_recovery(recovery, err):
         err("recovery: no recovery happened (crash never fired?)")
     if recovery.get("replayed", -1) < 0:
         err("recovery: negative replayed count")
+
+
+def check_serve(serve, err):
+    if not isinstance(serve, dict):
+        err("serve section missing")
+        return
+    for key in ("stages", "jobs", "wall_s", "subnets_per_s",
+                "per_job"):
+        if key not in serve:
+            err("serve.%s missing" % key)
+    if serve.get("jobs", 0) < 1:
+        err("serve: no jobs ran")
+    per_job = serve.get("per_job")
+    if not isinstance(per_job, list) or not per_job:
+        err("serve.per_job missing or empty")
+        return
+    if len(per_job) != serve.get("jobs"):
+        err("serve: jobs != len(per_job)")
+    for entry in per_job:
+        for key in ("job", "space", "seed", "steps", "hash",
+                    "bitwise_match"):
+            if key not in entry:
+                err("serve job %s: %s missing"
+                    % (entry.get("job"), key))
+        if not entry.get("bitwise_match"):
+            err("serve job %s (%s): shared-pool weights diverge "
+                "from the solo run"
+                % (entry.get("job"), entry.get("space")))
 
 
 def check_bench(doc, err):
@@ -131,8 +178,10 @@ def check_bench(doc, err):
             if not entry.get("bitwise_match"):
                 err("scaling %s workers: sim/threads hash MISMATCH"
                     % entry.get("workers"))
-    if doc.get("schema") == "naspipe-bench/2":
+    if doc.get("schema") in ("naspipe-bench/2", "naspipe-bench/3"):
         check_recovery(doc.get("recovery"), err)
+    if doc.get("schema") == "naspipe-bench/3":
+        check_serve(doc.get("serve"), err)
     stable = doc.get("stable", {})
     for key in ("supernet_hash", "final_loss",
                 "logical_makespan_ticks", "logical_span_count"):

@@ -22,7 +22,11 @@
  *     injected crash, recovers in place from the last drained
  *     checkpoint, and must land bitwise on the fault-free weights —
  *     the committed record of what a failure costs (replayed
- *     subnets, modeled downtime) and that it costs no correctness.
+ *     subnets, modeled downtime) and that it costs no correctness;
+ *   - serve: the multi-tenant search service multiplexing mixed
+ *     NLP.c1/CV.c1 jobs over one shared pool — aggregate throughput
+ *     plus the per-job bitwise gate (every tenant's weights must
+ *     equal its solo run exactly).
  *
  * Wall-clock numbers vary machine to machine; the stable section and
  * every hash/match field must not. CI runs `--smoke` on every push.
@@ -46,6 +50,7 @@
 #include "obs/logical_schedule.h"
 #include "obs/metrics_registry.h"
 #include "obs/wall_clock.h"
+#include "serve/service.h"
 #include "supernet/sampler.h"
 #include "train/numeric_executor.h"
 
@@ -53,11 +58,11 @@ namespace {
 
 using namespace naspipe;
 
-constexpr const char *kSchema = "naspipe-bench/2";
+constexpr const char *kSchema = "naspipe-bench/3";
 
 struct Options {
-    std::string outPath = "BENCH_7.json";
-    int pr = 7;
+    std::string outPath = "BENCH_8.json";
+    int pr = 8;
     int steps = 64;
     bool smoke = false;
     bool quiet = false;
@@ -77,6 +82,22 @@ struct ScalingResult {
     std::uint64_t simHash = 0;
     std::uint64_t threadHash = 0;
     bool bitwiseMatch = false;
+};
+
+struct ServeJobResult {
+    int id = 0;
+    std::string space;
+    std::uint64_t seed = 0;
+    int steps = 0;
+    std::uint64_t hash = 0;
+    bool bitwiseMatch = false;  ///< shared-pool hash == solo hash
+};
+
+struct ServeResult {
+    int stages = 0;
+    double wallSeconds = 0.0;
+    double subnetsPerSec = 0.0;  ///< aggregate across all tenants
+    std::vector<ServeJobResult> jobs;
 };
 
 struct RecoveryResult {
@@ -253,10 +274,89 @@ runRecovery(const SearchSpace &space, const Options &opt,
     return r;
 }
 
+/**
+ * Multiplex three mixed-space searches over one shared pool and gate
+ * every tenant's weights against its solo run — the committed record
+ * of multi-tenant throughput and of the per-job bitwise guarantee.
+ */
+ServeResult
+runServe(const Options &opt)
+{
+    ServeResult out;
+    out.stages = 2;
+    const int steps = std::max(4, opt.steps / 4);
+    struct Tenant {
+        const char *space;
+        std::uint64_t seed;
+    };
+    const Tenant tenants[] = {
+        {"NLP.c1", 11}, {"CV.c1", 3}, {"NLP.c1", 5}};
+
+    serve::ServiceConfig sc;
+    sc.numStages = out.stages;
+    serve::SearchService service(sc);
+    std::vector<int> ids;
+    for (const Tenant &t : tenants) {
+        serve::JobSpec spec;
+        spec.space = t.space;
+        spec.seed = t.seed;
+        spec.steps = steps;
+        std::string why;
+        int id = service.submit(spec, &why);
+        NASPIPE_ASSERT(id > 0, "bench serve submit failed: ", why);
+        ids.push_back(id);
+    }
+    service.drain();
+    obs::WallTimer timer;
+    int outcome = service.run();
+    out.wallSeconds = timer.seconds();
+    NASPIPE_ASSERT(outcome == serve::SearchService::AllDone,
+                   "bench serve run failed: ",
+                   service.serviceError());
+    out.subnetsPerSec =
+        out.wallSeconds > 0.0
+            ? static_cast<double>(steps) *
+                  static_cast<double>(ids.size()) / out.wallSeconds
+            : 0.0;
+
+    for (std::size_t i = 0; i < ids.size(); i++) {
+        const serve::ServeJob *job = service.job(ids[i]);
+        NASPIPE_ASSERT(job, "bench serve job missing");
+        SearchSpace space = makeSpaceByName(tenants[i].space);
+        RuntimeConfig solo = workloadConfig(out.stages, steps);
+        solo.seed = tenants[i].seed;
+        RunResult ref = runTrainingThreaded(space, solo);
+        NASPIPE_ASSERT(!ref.oom && !ref.failed,
+                       "bench serve solo run failed");
+        ServeJobResult r;
+        r.id = ids[i];
+        r.space = tenants[i].space;
+        r.seed = tenants[i].seed;
+        r.steps = steps;
+        r.hash = job->supernetHash();
+        r.bitwiseMatch = job->supernetHash() == ref.supernetHash;
+        out.jobs.push_back(r);
+        if (!opt.quiet) {
+            std::printf("serve  job %d (%s seed %llu): bitwise %s\n",
+                        r.id, r.space.c_str(),
+                        static_cast<unsigned long long>(r.seed),
+                        r.bitwiseMatch ? "ok" : "MISMATCH");
+        }
+    }
+    if (!opt.quiet) {
+        std::printf("serve  %zu jobs on %d stages: %.3fs "
+                    "(%.1f subnets/s aggregate)\n",
+                    out.jobs.size(), out.stages, out.wallSeconds,
+                    out.subnetsPerSec);
+    }
+    return out;
+}
+
 std::string
 renderJson(const Options &opt, const std::vector<MicroResult> &micro,
            const std::vector<ScalingResult> &scaling,
-           const RecoveryResult &recovery, const RunResult &reference,
+           const RecoveryResult &recovery, const ServeResult &serve,
+           const RunResult &reference,
            const obs::LogicalSchedule &logical)
 {
     std::ostringstream oss;
@@ -303,6 +403,26 @@ renderJson(const Options &opt, const std::vector<MicroResult> &micro,
         << formatFixed(recovery.wallOverheadSeconds, 4)
         << ",\"bitwise_match\":"
         << (recovery.bitwiseMatch ? "true" : "false") << "}";
+
+    oss << ",\"serve\":{\"stages\":" << serve.stages
+        << ",\"jobs\":" << serve.jobs.size()
+        << ",\"wall_s\":" << formatFixed(serve.wallSeconds, 4)
+        << ",\"subnets_per_s\":"
+        << formatFixed(serve.subnetsPerSec, 1) << ",\"per_job\":[";
+    for (std::size_t i = 0; i < serve.jobs.size(); i++) {
+        const ServeJobResult &r = serve.jobs[i];
+        if (i)
+            oss << ",";
+        char jobHash[32];
+        std::snprintf(jobHash, sizeof(jobHash), "%016llx",
+                      static_cast<unsigned long long>(r.hash));
+        oss << "{\"job\":" << r.id << ",\"space\":\""
+            << obs::jsonEscape(r.space) << "\",\"seed\":" << r.seed
+            << ",\"steps\":" << r.steps << ",\"hash\":\"" << jobHash
+            << "\",\"bitwise_match\":"
+            << (r.bitwiseMatch ? "true" : "false") << "}";
+    }
+    oss << "]}";
 
     // The stable section: pure functions of (seed, schedule). Two
     // harness runs on any machines must agree on every byte here.
@@ -375,9 +495,10 @@ main(int argc, char **argv)
         refConfig.system.effectiveInflight(4));
 
     RecoveryResult recovery = runRecovery(space, opt, reference);
+    ServeResult serve = runServe(opt);
 
     std::string json = renderJson(opt, micro, scaling, recovery,
-                                  reference, logical);
+                                  serve, reference, logical);
     std::ofstream out(opt.outPath);
     out << json << "\n";
     if (!out)
@@ -399,6 +520,15 @@ main(int argc, char **argv)
                      "error: crash-recovered weights diverge from "
                      "the fault-free run\n");
         return 1;
+    }
+    for (const ServeJobResult &r : serve.jobs) {
+        if (!r.bitwiseMatch) {
+            std::fprintf(stderr,
+                         "error: serve job %d (%s) diverges from its "
+                         "solo run on the shared pool\n",
+                         r.id, r.space.c_str());
+            return 1;
+        }
     }
     return 0;
 }

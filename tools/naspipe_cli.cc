@@ -89,7 +89,8 @@ usage(const char *argv0)
         "[--executor sim|threads]\n"
         "          [--verify-csp] [--inject-fault SPEC] "
         "[--ckpt-interval N]\n"
-        "          [--recovery-retries N]\n"
+        "          [--recovery-retries N] "
+        "[--watchdog-interval-ms N]\n"
         "          [--ckpt FILE.ckpt] [--resume FILE.ckpt]\n"
         "          [--trace FILE.json] [--trace-out FILE.json]\n"
         "          [--metrics-out FILE.json] [--obs-wall]\n"
@@ -174,6 +175,7 @@ main(int argc, char **argv)
     std::vector<FaultSpec> faults;
     int gpus = 8, steps = 64, batch = 0, staleness = 2;
     int hybrid = 0, ckptInterval = 0, recoveryRetries = 3;
+    int watchdogIntervalMs = 2;
     std::uint64_t seed = 7;
     bool evolution = false, quiet = false, verifyCsp = false;
     bool obsWall = false;
@@ -228,6 +230,9 @@ main(int argc, char **argv)
             ckptInterval = static_cast<int>(intValue(0, 1000000));
         else if (arg == "--recovery-retries")
             recoveryRetries = static_cast<int>(intValue(0, 1000));
+        else if (arg == "--watchdog-interval-ms")
+            watchdogIntervalMs =
+                static_cast<int>(intValue(1, 60000));
         else if (arg == "--inject-fault") {
             FaultSpec spec;
             std::string why;
@@ -293,6 +298,7 @@ main(int argc, char **argv)
     config.ckptPath = ckptPath;
     config.resumePath = resumePath;
     config.recoveryMaxRetries = recoveryRetries;
+    config.watchdogPollMs = watchdogIntervalMs;
     // Crash detection stays state-based (deterministic); the wall
     // hang deadline follows the wall-observability opt-in.
     config.wallWatchdog = obsWall;
