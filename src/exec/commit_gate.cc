@@ -9,7 +9,7 @@ namespace naspipe {
 void
 CommitGate::registerActivation(std::uint64_t layerKey, SubnetId subnet)
 {
-    std::unique_lock<std::shared_mutex> lock(_tableMu);
+    std::unique_lock<RankedSharedMutex> lock(_gateTableMu);
     LayerChain &chain = _chains[layerKey];
     NASPIPE_ASSERT(chain.activators.empty() ||
                        chain.activators.back() < subnet,
@@ -23,7 +23,7 @@ CommitGate::registerActivation(std::uint64_t layerKey, SubnetId subnet)
 const CommitGate::LayerChain *
 CommitGate::chainOf(std::uint64_t layerKey) const
 {
-    std::shared_lock<std::shared_mutex> lock(_tableMu);
+    std::shared_lock<RankedSharedMutex> lock(_gateTableMu);
     auto it = _chains.find(layerKey);
     return it == _chains.end() ? nullptr : &it->second;
 }
@@ -36,7 +36,7 @@ CommitGate::resolve(std::uint64_t layerKey, SubnetId subnet) const
     // vector under the exclusive lock at this very moment. Appends
     // only ever add *higher* sequence IDs, so the rank computed here
     // stays valid after the lock drops.
-    std::shared_lock<std::shared_mutex> lock(_tableMu);
+    std::shared_lock<RankedSharedMutex> lock(_gateTableMu);
     auto found = _chains.find(layerKey);
     NASPIPE_ASSERT(found != _chains.end(), "layer ", layerKey,
                    " has no registered activators");
@@ -95,7 +95,7 @@ CommitGate::commit(const Claim &claim, int stage)
     {
         // An empty critical section orders the notify after any
         // concurrent waiter's predicate check, so no wakeup is lost.
-        std::lock_guard<std::mutex> lock(_waitMu);
+        std::lock_guard<RankedMutex> lock(_gateWaitMu);
     }
     _waitCv.notify_all();
     if (_hook)
@@ -113,14 +113,14 @@ CommitGate::waitReadable(const Claim &claim)
 {
     if (readable(claim))
         return;
-    std::unique_lock<std::mutex> lock(_waitMu);
+    std::unique_lock<RankedMutex> lock(_gateWaitMu);
     _waitCv.wait(lock, [&] { return readable(claim); });
 }
 
 std::size_t
 CommitGate::layers() const
 {
-    std::shared_lock<std::shared_mutex> lock(_tableMu);
+    std::shared_lock<RankedSharedMutex> lock(_gateTableMu);
     return _chains.size();
 }
 

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "supernet/subnet.h"
 
 namespace naspipe {
@@ -139,15 +140,15 @@ class CommitGate
 
     const LayerChain *chainOf(std::uint64_t layerKey) const;
 
-    mutable std::shared_mutex _tableMu;
+    mutable RankedSharedMutex _gateTableMu{LockRank::ExecGateTable};
     std::unordered_map<std::uint64_t, LayerChain> _chains;
     std::function<void()> _hook;
     CommitEventHook _eventHook;
     std::atomic<std::uint64_t> _commits{0};
 
     // waitReadable() parking lot: commits broadcast here.
-    mutable std::mutex _waitMu;
-    mutable std::condition_variable _waitCv;
+    mutable RankedMutex _gateWaitMu{LockRank::ExecGateWait};
+    mutable std::condition_variable_any _waitCv;
 };
 
 } // namespace naspipe

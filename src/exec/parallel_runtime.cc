@@ -4,6 +4,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/lock_rank.h"
 #include "common/logging.h"
 #include "exec/commit_gate.h"
 #include "exec/stage_worker.h"
@@ -68,7 +69,7 @@ struct ParallelRuntime::Impl : ExecutionBackend {
     FaultInjector injector;
     fault::RecoveryPolicy policy;
     std::unique_ptr<fault::Watchdog> watchdog;
-    std::mutex incidentMu;
+    RankedMutex execIncidentMu{LockRank::ExecIncident};
     int incidentStage = -1;        ///< last incident's victim stage
     std::string incidentReason;    ///< last incident's description
     bool failStopPending = false;  ///< coordinator-only freeze flag
@@ -245,7 +246,7 @@ ParallelRuntime::Impl::startWorkers()
         wc, std::move(hearts),
         [this](int worker, const std::string &reason) {
             {
-                std::lock_guard<std::mutex> lock(incidentMu);
+                std::lock_guard<RankedMutex> lock(execIncidentMu);
                 incidentStage = worker;
                 incidentReason = reason;
             }
@@ -359,7 +360,7 @@ ParallelRuntime::Impl::recover()
     double backoff = policy.nextBackoffSeconds();
     recoverySecondsTotal += config.recoverySeconds + backoff;
     {
-        std::lock_guard<std::mutex> lock(incidentMu);
+        std::lock_guard<RankedMutex> lock(execIncidentMu);
         inform("recovering stage ", incidentStage, " (",
                incidentReason, "): rollback from ",
                session.finished(), " to ", ckpt.completed,
@@ -558,7 +559,7 @@ ParallelRuntime::run()
                 out.failed = true;
                 out.retriesExhausted = true;
                 {
-                    std::lock_guard<std::mutex> lock(im.incidentMu);
+                    std::lock_guard<RankedMutex> lock(im.execIncidentMu);
                     out.error =
                         "recovery retries exhausted after " +
                         std::to_string(

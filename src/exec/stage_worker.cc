@@ -51,7 +51,7 @@ void
 StageWorker::notify()
 {
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_signalMu);
         _signals++;
     }
     _cv.notify_one();
@@ -61,7 +61,7 @@ void
 StageWorker::requestStop()
 {
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_signalMu);
         _stop = true;
         _signals++;
     }
@@ -72,7 +72,7 @@ void
 StageWorker::requestAbort()
 {
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_signalMu);
         _stop = true;
         _abort = true;
         _signals++;
@@ -322,7 +322,7 @@ StageWorker::stallFor(int ticks)
     // bounded number of short waits. Bounded waits — not a condition
     // wait — so the stall ends even if no signal ever arrives.
     _hb.setState(fault::WorkerState::Stalled);
-    std::unique_lock<std::mutex> lock(_mu);
+    std::unique_lock<RankedMutex> lock(_signalMu);
     for (int i = 0; i < ticks && !_stop; i++)
         _cv.wait_for(lock, std::chrono::milliseconds(1));
     lock.unlock();
@@ -339,7 +339,7 @@ StageWorker::runLoop()
         bool stopping;
         bool aborting;
         {
-            std::lock_guard<std::mutex> lock(_mu);
+            std::lock_guard<RankedMutex> lock(_signalMu);
             seen = _signals;
             stopping = _stop;
             aborting = _abort;
@@ -394,7 +394,7 @@ StageWorker::runLoop()
             _stats.idleWakeups++;
         obs::TimePoint waitStart = obs::now();
         {
-            std::unique_lock<std::mutex> lock(_mu);
+            std::unique_lock<RankedMutex> lock(_signalMu);
             _cv.wait(lock,
                      [&] { return _signals != seen || _stop; });
         }

@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "exec/commit_gate.h"
 #include "exec/task_queue.h"
 #include "fault/heartbeat.h"
@@ -256,8 +257,8 @@ class StageWorker
 
     // Scheduling-loop signal: submit()/notify()/requestStop() bump
     // the counter so a wakeup arriving during a scan is never lost.
-    std::mutex _mu;
-    std::condition_variable _cv;
+    RankedMutex _signalMu{LockRank::ExecWorkerSignal};
+    std::condition_variable_any _cv;
     std::uint64_t _signals = 0;
     bool _stop = false;
     bool _abort = false;

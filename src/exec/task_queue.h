@@ -21,6 +21,8 @@
 #include <mutex>
 #include <utility>
 
+#include "common/lock_rank.h"
+
 namespace naspipe {
 
 /**
@@ -49,7 +51,7 @@ class BoundedTaskQueue
     void
     push(T item)
     {
-        std::unique_lock<std::mutex> lock(_mu);
+        std::unique_lock<RankedMutex> lock(_queueMu);
         _space.wait(lock, [this] {
             return _closed || _items.size() < _capacity;
         });
@@ -63,7 +65,7 @@ class BoundedTaskQueue
     bool
     tryPush(T item)
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_queueMu);
         if (_closed || _items.size() >= _capacity)
             return false;
         _items.push_back(std::move(item));
@@ -82,7 +84,7 @@ class BoundedTaskQueue
     close()
     {
         {
-            std::lock_guard<std::mutex> lock(_mu);
+            std::lock_guard<RankedMutex> lock(_queueMu);
             _closed = true;
         }
         _space.notify_all();
@@ -93,7 +95,7 @@ class BoundedTaskQueue
     T
     pop()
     {
-        std::unique_lock<std::mutex> lock(_mu);
+        std::unique_lock<RankedMutex> lock(_queueMu);
         _ready.wait(lock, [this] { return !_items.empty(); });
         T item = std::move(_items.front());
         _items.pop_front();
@@ -105,7 +107,7 @@ class BoundedTaskQueue
     bool
     tryPop(T &out)
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_queueMu);
         if (_items.empty())
             return false;
         out = std::move(_items.front());
@@ -122,7 +124,7 @@ class BoundedTaskQueue
     std::size_t
     drainInto(Container &out)
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_queueMu);
         std::size_t n = _items.size();
         for (auto &item : _items)
             out.push_back(std::move(item));
@@ -135,7 +137,7 @@ class BoundedTaskQueue
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_queueMu);
         return _items.size();
     }
 
@@ -145,9 +147,9 @@ class BoundedTaskQueue
 
   private:
     const std::size_t _capacity;
-    mutable std::mutex _mu;
-    std::condition_variable _ready;
-    std::condition_variable _space;
+    mutable RankedMutex _queueMu{LockRank::ExecQueue};
+    std::condition_variable_any _ready;
+    std::condition_variable_any _space;
     std::deque<T> _items;
     bool _closed = false;
 };

@@ -42,7 +42,7 @@ Watchdog::Watchdog(Config config,
 Watchdog::~Watchdog()
 {
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_watchdogMu);
         _stop = true;
     }
     _cv.notify_one();
@@ -53,7 +53,7 @@ Watchdog::~Watchdog()
 int
 Watchdog::incidents() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_watchdogMu);
     return _incidents;
 }
 
@@ -103,7 +103,7 @@ Watchdog::detect(int *worker, std::string *reason)
 void
 Watchdog::loop()
 {
-    std::unique_lock<std::mutex> lock(_mu);
+    std::unique_lock<RankedMutex> lock(_watchdogMu);
     while (!_stop) {
         _cv.wait_for(lock,
                      std::chrono::milliseconds(_config.pollMs));

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "fault/heartbeat.h"
 #include "obs/wall_clock.h"
 
@@ -85,8 +86,8 @@ class Watchdog
     const std::vector<const WorkerHeartbeat *> _hearts;
     const IncidentFn _onIncident;
 
-    mutable std::mutex _mu;
-    std::condition_variable _cv;
+    mutable RankedMutex _watchdogMu{LockRank::FaultWatchdog};
+    std::condition_variable_any _cv;
     bool _stop = false;
     bool _fired = false;
     int _incidents = 0;

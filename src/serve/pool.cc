@@ -81,7 +81,7 @@ SharedStagePool::start()
         wc, std::move(hearts),
         [this](int worker, const std::string &reason) {
             {
-                std::lock_guard<std::mutex> lock(_incidentMu);
+                std::lock_guard<RankedMutex> lock(_poolIncidentMu);
                 _incidentStage = worker;
                 _incidentReason = reason;
             }
@@ -138,7 +138,7 @@ SharedStagePool::abort()
 std::string
 SharedStagePool::incidentDescription() const
 {
-    std::lock_guard<std::mutex> lock(_incidentMu);
+    std::lock_guard<RankedMutex> lock(_poolIncidentMu);
     if (_incidentStage < 0)
         return "no incident";
     return "pool stage " + std::to_string(_incidentStage) + ": " +

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "exec/stage_worker.h"
 #include "exec/task_queue.h"
 #include "fault/watchdog.h"
@@ -117,7 +118,7 @@ class SharedStagePool
     // Declared after the queue: the watchdog's incident callback
     // pushes the sentinel into it, so it must be destroyed first.
     std::unique_ptr<fault::Watchdog> _watchdog;
-    mutable std::mutex _incidentMu;
+    mutable RankedMutex _poolIncidentMu{LockRank::ServePoolIncident};
     int _incidentStage = -1;
     std::string _incidentReason;
 

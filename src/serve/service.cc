@@ -22,7 +22,7 @@ SearchService::submit(const JobSpec &spec, std::string *why)
 {
     if (!validateJobSpec(spec, why))
         return -1;
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_clientMu);
     if (_draining) {
         if (why)
             *why = "service is draining; submissions closed";
@@ -52,7 +52,7 @@ SearchService::submitBatch(const std::vector<JobSpec> &specs,
         }
     }
     std::vector<int> ids;
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_clientMu);
     if (_draining) {
         if (why)
             *why = "service is draining; submissions closed";
@@ -73,7 +73,7 @@ SearchService::submitBatch(const std::vector<JobSpec> &specs,
 bool
 SearchService::cancel(int jobId)
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_clientMu);
     if (jobId < 1 || jobId >= _nextJobId)
         return false;
     _pendingCancels.push_back(jobId);
@@ -83,14 +83,14 @@ SearchService::cancel(int jobId)
 void
 SearchService::drain()
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_clientMu);
     _draining = true;
 }
 
 std::vector<JobStatus>
 SearchService::status() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_clientMu);
     return _statusSnap;
 }
 
@@ -139,7 +139,7 @@ SearchService::applyControl()
     std::vector<std::pair<int, JobSpec>> specs;
     std::vector<int> cancels;
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_clientMu);
         specs.swap(_pendingSpecs);
         cancels.swap(_pendingCancels);
     }
@@ -329,7 +329,7 @@ SearchService::updateStatus()
         s.error = job.error();
         snap.push_back(std::move(s));
     }
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_clientMu);
     _statusSnap = std::move(snap);
 }
 
@@ -370,7 +370,7 @@ SearchService::run()
         updateStatus();
 
         if (allTerminal()) {
-            std::lock_guard<std::mutex> lock(_mu);
+            std::lock_guard<RankedMutex> lock(_clientMu);
             if (_pendingSpecs.empty() && _pendingCancels.empty())
                 break;
             continue;
@@ -418,7 +418,7 @@ SearchService::run()
             // No admissions possible and nothing in flight, yet a
             // job is non-terminal: only control traffic (a submit or
             // cancel racing in) can unblock this.
-            std::lock_guard<std::mutex> lock(_mu);
+            std::lock_guard<RankedMutex> lock(_clientMu);
             NASPIPE_ASSERT(!_pendingSpecs.empty() ||
                                !_pendingCancels.empty(),
                            "serve coordinator wedged: live jobs but "

@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "obs/metrics_registry.h"
 #include "serve/job.h"
 #include "serve/pool.h"
@@ -187,7 +188,7 @@ class SearchService
     double _wallSeconds = 0.0;  ///< total at run() exit
 
     // Client-facing state (any thread).
-    mutable std::mutex _mu;
+    mutable RankedMutex _clientMu{LockRank::ServeClient};
     int _nextJobId = 1;
     bool _draining = false;
     std::vector<std::pair<int, JobSpec>> _pendingSpecs;

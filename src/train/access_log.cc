@@ -31,7 +31,7 @@ AccessLog::record(const LayerId &layer, SubnetId subnet,
 {
     if (!_enabled)
         return;
-    std::lock_guard<std::mutex> lock(_recordMu);
+    std::lock_guard<RankedMutex> lock(_recordMu);
     _history[layer.key()].push_back(
         AccessRecord{_nextOrder++, subnet, kind, stage});
 }

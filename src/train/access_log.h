@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "supernet/layer.h"
 #include "supernet/subnet.h"
 
@@ -110,7 +111,7 @@ class AccessLog
     /// threaded executor); everything else is single-threaded —
     /// queries and (de)serialization happen before the run or after
     /// the workers are joined.
-    std::mutex _recordMu;
+    RankedMutex _recordMu{LockRank::TrainAccessLog};
     std::uint64_t _nextOrder = 0;
     std::map<std::uint64_t, std::vector<AccessRecord>> _history;
 };

@@ -99,14 +99,14 @@ NumericExecutor::beginSubnet(const Subnet &subnet)
     ctx.act[0] = makeDigest(subnet.id(), "input", 0);
     ctx.target = teacherTarget(ctx.act[0], _config.dataSeed);
     ctx.bwdProgress = subnet.size() - 1;
-    std::unique_lock<std::shared_mutex> lock(_ctxMu);
+    std::unique_lock<RankedSharedMutex> lock(_ctxMu);
     _contexts.emplace(subnet.id(), std::move(ctx));
 }
 
 NumericExecutor::SubnetContext &
 NumericExecutor::context(SubnetId id)
 {
-    std::shared_lock<std::shared_mutex> lock(_ctxMu);
+    std::shared_lock<RankedSharedMutex> lock(_ctxMu);
     auto it = _contexts.find(id);
     NASPIPE_ASSERT(it != _contexts.end(), "SN", id, " not in flight");
     return it->second;
@@ -234,7 +234,7 @@ NumericExecutor::backwardStage(const Subnet &subnet, int lo, int hi,
 float
 NumericExecutor::finishSubnet(const Subnet &subnet)
 {
-    std::unique_lock<std::shared_mutex> lock(_ctxMu);
+    std::unique_lock<RankedSharedMutex> lock(_ctxMu);
     auto it = _contexts.find(subnet.id());
     NASPIPE_ASSERT(it != _contexts.end(), "SN", subnet.id(),
                    " not in flight");

@@ -31,6 +31,7 @@
 #include <shared_mutex>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "tensor/sgd.h"
 #include "train/param_store.h"
 
@@ -144,14 +145,14 @@ class NumericExecutor
     /** Number of subnets currently in flight. */
     std::size_t inflight() const
     {
-        std::shared_lock<std::shared_mutex> lock(_ctxMu);
+        std::shared_lock<RankedSharedMutex> lock(_ctxMu);
         return _contexts.size();
     }
 
     /** Whether @p id currently has an in-flight context. */
     bool inflightSubnet(SubnetId id) const
     {
-        std::shared_lock<std::shared_mutex> lock(_ctxMu);
+        std::shared_lock<RankedSharedMutex> lock(_ctxMu);
         return _contexts.count(id) != 0;
     }
 
@@ -186,7 +187,7 @@ class NumericExecutor
     /// body needs no lock: the pipeline token moves a subnet between
     /// stages one at a time, and the inbox hand-off orders the
     /// accesses.
-    mutable std::shared_mutex _ctxMu;
+    mutable RankedSharedMutex _ctxMu{LockRank::TrainContext};
     std::map<SubnetId, SubnetContext> _contexts;
     std::vector<float> _lossHistory;
 };

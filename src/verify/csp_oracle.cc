@@ -103,7 +103,7 @@ CspViolation::describe() const
 void
 CspOracle::addViolation(CspViolation violation)
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     _violations.push_back(std::move(violation));
 }
 
@@ -124,7 +124,7 @@ CspOracle::auditLayer(const LayerId &layer,
     std::uint64_t lastWriteOrder = 0;
     std::size_t before;
     {
-        std::lock_guard<std::mutex> lock(_mu);
+        std::lock_guard<RankedMutex> lock(_oracleMu);
         before = _violations.size();
     }
 
@@ -188,7 +188,7 @@ CspOracle::auditLayer(const LayerId &layer,
         }
     }
 
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     _auditedLayers++;
     _auditedRecords += history.size();
     return _violations.size() == before;
@@ -207,7 +207,7 @@ void
 CspOracle::observeCommit(std::uint64_t layerKey, SubnetId subnet,
                          std::size_t rank, int stage)
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     _observedCommits++;
     ChainCursor &cursor = _chains[layerKey];
     if (rank != cursor.nextRank || subnet <= cursor.lastSubnet) {
@@ -237,14 +237,14 @@ CspOracle::attach(CommitGate &gate)
 bool
 CspOracle::ok() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     return _violations.empty();
 }
 
 std::vector<CspViolation>
 CspOracle::violations() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     return _violations;
 }
 
@@ -264,14 +264,14 @@ CspOracle::report() const
 std::uint64_t
 CspOracle::observedCommits() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     return _observedCommits;
 }
 
 void
 CspOracle::clear()
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     _violations.clear();
     _chains.clear();
     _auditedLayers = 0;
@@ -282,7 +282,7 @@ CspOracle::clear()
 void
 CspOracle::resetLiveChains()
 {
-    std::lock_guard<std::mutex> lock(_mu);
+    std::lock_guard<RankedMutex> lock(_oracleMu);
     _chains.clear();
 }
 

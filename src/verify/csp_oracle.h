@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "supernet/layer.h"
 #include "train/access_log.h"
 
@@ -148,7 +149,7 @@ class CspOracle
         SubnetId lastSubnet = -1;
     };
 
-    mutable std::mutex _mu;
+    mutable RankedMutex _oracleMu{LockRank::VerifyOracle};
     std::vector<CspViolation> _violations;
     std::map<std::uint64_t, ChainCursor> _chains;
     std::size_t _auditedLayers = 0;

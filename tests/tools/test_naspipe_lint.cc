@@ -18,6 +18,7 @@
 #include "lint_rules.h"
 
 using namespace naspipe::lint;
+namespace analysis = naspipe::analysis;
 
 namespace {
 
@@ -40,8 +41,11 @@ TEST(LintRules, TableListsEveryRule)
     EXPECT_EQ(names,
               (std::vector<std::string>{
                   "unordered-iteration", "raw-random",
-                  "pointer-key-container", "relaxed-memory-order",
-                  "det-suppression", "wall-clock"}));
+                  "pointer-key-container", "det-suppression",
+                  "wall-clock", "relaxed-memory-order", "raw-mutex",
+                  "lock-rank-order", "lock-cycle",
+                  "blocking-under-lock", "unknown-lock-rank",
+                  "ambiguous-lock-name"}));
 }
 
 TEST(LintRules, WallClockFiresOutsideObs)
@@ -155,12 +159,19 @@ TEST(LintRules, PointerKeyContainerFires)
                     .empty());
 }
 
-TEST(LintRules, RelaxedMemoryOrderFiresOnlyUnderExec)
+TEST(LintRules, RelaxedMemoryOrderFiresRepoWideUnderSrc)
 {
+    // Originally restricted to src/exec/; the atomics pass now holds
+    // every subsystem to the same reviewed-ordering bar.
     std::string src = "n.load(std::memory_order_relaxed);\n";
     EXPECT_EQ(rulesOf(scanSource("src/exec/gate.cc", src)),
               std::vector<std::string>{"relaxed-memory-order"});
-    EXPECT_TRUE(scanSource("src/common/stats.cc", src).empty());
+    EXPECT_EQ(rulesOf(scanSource("src/common/stats.cc", src)),
+              std::vector<std::string>{"relaxed-memory-order"});
+    EXPECT_EQ(rulesOf(scanSource("src/serve/pool.cc", src)),
+              std::vector<std::string>{"relaxed-memory-order"});
+    // Non-src trees (tools, tests) stay out of scope.
+    EXPECT_TRUE(scanSource("tools/naspipe_bench.cc", src).empty());
 }
 
 TEST(LintRules, DetSuppressionFiresEvenInComments)
@@ -218,7 +229,7 @@ TEST(LintRules, BaselineKeyIgnoresLineNumbers)
     Finding shifted =
         scanSource("src/a.cc", "\n\n\n" + hazard).front();
     EXPECT_NE(atTop.line, shifted.line);
-    EXPECT_EQ(baselineKey(atTop), baselineKey(shifted));
+    EXPECT_EQ(analysis::baselineKey(atTop), analysis::baselineKey(shifted));
 }
 
 TEST(LintRules, ApplyBaselineCountsOnlyFreshFindings)
@@ -226,8 +237,8 @@ TEST(LintRules, ApplyBaselineCountsOnlyFreshFindings)
     std::vector<Finding> findings =
         scanSource("src/a.cc", "int x = rand();\nsrand(9);\n");
     ASSERT_EQ(findings.size(), 2u);
-    std::set<std::string> baseline{baselineKey(findings[0])};
-    EXPECT_EQ(applyBaseline(findings, baseline), 1u);
+    std::set<std::string> baseline{analysis::baselineKey(findings[0])};
+    EXPECT_EQ(analysis::applyBaseline(findings, baseline), 1u);
     EXPECT_TRUE(findings[0].baselined);
     EXPECT_FALSE(findings[1].baselined);
 }
@@ -236,9 +247,9 @@ TEST(LintRules, RenderedBaselineRoundTrips)
 {
     std::vector<Finding> findings =
         scanSource("src/a.cc", "int x = rand();\n");
-    std::string rendered = renderBaseline(findings);
+    std::string rendered = analysis::renderBaseline(findings);
     // Comments and the finding key survive a parse of the rendering.
-    EXPECT_NE(rendered.find(baselineKey(findings[0])),
+    EXPECT_NE(rendered.find(analysis::baselineKey(findings[0])),
               std::string::npos);
 }
 

@@ -1,0 +1,49 @@
+#include "analysis/atomics_pass.h"
+
+namespace naspipe {
+namespace analysis {
+
+namespace {
+
+constexpr const char *kRelaxedMemoryOrder = "relaxed-memory-order";
+
+} // namespace
+
+const std::vector<RuleInfo> &
+atomicsRuleTable()
+{
+    static const std::vector<RuleInfo> kTable = {
+        {kRelaxedMemoryOrder,
+         "std::memory_order_relaxed inside src/ — the reproducibility "
+         "proof depends on acquire/release edges; every relaxed "
+         "atomic needs an explicit reasoned allow() stating why its "
+         "ordering cannot leak into committed state"},
+    };
+    return kTable;
+}
+
+std::vector<Finding>
+runAtomicsPass(const SourceFile &file)
+{
+    std::vector<Finding> findings;
+    if (!pathContains(file.path, "src/"))
+        return findings;
+    const SourceLines &lines = file.lines;
+    for (std::size_t i = 0; i < lines.code.size(); i++) {
+        if (lines.code[i].find("memory_order_relaxed") ==
+            std::string::npos)
+            continue;
+        if (suppressed(lines, i, kRelaxedMemoryOrder))
+            continue;
+        Finding f;
+        f.file = file.path;
+        f.line = static_cast<int>(i) + 1;
+        f.rule = kRelaxedMemoryOrder;
+        f.excerpt = trim(lines.raw[i]);
+        findings.push_back(std::move(f));
+    }
+    return findings;
+}
+
+} // namespace analysis
+} // namespace naspipe

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Atomics pass: reviewed memory orderings across all of src/.
+ *
+ * The threaded executor's reproducibility proof rests on
+ * acquire/release edges (CommitGate commits publish parameter bytes
+ * to the next reader). A relaxed atomic is not wrong per se — a
+ * counter nobody sequences against is fine — but each one must be
+ * reviewed: the rule fires on every `memory_order_relaxed` under
+ * src/ and is silenced only by a reasoned per-site
+ * `naspipe-lint: allow(relaxed-memory-order)` annotation stating why
+ * the ordering cannot leak into committed state. This generalizes
+ * the original rule, which was restricted to src/exec/ — the serve,
+ * fault and train layers carry atomics on exactly the same proof.
+ */
+
+#ifndef NASPIPE_TOOLS_ANALYSIS_ATOMICS_PASS_H
+#define NASPIPE_TOOLS_ANALYSIS_ATOMICS_PASS_H
+
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/source_model.h"
+
+namespace naspipe {
+namespace analysis {
+
+/** The atomics-pass rule table. */
+const std::vector<RuleInfo> &atomicsRuleTable();
+
+/** Run the atomics pass over @p file. */
+std::vector<Finding> runAtomicsPass(const SourceFile &file);
+
+} // namespace analysis
+} // namespace naspipe
+
+#endif // NASPIPE_TOOLS_ANALYSIS_ATOMICS_PASS_H

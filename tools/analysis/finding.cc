@@ -1,0 +1,84 @@
+#include "analysis/finding.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/source_model.h"
+
+namespace naspipe {
+namespace analysis {
+
+std::string
+Finding::describe() const
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": [" << rule << "] " << excerpt;
+    if (baselined)
+        oss << "  (baselined)";
+    return oss.str();
+}
+
+std::string
+baselineKey(const Finding &finding)
+{
+    return finding.rule + "|" + finding.file + "|" + finding.excerpt;
+}
+
+bool
+loadBaseline(const std::string &path, std::set<std::string> &out,
+             std::string *error)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::exists(path, ec))
+        return true;  // no baseline: everything is a new finding
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open baseline " + path;
+        return false;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        out.insert(line);
+    }
+    return true;
+}
+
+std::string
+renderBaseline(const std::vector<Finding> &findings)
+{
+    std::set<std::string> keys;
+    for (const Finding &f : findings)
+        keys.insert(baselineKey(f));
+    std::ostringstream oss;
+    oss << "# naspipe_lint baseline — pre-existing findings only.\n"
+        << "# Regenerate with: naspipe_lint --write-baseline FILE "
+           "PATH...\n"
+        << "# New findings must be fixed or carry a reasoned\n"
+        << "# `naspipe-lint: allow(rule)` comment, never added "
+           "here.\n";
+    for (const std::string &key : keys)
+        oss << key << "\n";
+    return oss.str();
+}
+
+std::size_t
+applyBaseline(std::vector<Finding> &findings,
+              const std::set<std::string> &baseline)
+{
+    std::size_t fresh = 0;
+    for (Finding &f : findings) {
+        f.baselined = baseline.count(baselineKey(f)) != 0;
+        if (!f.baselined)
+            fresh++;
+    }
+    return fresh;
+}
+
+} // namespace analysis
+} // namespace naspipe

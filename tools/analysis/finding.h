@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Findings and the baseline gate, shared by every analysis pass.
+ *
+ * A finding's baseline key deliberately excludes the line number so
+ * unrelated edits above a baselined finding do not resurrect it; it
+ * is keyed on (rule, file, excerpt) instead. The checked-in baseline
+ * only ever holds pre-existing findings — the `lint` build target
+ * fails on anything new, and new code earns a pass either by fixing
+ * the hazard or by a reasoned `naspipe-lint: allow(rule)` comment.
+ */
+
+#ifndef NASPIPE_TOOLS_ANALYSIS_FINDING_H
+#define NASPIPE_TOOLS_ANALYSIS_FINDING_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+namespace analysis {
+
+/** One rule of a pass's table (name is the allow()/baseline handle). */
+struct RuleInfo {
+    std::string name;
+    std::string description;
+};
+
+/** One hazard hit. */
+struct Finding {
+    std::string file;     ///< path as scanned (forward slashes)
+    int line = 0;         ///< 1-based line number
+    std::string rule;     ///< rule name
+    std::string excerpt;  ///< trimmed offending source line
+    bool baselined = false;  ///< present in the baseline file
+
+    /** "file:line: [rule] excerpt" rendering. */
+    std::string describe() const;
+};
+
+/** Stable baseline key of a finding (line numbers excluded). */
+std::string baselineKey(const Finding &finding);
+
+/**
+ * Load a baseline file (one key per line, '#' comments). A missing
+ * file is an empty baseline, not an error; a present-but-unreadable
+ * file fails.
+ */
+bool loadBaseline(const std::string &path, std::set<std::string> &out,
+                  std::string *error);
+
+/** Render findings as baseline file content. */
+std::string renderBaseline(const std::vector<Finding> &findings);
+
+/**
+ * Mark findings whose key appears in @p baseline; returns the number
+ * of findings that remain un-baselined (the build-failing count).
+ */
+std::size_t applyBaseline(std::vector<Finding> &findings,
+                          const std::set<std::string> &baseline);
+
+} // namespace analysis
+} // namespace naspipe
+
+#endif // NASPIPE_TOOLS_ANALYSIS_FINDING_H

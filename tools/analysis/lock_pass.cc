@@ -1,0 +1,464 @@
+#include "analysis/lock_pass.h"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace naspipe {
+namespace analysis {
+
+namespace {
+
+constexpr const char *kLockRankOrder = "lock-rank-order";
+constexpr const char *kLockCycle = "lock-cycle";
+constexpr const char *kBlockingUnderLock = "blocking-under-lock";
+constexpr const char *kRawMutex = "raw-mutex";
+constexpr const char *kUnknownLockRank = "unknown-lock-rank";
+constexpr const char *kAmbiguousLockName = "ambiguous-lock-name";
+
+/** One `RankedMutex name{LockRank::Rank}` declaration site. */
+struct LockDecl {
+    std::string var;
+    std::string rank;
+    const SourceFile *file = nullptr;
+    std::size_t lineIdx = 0;
+};
+
+/** One guard active in the current scope of a file walk. */
+struct ActiveGuard {
+    std::string guardVar;  ///< guard object name ("lock")
+    std::string lockVar;   ///< ranked mutex it holds ("_queueMu")
+    std::string rank;
+    int level = 0;
+    std::string kind;  ///< lock_guard | unique_lock | ...
+    int declDepth = 0;
+    bool engaged = true;  ///< false between .unlock() and .lock()
+};
+
+/** One observed nested acquisition: held rank → acquired rank. */
+struct RankEdge {
+    const SourceFile *file = nullptr;
+    std::size_t lineIdx = 0;
+};
+
+Finding
+makeFinding(const SourceFile &file, std::size_t lineIdx,
+            const char *rule)
+{
+    Finding f;
+    f.file = file.path;
+    f.line = static_cast<int>(lineIdx) + 1;
+    f.rule = rule;
+    f.excerpt = trim(file.lines.raw[lineIdx]);
+    return f;
+}
+
+/** Last identifier of an expression ("im.execIncidentMu" → the
+ *  member), or "" — the name the declaration table is keyed on. */
+std::string
+lastIdentifier(const std::string &expr)
+{
+    static const std::regex ident(R"([A-Za-z_]\w*)");
+    std::string last;
+    auto begin = std::sregex_iterator(expr.begin(), expr.end(), ident);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+        last = it->str();
+    return last;
+}
+
+/** Split a guard-constructor argument list on top-level commas. */
+std::vector<std::string>
+splitArgs(const std::string &args)
+{
+    std::vector<std::string> out;
+    int depth = 0;
+    std::string current;
+    for (char c : args) {
+        if (c == '(' || c == '<' || c == '{' || c == '[')
+            depth++;
+        else if (c == ')' || c == '>' || c == '}' || c == ']')
+            depth--;
+        if (c == ',' && depth == 0) {
+            out.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!trim(current).empty())
+        out.push_back(current);
+    return out;
+}
+
+/** Whether any guard in @p guards is engaged. */
+bool
+anyEngaged(const std::vector<ActiveGuard> &guards)
+{
+    for (const ActiveGuard &g : guards)
+        if (g.engaged)
+            return true;
+    return false;
+}
+
+int
+engagedCount(const std::vector<ActiveGuard> &guards)
+{
+    int n = 0;
+    for (const ActiveGuard &g : guards)
+        if (g.engaged)
+            n++;
+    return n;
+}
+
+} // namespace
+
+LockRegistry
+LockRegistry::parse(const SourceFile &lockRankHeader)
+{
+    LockRegistry registry;
+    static const std::regex entry(R"(^\s*(\w+)\s*=\s*(\d+)\s*,?)");
+    bool inEnum = false;
+    for (std::size_t i = 0; i < lockRankHeader.lines.code.size();
+         i++) {
+        const std::string &code = lockRankHeader.lines.code[i];
+        if (!inEnum) {
+            if (code.find("enum class LockRank") != std::string::npos)
+                inEnum = true;
+            continue;
+        }
+        if (code.find("};") != std::string::npos)
+            break;
+        std::smatch m;
+        if (std::regex_search(code, m, entry))
+            registry._levels[m[1].str()] = std::stoi(m[2].str());
+    }
+    return registry;
+}
+
+int
+LockRegistry::levelOf(const std::string &rank) const
+{
+    auto it = _levels.find(rank);
+    return it == _levels.end() ? -1 : it->second;
+}
+
+std::vector<std::string>
+LockRegistry::ranksByLevel() const
+{
+    std::vector<std::pair<int, std::string>> byLevel;
+    for (const auto &entry : _levels)
+        byLevel.emplace_back(entry.second, entry.first);
+    std::sort(byLevel.begin(), byLevel.end());
+    std::vector<std::string> out;
+    for (const auto &entry : byLevel)
+        out.push_back(entry.second);
+    return out;
+}
+
+const std::vector<RuleInfo> &
+lockRuleTable()
+{
+    static const std::vector<RuleInfo> kTable = {
+        {kRawMutex,
+         "raw std::mutex/std::shared_mutex/std::condition_variable "
+         "declared in src/ outside common/lock_rank — unranked locks "
+         "are invisible to the lock-order analyzer and the runtime "
+         "witness; declare a RankedMutex with a LockRank instead "
+         "(condition variables pair with it via "
+         "condition_variable_any)"},
+        {kLockRankOrder,
+         "acquiring a RankedMutex whose rank is <= a rank already "
+         "held in the same scope — the declared partial order "
+         "(src/common/lock_rank.h) requires strictly ascending "
+         "acquisition; this ordering can deadlock against a thread "
+         "acquiring the same pair in rank order"},
+        {kLockCycle,
+         "cycle in the whole-repo lock-order graph built from every "
+         "observed nested acquisition — some interleaving of these "
+         "sites can deadlock even though each site looks locally "
+         "consistent"},
+        {kBlockingUnderLock,
+         "blocking call (queue push/pop, condition wait, thread "
+         "join, gate waitReadable) while holding a ranked lock — the "
+         "blocked thread holds its rank across an unbounded wait, "
+         "wedging every thread that needs it; release the guard "
+         "first (a condition wait on the caller's own sole "
+         "unique_lock is the one sanctioned pattern)"},
+        {kUnknownLockRank,
+         "RankedMutex declared with a rank that is not in the "
+         "LockRank enum — the registry in src/common/lock_rank.h is "
+         "the single source of truth for the partial order"},
+        {kAmbiguousLockName,
+         "one mutex variable name declared under two different ranks "
+         "— acquisition sites resolve ranks by name, so names must "
+         "be unique per rank repo-wide (rename one of them)"},
+    };
+    return kTable;
+}
+
+std::vector<Finding>
+runRawMutexRule(const SourceFile &file)
+{
+    std::vector<Finding> findings;
+    if (!pathContains(file.path, "src/"))
+        return findings;
+    // The wrapper itself legitimately owns the only raw primitives.
+    if (pathContains(file.path, "common/lock_rank."))
+        return findings;
+    // Declarations only: `std::mutex name` / `std::condition_variable
+    // name`. Template arguments (`lock_guard<std::mutex>`) and
+    // `condition_variable_any` do not match.
+    static const std::regex decl(
+        R"(std\s*::\s*(?:recursive_|timed_|recursive_timed_|shared_)?)"
+        R"(mutex\s+\w+|std\s*::\s*condition_variable\s+\w+)");
+    const SourceLines &lines = file.lines;
+    for (std::size_t i = 0; i < lines.code.size(); i++) {
+        if (!std::regex_search(lines.code[i], decl))
+            continue;
+        if (suppressed(lines, i, kRawMutex))
+            continue;
+        findings.push_back(makeFinding(file, i, kRawMutex));
+    }
+    return findings;
+}
+
+std::vector<Finding>
+runLockPass(const LockRegistry &registry,
+            const std::vector<SourceFile> &files)
+{
+    std::vector<Finding> findings;
+    auto addUnlessSuppressed = [&](const SourceFile &file,
+                                   std::size_t lineIdx,
+                                   const char *rule) {
+        if (!suppressed(file.lines, lineIdx, rule))
+            findings.push_back(makeFinding(file, lineIdx, rule));
+    };
+
+    // ---- Stage 2: repo-wide declaration table -------------------
+    static const std::regex declPattern(
+        R"(\bRanked(?:Shared)?Mutex\s+(\w+)\s*[({]\s*)"
+        R"(LockRank\s*::\s*(\w+))");
+    std::map<std::string, LockDecl> decls;  // var name → first decl
+    for (const SourceFile &file : files) {
+        for (std::size_t i = 0; i < file.lines.code.size(); i++) {
+            const std::string &code = file.lines.code[i];
+            auto begin = std::sregex_iterator(code.begin(),
+                                              code.end(),
+                                              declPattern);
+            for (auto it = begin; it != std::sregex_iterator();
+                 ++it) {
+                LockDecl decl;
+                decl.var = (*it)[1].str();
+                decl.rank = (*it)[2].str();
+                decl.file = &file;
+                decl.lineIdx = i;
+                if (registry.levelOf(decl.rank) < 0)
+                    addUnlessSuppressed(file, i, kUnknownLockRank);
+                auto found = decls.find(decl.var);
+                if (found == decls.end()) {
+                    decls.emplace(decl.var, decl);
+                } else if (found->second.rank != decl.rank) {
+                    addUnlessSuppressed(file, i,
+                                        kAmbiguousLockName);
+                }
+            }
+        }
+    }
+
+    // ---- Stage 3: per-file acquisition walk ---------------------
+    static const std::regex guardPattern(
+        R"(std\s*::\s*(lock_guard|unique_lock|scoped_lock|)"
+        R"(shared_lock)\s*(?:<[^;>]*>)?\s+(\w+)\s*[({]([^;]*)[)}])");
+    static const std::regex unlockPattern(
+        R"(\b(\w+)\s*\.\s*unlock(?:_shared)?\s*\(\s*\))");
+    static const std::regex relockPattern(
+        R"(\b(\w+)\s*\.\s*lock(?:_shared)?\s*\(\s*\))");
+    static const std::regex blockingPattern(
+        R"(\.\s*(wait_until|wait_for|wait|join|pop|push)\s*\()"
+        R"(|\bwaitReadable\s*\()");
+
+    // Accumulated rank-order graph: (held level, acquired level) →
+    // one representative site.
+    std::map<std::pair<int, int>, RankEdge> edges;
+    std::map<int, std::string> levelNames;
+
+    for (const SourceFile &file : files) {
+        std::vector<ActiveGuard> guards;
+        int depth = 0;
+        for (std::size_t i = 0; i < file.lines.code.size(); i++) {
+            const std::string &code = file.lines.code[i];
+
+            // Explicit unlock/relock on an existing guard object.
+            for (std::sregex_iterator it(code.begin(), code.end(),
+                                         unlockPattern), end;
+                 it != end; ++it) {
+                const std::string var = (*it)[1].str();
+                for (ActiveGuard &g : guards)
+                    if (g.guardVar == var)
+                        g.engaged = false;
+            }
+            for (std::sregex_iterator it(code.begin(), code.end(),
+                                         relockPattern), end;
+                 it != end; ++it) {
+                const std::string var = (*it)[1].str();
+                for (ActiveGuard &g : guards) {
+                    if (g.guardVar != var || g.engaged)
+                        continue;
+                    for (const ActiveGuard &held : guards) {
+                        if (!held.engaged ||
+                            held.guardVar == g.guardVar)
+                            continue;
+                        if (held.level >= g.level)
+                            addUnlessSuppressed(file, i,
+                                                kLockRankOrder);
+                    }
+                    g.engaged = true;
+                }
+            }
+
+            // Blocking calls while a guard is engaged.
+            std::smatch blocking;
+            if (anyEngaged(guards) &&
+                std::regex_search(code, blocking, blockingPattern)) {
+                const std::string op = blocking[1].matched
+                                           ? blocking[1].str()
+                                           : "waitReadable";
+                bool sanctioned = false;
+                if (op == "wait" || op == "wait_for" ||
+                    op == "wait_until") {
+                    // cv.wait(lock, ...) on the caller's own sole
+                    // unique_lock/shared_lock is the normal pattern:
+                    // the wait releases that lock while sleeping.
+                    std::size_t argsFrom =
+                        static_cast<std::size_t>(blocking.position()) +
+                        blocking.length();
+                    std::string firstArg = code.substr(argsFrom);
+                    std::size_t comma = firstArg.find(',');
+                    std::size_t close = firstArg.find(')');
+                    firstArg = firstArg.substr(
+                        0, std::min(comma, close));
+                    const std::string waitedOn =
+                        lastIdentifier(firstArg);
+                    for (const ActiveGuard &g : guards) {
+                        if (g.engaged && g.guardVar == waitedOn &&
+                            (g.kind == "unique_lock" ||
+                             g.kind == "shared_lock") &&
+                            engagedCount(guards) == 1) {
+                            sanctioned = true;
+                        }
+                    }
+                }
+                if (!sanctioned)
+                    addUnlessSuppressed(file, i, kBlockingUnderLock);
+            }
+
+            // New guard declarations.
+            for (std::sregex_iterator it(code.begin(), code.end(),
+                                         guardPattern), end;
+                 it != end; ++it) {
+                const std::string kind = (*it)[1].str();
+                const std::string guardVar = (*it)[2].str();
+                for (const std::string &arg :
+                     splitArgs((*it)[3].str())) {
+                    const std::string lockVar = lastIdentifier(arg);
+                    auto decl = decls.find(lockVar);
+                    if (decl == decls.end())
+                        continue;  // unranked (std::mutex in tests)
+                    const int level =
+                        registry.levelOf(decl->second.rank);
+                    if (level < 0)
+                        continue;  // unknown-lock-rank, reported above
+                    for (const ActiveGuard &held : guards) {
+                        if (!held.engaged)
+                            continue;
+                        if (held.level >= level)
+                            addUnlessSuppressed(file, i,
+                                                kLockRankOrder);
+                        RankEdge &edge =
+                            edges[{held.level, level}];
+                        if (edge.file == nullptr) {
+                            edge.file = &file;
+                            edge.lineIdx = i;
+                        }
+                        levelNames[held.level] = held.rank;
+                        levelNames[level] = decl->second.rank;
+                    }
+                    ActiveGuard g;
+                    g.guardVar = guardVar;
+                    g.lockVar = lockVar;
+                    g.rank = decl->second.rank;
+                    g.level = level;
+                    g.kind = kind;
+                    g.declDepth = depth;
+                    guards.push_back(std::move(g));
+                }
+            }
+
+            // Brace depth last: a guard lives until its enclosing
+            // block closes. Depth 0 also ends any guard leaked by
+            // unbalanced parsing (macros, K&R braces).
+            for (char c : code) {
+                if (c == '{') {
+                    depth++;
+                } else if (c == '}') {
+                    depth--;
+                    if (depth < 0)
+                        depth = 0;
+                }
+            }
+            guards.erase(
+                std::remove_if(guards.begin(), guards.end(),
+                               [&](const ActiveGuard &g) {
+                                   return depth == 0 ||
+                                          depth < g.declDepth;
+                               }),
+                guards.end());
+        }
+    }
+
+    // ---- Cycle detection over the accumulated rank graph --------
+    // An edge (a, b) participates in a cycle iff b reaches a. With
+    // the strictly-ascending discipline intact the graph is a DAG
+    // and this loop emits nothing.
+    std::map<int, std::set<int>> adjacency;
+    for (const auto &entry : edges)
+        adjacency[entry.first.first].insert(entry.first.second);
+    auto reaches = [&](int from, int target) {
+        std::set<int> seen;
+        std::vector<int> stack{from};
+        while (!stack.empty()) {
+            int node = stack.back();
+            stack.pop_back();
+            if (node == target)
+                return true;
+            if (!seen.insert(node).second)
+                continue;
+            for (int next : adjacency[node])
+                stack.push_back(next);
+        }
+        return false;
+    };
+    for (const auto &entry : edges) {
+        const int from = entry.first.first;
+        const int to = entry.first.second;
+        if (!reaches(to, from))
+            continue;
+        const RankEdge &site = entry.second;
+        if (suppressed(site.file->lines, site.lineIdx, kLockCycle))
+            continue;
+        Finding f = makeFinding(*site.file, site.lineIdx, kLockCycle);
+        std::ostringstream note;
+        note << "  [cycle " << levelNames[from] << " -> "
+             << levelNames[to] << " -> ... -> " << levelNames[from]
+             << "]";
+        f.excerpt += note.str();
+        findings.push_back(std::move(f));
+    }
+
+    return findings;
+}
+
+} // namespace analysis
+} // namespace naspipe

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lock-discipline pass: whole-program lock-order analysis over the
+ * RankedMutex registry (src/common/lock_rank.h).
+ *
+ * The pass runs in three stages over the full source set:
+ *
+ *   1. Registry: parse the LockRank enum — the one documented
+ *      partial order — into {rank name → level}.
+ *   2. Declarations: collect every
+ *      `RankedMutex name{LockRank::Rank}` /
+ *      `RankedSharedMutex name(LockRank::Rank)` site repo-wide into
+ *      a {variable name → rank} table. Unknown ranks and one name
+ *      declared under two different ranks are findings — the
+ *      acquisition resolver is name-based and needs both invariants.
+ *   3. Acquisitions: per file, track guard scopes
+ *      (`std::lock_guard`/`unique_lock`/`scoped_lock`/`shared_lock`
+ *      over registered names) through brace depth, explicit
+ *      `.unlock()`/`.lock()`, and flag:
+ *        - acquiring a rank ≤ any currently held rank
+ *          (lock-rank-order — the static twin of the runtime
+ *          witness);
+ *        - a cycle in the accumulated rank-order graph built from
+ *          every observed nested acquisition (lock-cycle — a
+ *          potential deadlock even when each edge looks locally
+ *          reasonable);
+ *        - blocking calls (queue push/pop, condition waits, join,
+ *          waitReadable) while holding a guard, except a condition
+ *          wait on the caller's own sole unique_lock/shared_lock
+ *          (blocking-under-lock);
+ *        - raw std::mutex / std::shared_mutex /
+ *          std::condition_variable declarations in src/ outside the
+ *          wrapper itself (raw-mutex — unranked locks are invisible
+ *          to both the analyzer and the witness).
+ *
+ * The analysis is token-level and intra-procedural by design — the
+ * same tradeoff as the rest of the lint: zero build-graph coupling,
+ * byte-stable output, and the codebase's formatting conventions make
+ * one-statement-per-line tracking reliable. Cross-function holds are
+ * covered dynamically by the runtime witness.
+ */
+
+#ifndef NASPIPE_TOOLS_ANALYSIS_LOCK_PASS_H
+#define NASPIPE_TOOLS_ANALYSIS_LOCK_PASS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/source_model.h"
+
+namespace naspipe {
+namespace analysis {
+
+/** The parsed LockRank partial order: rank name → level. */
+class LockRegistry
+{
+  public:
+    /**
+     * Parse the `enum class LockRank` block of @p lockRankHeader
+     * (src/common/lock_rank.h or a test fixture of the same shape).
+     */
+    static LockRegistry parse(const SourceFile &lockRankHeader);
+
+    bool empty() const { return _levels.empty(); }
+
+    /** Level of @p rank, or -1 when unregistered. */
+    int levelOf(const std::string &rank) const;
+
+    /** All ranks, ascending by level. */
+    std::vector<std::string> ranksByLevel() const;
+
+  private:
+    std::map<std::string, int> _levels;
+};
+
+/** The lock-pass rule table. */
+const std::vector<RuleInfo> &lockRuleTable();
+
+/**
+ * Run the raw-mutex rule alone over @p file (per-file; part of the
+ * combined per-file scan so single-file scans still catch unranked
+ * mutexes without whole-program context).
+ */
+std::vector<Finding> runRawMutexRule(const SourceFile &file);
+
+/**
+ * Run the whole-program lock-discipline pass: declaration
+ * collection, rank-order checking, cycle detection and
+ * blocking-under-lock over @p files against @p registry. Does not
+ * include the per-file raw-mutex rule.
+ */
+std::vector<Finding> runLockPass(const LockRegistry &registry,
+                                 const std::vector<SourceFile> &files);
+
+} // namespace analysis
+} // namespace naspipe
+
+#endif // NASPIPE_TOOLS_ANALYSIS_LOCK_PASS_H

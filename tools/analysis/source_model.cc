@@ -1,0 +1,212 @@
+#include "analysis/source_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace naspipe {
+namespace analysis {
+
+SourceLines
+splitAndStrip(const std::string &content)
+{
+    SourceLines out;
+    enum class State {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+    };
+    State state = State::Code;
+    std::string raw, code;
+    auto flush = [&] {
+        out.raw.push_back(raw);
+        out.code.push_back(code);
+        raw.clear();
+        code.clear();
+    };
+    for (std::size_t i = 0; i < content.size(); i++) {
+        char c = content[i];
+        char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '\n') {
+            if (state == State::LineComment)
+                state = State::Code;
+            flush();
+            continue;
+        }
+        raw += c;
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                code += ' ';
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                code += ' ';
+            } else if (c == '"') {
+                state = State::String;
+                code += ' ';
+            } else if (c == '\'') {
+                state = State::Char;
+                code += ' ';
+            } else {
+                code += c;
+            }
+            break;
+          case State::LineComment:
+            code += ' ';
+            break;
+          case State::BlockComment:
+            code += ' ';
+            if (c == '*' && next == '/') {
+                raw += next;
+                code += ' ';
+                i++;
+                state = State::Code;
+            }
+            break;
+          case State::String:
+          case State::Char: {
+            code += ' ';
+            if (c == '\\' && next != '\0' && next != '\n') {
+                raw += next;
+                code += ' ';
+                i++;
+            } else if ((state == State::String && c == '"') ||
+                       (state == State::Char && c == '\'')) {
+                state = State::Code;
+            }
+            break;
+          }
+        }
+    }
+    flush();
+    return out;
+}
+
+SourceFile
+makeSourceFile(const std::string &path, const std::string &content)
+{
+    SourceFile file;
+    file.path = normalizePath(path);
+    file.lines = splitAndStrip(content);
+    return file;
+}
+
+bool
+loadSourceFile(const std::string &path, SourceFile &out,
+               std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = makeSourceFile(path, buffer.str());
+    return true;
+}
+
+std::vector<std::string>
+collectSources(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+        out.push_back(normalizePath(path));
+        return out;
+    }
+    for (fs::recursive_directory_iterator
+             it(path, fs::directory_options::skip_permission_denied,
+                ec),
+         end;
+         it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        if (!it->is_regular_file(ec))
+            continue;
+        std::string ext = it->path().extension().string();
+        if (ext == ".cc" || ext == ".h")
+            out.push_back(normalizePath(it->path().string()));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+normalizePath(const std::string &path)
+{
+    std::string out = path;
+    std::replace(out.begin(), out.end(), '\\', '/');
+    return out;
+}
+
+bool
+pathContains(const std::string &path, const char *needle)
+{
+    return path.find(needle) != std::string::npos;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t first = text.find_first_not_of(" \t");
+    if (first == std::string::npos)
+        return "";
+    std::size_t last = text.find_last_not_of(" \t");
+    return text.substr(first, last - first + 1);
+}
+
+bool
+wordAt(const std::string &line, std::size_t pos, std::size_t len)
+{
+    auto isWord = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    if (pos > 0 && isWord(line[pos - 1]))
+        return false;
+    std::size_t end = pos + len;
+    return end >= line.size() || !isWord(line[end]);
+}
+
+std::vector<Suppression>
+parseSuppressions(const std::string &raw)
+{
+    static const std::regex marker(
+        R"(naspipe-lint:\s*allow\(([a-z0-9-]+)\)\s*(\S.*)?)");
+    std::vector<Suppression> out;
+    auto begin = std::sregex_iterator(raw.begin(), raw.end(), marker);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        Suppression s;
+        s.rule = (*it)[1].str();
+        s.hasReason = (*it)[2].matched &&
+                      !trim((*it)[2].str()).empty();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+bool
+suppressed(const SourceLines &lines, std::size_t lineIdx,
+           const std::string &rule)
+{
+    auto covers = [&](std::size_t idx) {
+        for (const Suppression &s : parseSuppressions(lines.raw[idx]))
+            if (s.rule == rule && s.hasReason)
+                return true;
+        return false;
+    };
+    if (covers(lineIdx))
+        return true;
+    return lineIdx > 0 && covers(lineIdx - 1);
+}
+
+} // namespace analysis
+} // namespace naspipe

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared source model of the static analysis framework.
+ *
+ * Every pass (line rules, atomics, lock discipline) consumes the same
+ * two per-line views of a C++ source file: `code` has comments and
+ * string/char literals blanked out, so patterns inside documentation
+ * or message strings never fire, and `raw` is the original text —
+ * comment-scanning rules and the `naspipe-lint: allow(rule) reason`
+ * suppressions read it. Loading, path normalization and suppression
+ * parsing live here so per-file passes stay pure functions of a
+ * SourceFile and whole-program passes of a vector of them.
+ */
+
+#ifndef NASPIPE_TOOLS_ANALYSIS_SOURCE_MODEL_H
+#define NASPIPE_TOOLS_ANALYSIS_SOURCE_MODEL_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace naspipe {
+namespace analysis {
+
+/** Per-line views of one source file. */
+struct SourceLines {
+    std::vector<std::string> raw;   ///< original text
+    std::vector<std::string> code;  ///< comments/strings blanked
+};
+
+/** One loaded source file, ready for any pass. */
+struct SourceFile {
+    std::string path;  ///< normalized (forward slashes), as scanned
+    SourceLines lines;
+};
+
+/** Split @p content into lines and blank comments/strings. */
+SourceLines splitAndStrip(const std::string &content);
+
+/** Build a SourceFile from in-memory content (tests, fixtures). */
+SourceFile makeSourceFile(const std::string &path,
+                          const std::string &content);
+
+/**
+ * Read @p path into a SourceFile. Returns false (and fills
+ * @p error) when the file cannot be read.
+ */
+bool loadSourceFile(const std::string &path, SourceFile &out,
+                    std::string *error);
+
+/**
+ * Expand @p path into the sorted list of .cc/.h files beneath it (or
+ * the file itself). Sorted so runs are byte-stable — the analyzer
+ * holds itself to the determinism bar it enforces.
+ */
+std::vector<std::string> collectSources(const std::string &path);
+
+/** Backslashes → forward slashes. */
+std::string normalizePath(const std::string &path);
+
+/** Substring path test (paths are pre-normalized). */
+bool pathContains(const std::string &path, const char *needle);
+
+/** Strip leading/trailing spaces and tabs. */
+std::string trim(const std::string &text);
+
+/** Word-boundary check: @p pos begins a standalone identifier. */
+bool wordAt(const std::string &line, std::size_t pos,
+            std::size_t len);
+
+/** One parsed `naspipe-lint: allow(rule) reason` marker. */
+struct Suppression {
+    std::string rule;
+    bool hasReason = false;
+};
+
+/** Parse every allow() marker on one raw line. */
+std::vector<Suppression> parseSuppressions(const std::string &raw);
+
+/**
+ * Whether @p rule is suppressed at @p lineIdx: a reasoned allow()
+ * on the offending line or the line directly above it. A bare
+ * allow() without a reason never suppresses.
+ */
+bool suppressed(const SourceLines &lines, std::size_t lineIdx,
+                const std::string &rule);
+
+} // namespace analysis
+} // namespace naspipe
+
+#endif // NASPIPE_TOOLS_ANALYSIS_SOURCE_MODEL_H

@@ -1,359 +1,36 @@
 #include "lint_rules.h"
 
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <regex>
-#include <sstream>
-
 namespace naspipe {
 namespace lint {
-
-namespace {
-
-constexpr const char *kUnorderedIteration = "unordered-iteration";
-constexpr const char *kRawRandom = "raw-random";
-constexpr const char *kPointerKeyContainer = "pointer-key-container";
-constexpr const char *kRelaxedMemoryOrder = "relaxed-memory-order";
-constexpr const char *kDetSuppression = "det-suppression";
-constexpr const char *kWallClock = "wall-clock";
-
-std::string
-normalizePath(const std::string &path)
-{
-    std::string out = path;
-    std::replace(out.begin(), out.end(), '\\', '/');
-    return out;
-}
-
-bool
-pathContains(const std::string &path, const char *needle)
-{
-    return path.find(needle) != std::string::npos;
-}
-
-std::string
-trim(const std::string &text)
-{
-    std::size_t first = text.find_first_not_of(" \t");
-    if (first == std::string::npos)
-        return "";
-    std::size_t last = text.find_last_not_of(" \t");
-    return text.substr(first, last - first + 1);
-}
-
-/**
- * Per-line views of one source file: `code` has comments and
- * string/char literals blanked out (so patterns inside documentation
- * or message strings never fire), `raw` is the original line (the
- * comment-scanning rules and the allow() suppressions read it).
- */
-struct SourceLines {
-    std::vector<std::string> raw;
-    std::vector<std::string> code;
-};
-
-SourceLines
-splitAndStrip(const std::string &content)
-{
-    SourceLines out;
-    enum class State {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char,
-    };
-    State state = State::Code;
-    std::string raw, code;
-    auto flush = [&] {
-        out.raw.push_back(raw);
-        out.code.push_back(code);
-        raw.clear();
-        code.clear();
-    };
-    for (std::size_t i = 0; i < content.size(); i++) {
-        char c = content[i];
-        char next = i + 1 < content.size() ? content[i + 1] : '\0';
-        if (c == '\n') {
-            if (state == State::LineComment)
-                state = State::Code;
-            flush();
-            continue;
-        }
-        raw += c;
-        switch (state) {
-          case State::Code:
-            if (c == '/' && next == '/') {
-                state = State::LineComment;
-                code += ' ';
-            } else if (c == '/' && next == '*') {
-                state = State::BlockComment;
-                code += ' ';
-            } else if (c == '"') {
-                state = State::String;
-                code += ' ';
-            } else if (c == '\'') {
-                state = State::Char;
-                code += ' ';
-            } else {
-                code += c;
-            }
-            break;
-          case State::LineComment:
-            code += ' ';
-            break;
-          case State::BlockComment:
-            code += ' ';
-            if (c == '*' && next == '/') {
-                raw += next;
-                code += ' ';
-                i++;
-                state = State::Code;
-            }
-            break;
-          case State::String:
-          case State::Char: {
-            code += ' ';
-            if (c == '\\' && next != '\0' && next != '\n') {
-                raw += next;
-                code += ' ';
-                i++;
-            } else if ((state == State::String && c == '"') ||
-                       (state == State::Char && c == '\'')) {
-                state = State::Code;
-            }
-            break;
-          }
-        }
-    }
-    flush();
-    return out;
-}
-
-/** Word-boundary check: @p pos begins a standalone identifier. */
-bool
-wordAt(const std::string &line, std::size_t pos, std::size_t len)
-{
-    auto isWord = [](char c) {
-        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-    };
-    if (pos > 0 && isWord(line[pos - 1]))
-        return false;
-    std::size_t end = pos + len;
-    return end >= line.size() || !isWord(line[end]);
-}
-
-/**
- * Variables declared as unordered containers in this file. Matches
- * `std::unordered_map<...> name` / `unordered_set<...> name{...}`;
- * the template argument match is non-greedy and single-line, which
- * covers the declaration styles this codebase uses.
- */
-std::set<std::string>
-unorderedVariables(const SourceLines &lines)
-{
-    static const std::regex decl(
-        R"(unordered_(?:map|set)\s*<[^;{}()]*>\s*&?\s*(\w+)\s*[;={(])");
-    std::set<std::string> names;
-    for (const std::string &line : lines.code) {
-        auto begin = std::sregex_iterator(line.begin(), line.end(),
-                                          decl);
-        for (auto it = begin; it != std::sregex_iterator(); ++it)
-            names.insert((*it)[1].str());
-    }
-    return names;
-}
-
-/** Whether a code line is a `for` that mentions @p name as a word. */
-bool
-forLoopMentions(const std::string &code, const std::string &name)
-{
-    static const std::regex forHead(R"(\bfor\s*\()");
-    if (!std::regex_search(code, forHead))
-        return false;
-    for (std::size_t pos = code.find(name); pos != std::string::npos;
-         pos = code.find(name, pos + 1)) {
-        if (wordAt(code, pos, name.size()))
-            return true;
-    }
-    return false;
-}
-
-/** raw-random: rand()/srand()/std::random_device/time(...) calls. */
-bool
-hasRawRandom(const std::string &code)
-{
-    static const std::regex pattern(
-        R"(\b(?:std\s*::\s*)?(?:rand|srand)\s*\()"
-        R"(|std\s*::\s*random_device)"
-        R"(|\brandom_device\s+\w)");
-    if (std::regex_search(code, pattern))
-        return true;
-    // time(...) needs a by-hand word check: `.time(` / `->time(` /
-    // `wallTime(` are methods, `time(` and `std::time(` are the
-    // ambient clock.
-    for (std::size_t pos = code.find("time");
-         pos != std::string::npos; pos = code.find("time", pos + 1)) {
-        if (!wordAt(code, pos, 4))
-            continue;
-        std::size_t after = pos + 4;
-        while (after < code.size() &&
-               (code[after] == ' ' || code[after] == '\t')) {
-            after++;
-        }
-        if (after >= code.size() || code[after] != '(')
-            continue;
-        std::size_t before = pos;
-        while (before > 0 && (code[before - 1] == ' ' ||
-                              code[before - 1] == '\t')) {
-            before--;
-        }
-        char prev = before > 0 ? code[before - 1] : '\0';
-        if (prev == '.' || prev == '>')
-            continue;  // member call, not the C library clock
-        return true;
-    }
-    return false;
-}
-
-struct Suppression {
-    std::string rule;
-    bool hasReason = false;
-};
-
-/** Parse `naspipe-lint: allow(rule) reason` markers on a raw line. */
-std::vector<Suppression>
-parseSuppressions(const std::string &raw)
-{
-    static const std::regex marker(
-        R"(naspipe-lint:\s*allow\(([a-z0-9-]+)\)\s*(\S.*)?)");
-    std::vector<Suppression> out;
-    auto begin = std::sregex_iterator(raw.begin(), raw.end(), marker);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        Suppression s;
-        s.rule = (*it)[1].str();
-        s.hasReason = (*it)[2].matched &&
-                      !trim((*it)[2].str()).empty();
-        out.push_back(std::move(s));
-    }
-    return out;
-}
-
-bool
-suppressed(const SourceLines &lines, std::size_t lineIdx,
-           const char *rule)
-{
-    auto covers = [&](std::size_t idx) {
-        for (const Suppression &s : parseSuppressions(lines.raw[idx]))
-            if (s.rule == rule && s.hasReason)
-                return true;
-        return false;
-    };
-    if (covers(lineIdx))
-        return true;
-    return lineIdx > 0 && covers(lineIdx - 1);
-}
-
-} // namespace
 
 const std::vector<RuleInfo> &
 ruleTable()
 {
-    static const std::vector<RuleInfo> kTable = {
-        {kUnorderedIteration,
-         "iteration over a std::unordered_map/unordered_set — hash "
-         "order is implementation- and address-dependent, so any "
-         "schedule or commit decision fed by it drifts silently"},
-        {kRawRandom,
-         "rand()/srand()/std::random_device/time() outside "
-         "common/rng — ambient randomness breaks seed-determinism; "
-         "use the seeded Philox4x32/deriveSeed instead"},
-        {kPointerKeyContainer,
-         "std::map/std::set keyed by a raw pointer — iteration order "
-         "is allocation-address order, different every run"},
-        {kRelaxedMemoryOrder,
-         "std::memory_order_relaxed inside src/exec/ — the threaded "
-         "executor's reproducibility proof depends on acquire/release "
-         "edges; every relaxed atomic there needs an explicit "
-         "reasoned allow()"},
-        {kDetSuppression,
-         // Spelled split so the scanner never flags its own table.
-         "TODO(" "det) comment — catch-all determinism deferrals are "
-         "banned; fix the hazard or use a reasoned "
-         "naspipe-lint: allow(rule) on the exact line"},
-        {kWallClock,
-         "std::chrono clock read outside src/obs/ and bench/ — "
-         "wall-clock is the canonical nondeterminism source; measure "
-         "through the obs::WallTimer / obs::now() wrappers so every "
-         "clock dependency stays auditable in one place"},
-    };
+    static const std::vector<RuleInfo> kTable = [] {
+        std::vector<RuleInfo> table;
+        auto append = [&](const std::vector<RuleInfo> &rules) {
+            table.insert(table.end(), rules.begin(), rules.end());
+        };
+        append(analysis::lineRuleTable());
+        append(analysis::atomicsRuleTable());
+        append(analysis::lockRuleTable());
+        return table;
+    }();
     return kTable;
-}
-
-std::string
-Finding::describe() const
-{
-    std::ostringstream oss;
-    oss << file << ":" << line << ": [" << rule << "] " << excerpt;
-    if (baselined)
-        oss << "  (baselined)";
-    return oss.str();
 }
 
 std::vector<Finding>
 scanSource(const std::string &path, const std::string &content)
 {
-    const std::string normalized = normalizePath(path);
-    const SourceLines lines = splitAndStrip(content);
-    const std::set<std::string> unordered = unorderedVariables(lines);
-    const bool inExec = pathContains(normalized, "src/exec/");
-    const bool inRngHome = pathContains(normalized, "common/rng.");
-    const bool inClockHome = pathContains(normalized, "src/obs/") ||
-                             pathContains(normalized, "bench/");
-
-    std::vector<Finding> findings;
-    auto add = [&](std::size_t idx, const char *rule) {
-        if (suppressed(lines, idx, rule))
-            return;
-        Finding f;
-        f.file = normalized;
-        f.line = static_cast<int>(idx) + 1;
-        f.rule = rule;
-        f.excerpt = trim(lines.raw[idx]);
-        findings.push_back(std::move(f));
+    const SourceFile file = analysis::makeSourceFile(path, content);
+    std::vector<Finding> findings = analysis::runLineRules(file);
+    auto append = [&](std::vector<Finding> more) {
+        findings.insert(findings.end(),
+                        std::make_move_iterator(more.begin()),
+                        std::make_move_iterator(more.end()));
     };
-
-    static const std::regex pointerKey(
-        R"(std\s*::\s*(?:map|set)\s*<\s*[^,<>]*\*)");
-    static const std::regex todoDet(R"(TODO\s*\(\s*det\s*\))");
-    static const std::regex wallClock(
-        R"(\b(?:steady_clock|system_clock|high_resolution_clock)\b)");
-
-    for (std::size_t i = 0; i < lines.code.size(); i++) {
-        const std::string &code = lines.code[i];
-        const std::string &raw = lines.raw[i];
-
-        for (const std::string &name : unordered) {
-            if (forLoopMentions(code, name)) {
-                add(i, kUnorderedIteration);
-                break;
-            }
-        }
-        if (!inRngHome && hasRawRandom(code))
-            add(i, kRawRandom);
-        if (std::regex_search(code, pointerKey))
-            add(i, kPointerKeyContainer);
-        if (inExec &&
-            code.find("memory_order_relaxed") != std::string::npos) {
-            add(i, kRelaxedMemoryOrder);
-        }
-        if (!inClockHome && std::regex_search(code, wallClock))
-            add(i, kWallClock);
-        if (std::regex_search(raw, todoDet))
-            add(i, kDetSuppression);
-    }
+    append(analysis::runAtomicsPass(file));
+    append(analysis::runRawMutexRule(file));
     return findings;
 }
 
@@ -361,107 +38,67 @@ bool
 scanFile(const std::string &path, std::vector<Finding> &out,
          std::string *error)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        if (error)
-            *error = "cannot open " + path;
+    SourceFile file;
+    if (!analysis::loadSourceFile(path, file, error))
         return false;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    std::vector<Finding> found = scanSource(path, buffer.str());
-    out.insert(out.end(), found.begin(), found.end());
+    std::vector<Finding> found = analysis::runLineRules(file);
+    auto append = [&](std::vector<Finding> more) {
+        found.insert(found.end(),
+                     std::make_move_iterator(more.begin()),
+                     std::make_move_iterator(more.end()));
+    };
+    append(analysis::runAtomicsPass(file));
+    append(analysis::runRawMutexRule(file));
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
     return true;
+}
+
+std::vector<Finding>
+scanLockDiscipline(const std::vector<SourceFile> &files)
+{
+    analysis::LockRegistry registry;
+    for (const SourceFile &file : files) {
+        if (file.path.size() >= 18 &&
+            file.path.compare(file.path.size() - 18, 18,
+                              "common/lock_rank.h") == 0) {
+            registry = analysis::LockRegistry::parse(file);
+            break;
+        }
+    }
+    return analysis::runLockPass(registry, files);
 }
 
 std::vector<std::string>
 collectSources(const std::string &path)
 {
-    namespace fs = std::filesystem;
-    std::vector<std::string> out;
-    std::error_code ec;
-    if (fs::is_regular_file(path, ec)) {
-        out.push_back(normalizePath(path));
-        return out;
-    }
-    for (fs::recursive_directory_iterator
-             it(path, fs::directory_options::skip_permission_denied,
-                ec),
-         end;
-         it != end; it.increment(ec)) {
-        if (ec)
-            break;
-        if (!it->is_regular_file(ec))
-            continue;
-        std::string ext = it->path().extension().string();
-        if (ext == ".cc" || ext == ".h")
-            out.push_back(normalizePath(it->path().string()));
-    }
-    std::sort(out.begin(), out.end());
-    return out;
+    return analysis::collectSources(path);
 }
 
 std::string
 baselineKey(const Finding &finding)
 {
-    // Line numbers are deliberately excluded so unrelated edits above
-    // a baselined finding do not resurrect it.
-    return finding.rule + "|" + finding.file + "|" + finding.excerpt;
+    return analysis::baselineKey(finding);
 }
 
 bool
 loadBaseline(const std::string &path, std::set<std::string> &out,
              std::string *error)
 {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    if (!fs::exists(path, ec))
-        return true;  // no baseline: everything is a new finding
-    std::ifstream in(path);
-    if (!in) {
-        if (error)
-            *error = "cannot open baseline " + path;
-        return false;
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-        line = trim(line);
-        if (line.empty() || line[0] == '#')
-            continue;
-        out.insert(line);
-    }
-    return true;
+    return analysis::loadBaseline(path, out, error);
 }
 
 std::string
 renderBaseline(const std::vector<Finding> &findings)
 {
-    std::set<std::string> keys;
-    for (const Finding &f : findings)
-        keys.insert(baselineKey(f));
-    std::ostringstream oss;
-    oss << "# naspipe_lint baseline — pre-existing findings only.\n"
-        << "# Regenerate with: naspipe_lint --write-baseline FILE "
-           "PATH...\n"
-        << "# New findings must be fixed or carry a reasoned\n"
-        << "# `naspipe-lint: allow(rule)` comment, never added "
-           "here.\n";
-    for (const std::string &key : keys)
-        oss << key << "\n";
-    return oss.str();
+    return analysis::renderBaseline(findings);
 }
 
 std::size_t
 applyBaseline(std::vector<Finding> &findings,
               const std::set<std::string> &baseline)
 {
-    std::size_t fresh = 0;
-    for (Finding &f : findings) {
-        f.baselined = baseline.count(baselineKey(f)) != 0;
-        if (!f.baselined)
-            fresh++;
-    }
-    return fresh;
+    return analysis::applyBaseline(findings, baseline);
 }
 
 } // namespace lint

@@ -1,26 +1,37 @@
 /**
  * @file
- * naspipe_lint engine: a token/regex-level C++ source scanner for
- * hazards that silently break bitwise reproducibility.
+ * naspipe_lint engine facade over the multi-pass static analysis
+ * framework in tools/analysis/.
  *
- * The rule table (see ruleTable()) targets the failure modes the CSP
- * papers and this repo's own history show corrupt results without
- * crashing: hash-order iteration feeding schedule/commit decisions,
- * ambient randomness outside the seeded RNG, address-ordered
- * containers, and unreviewed relaxed atomics in the threaded
- * executor. A finding is suppressed only by
+ * Historically this header WAS the analyzer — a single-pass line
+ * scanner. It is now a thin aggregation layer: the shared source
+ * model, the finding/baseline machinery and the individual passes
+ * (per-file line rules, the repo-wide atomics pass, the
+ * whole-program lock-discipline pass) live under tools/analysis/,
+ * and this facade composes them behind the stable API the CLI and
+ * the original tests use:
+ *
+ *   - scanSource()/scanFile() run every *per-file* pass (line rules,
+ *     atomics, raw-mutex detection);
+ *   - scanLockDiscipline() runs the *whole-program* lock pass over a
+ *     loaded source set — rank-order violations, lock-order-graph
+ *     cycles, blocking calls under a held rank — against the
+ *     LockRank registry it auto-discovers in the set
+ *     (src/common/lock_rank.h);
+ *   - ruleTable() is the union of every pass's rules.
+ *
+ * A finding is suppressed only by
  *
  *     // naspipe-lint: allow(rule-name) <reason text>
  *
  * on the offending line or the line directly above it — the reason
  * is mandatory, a bare allow() does not suppress — or by an entry in
  * the checked-in baseline file (pre-existing findings only; the
- * `lint` build target fails on anything new). Catch-all determinism
- * deferral comments (TODO + "(det)") are themselves a finding.
+ * `lint` build target fails on anything new).
  *
  * The engine is a separate static library so its unit tests
- * (tests/tools/test_naspipe_lint.cc) exercise it in-process; the
- * naspipe_lint binary is a thin CLI over it.
+ * (tests/tools/test_naspipe_lint.cc, test_lock_analysis.cc) exercise
+ * it in-process; the naspipe_lint binary is a thin CLI over it.
  */
 
 #ifndef NASPIPE_TOOLS_LINT_RULES_H
@@ -30,45 +41,49 @@
 #include <string>
 #include <vector>
 
+#include "analysis/atomics_pass.h"
+#include "analysis/finding.h"
+#include "analysis/line_rules.h"
+#include "analysis/lock_pass.h"
+#include "analysis/source_model.h"
+
 namespace naspipe {
 namespace lint {
 
-/** One rule of the table (name is the allow()/baseline handle). */
-struct RuleInfo {
-    std::string name;
-    std::string description;
-};
+using analysis::Finding;
+using analysis::RuleInfo;
+using analysis::SourceFile;
 
-/** The rule table, in documentation order. */
+/** The combined rule table of every pass, in documentation order. */
 const std::vector<RuleInfo> &ruleTable();
 
-/** One hazard hit. */
-struct Finding {
-    std::string file;     ///< path as scanned (forward slashes)
-    int line = 0;         ///< 1-based line number
-    std::string rule;     ///< rule name
-    std::string excerpt;  ///< trimmed offending source line
-    bool baselined = false;  ///< present in the baseline file
-
-    /** "file:line: [rule] excerpt" rendering. */
-    std::string describe() const;
-};
-
 /**
- * Scan @p content as one C++ source file. @p path scopes the
- * path-restricted rules (relaxed-memory-order fires only under
- * src/exec/, raw-random never fires in common/rng.*) and lands in
- * the findings; it is not opened.
+ * Run every per-file pass over @p content as one C++ source file.
+ * @p path scopes the path-restricted rules (relaxed-memory-order and
+ * raw-mutex fire only under src/, raw-random never fires in
+ * common/rng.*, wall-clock never in src/obs/) and lands in the
+ * findings; it is not opened.
  */
 std::vector<Finding> scanSource(const std::string &path,
                                 const std::string &content);
 
 /**
- * Read and scan one file. Returns false (and fills @p error) when
- * the file cannot be read; findings append to @p out.
+ * Read and scan one file (per-file passes). Returns false (and
+ * fills @p error) when the file cannot be read; findings append to
+ * @p out.
  */
 bool scanFile(const std::string &path, std::vector<Finding> &out,
               std::string *error);
+
+/**
+ * Run the whole-program lock-discipline pass over @p files. The
+ * LockRank registry is discovered inside the set (the file whose
+ * path ends in "common/lock_rank.h"); without one, declarations are
+ * reported as unknown-lock-rank — you cannot audit ranked locks
+ * without the partial order in scope.
+ */
+std::vector<Finding>
+scanLockDiscipline(const std::vector<SourceFile> &files);
 
 /**
  * Expand @p path into the sorted list of .cc/.h files beneath it (or

@@ -43,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/engine.h"
@@ -61,8 +62,8 @@ using namespace naspipe;
 constexpr const char *kSchema = "naspipe-bench/3";
 
 struct Options {
-    std::string outPath = "BENCH_8.json";
-    int pr = 8;
+    std::string outPath = "BENCH_9.json";
+    int pr = 9;
     int steps = 64;
     bool smoke = false;
     bool quiet = false;
@@ -364,7 +365,11 @@ renderJson(const Options &opt, const std::vector<MicroResult> &micro,
     oss << ",\"pr\":" << opt.pr;
     oss << ",\"config\":{\"space\":\"NLP.c1\",\"seed\":7"
         << ",\"steps\":" << opt.steps
-        << ",\"smoke\":" << (opt.smoke ? "true" : "false") << "}";
+        << ",\"smoke\":" << (opt.smoke ? "true" : "false")
+        // Committed numbers must come from witness-off builds; the
+        // flag makes an accidental witness-on run visible in review.
+        << ",\"lock_witness\":"
+        << (lockWitnessEnabled() ? "true" : "false") << "}";
 
     oss << ",\"micro\":{";
     for (std::size_t i = 0; i < micro.size(); i++) {

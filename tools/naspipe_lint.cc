@@ -6,11 +6,15 @@
  *   naspipe_lint [--baseline FILE] [--write-baseline FILE]
  *                [--list-rules] PATH...
  *
- * Scans every .cc/.h under the given paths with the reproducibility
- * hazard rules of tools/lint_rules.h. Exit codes: 0 clean (or all
- * findings baselined), 1 new findings, 2 usage or I/O error. The
- * `lint` CMake target runs this over src/, tools/ and tests/ with
- * the checked-in baseline, so a new hazard fails the build.
+ * Scans every .cc/.h under the given paths with every pass of the
+ * static analysis framework (tools/analysis/): the per-file
+ * reproducibility rules, the repo-wide atomics pass, and the
+ * whole-program lock-discipline pass run over the full source set
+ * against the LockRank registry (src/common/lock_rank.h). Exit
+ * codes: 0 clean (or all findings baselined), 1 new findings, 2
+ * usage or I/O error. The `lint` CMake target runs this over src/,
+ * tools/ and tests/ with the checked-in baseline, so a new hazard
+ * fails the build.
  */
 
 #include <cstdio>
@@ -84,8 +88,9 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::vector<Finding> findings;
-    std::size_t scanned = 0;
+    // Load every source once: the per-file passes consume them one
+    // by one, the lock-discipline pass needs the whole program.
+    std::vector<SourceFile> sources;
     for (const std::string &path : paths) {
         std::vector<std::string> files = collectSources(path);
         if (files.empty()) {
@@ -96,13 +101,29 @@ main(int argc, char **argv)
         }
         for (const std::string &file : files) {
             std::string error;
-            if (!scanFile(file, findings, &error)) {
+            SourceFile source;
+            if (!naspipe::analysis::loadSourceFile(file, source,
+                                                   &error)) {
                 std::fprintf(stderr, "error: %s\n", error.c_str());
                 return 2;
             }
-            scanned++;
+            sources.push_back(std::move(source));
         }
     }
+    std::size_t scanned = sources.size();
+
+    std::vector<Finding> findings;
+    auto append = [&](std::vector<Finding> more) {
+        findings.insert(findings.end(),
+                        std::make_move_iterator(more.begin()),
+                        std::make_move_iterator(more.end()));
+    };
+    for (const SourceFile &source : sources) {
+        append(naspipe::analysis::runLineRules(source));
+        append(naspipe::analysis::runAtomicsPass(source));
+        append(naspipe::analysis::runRawMutexRule(source));
+    }
+    append(scanLockDiscipline(sources));
 
     if (!writeBaselinePath.empty()) {
         std::ofstream out(writeBaselinePath);
@@ -111,7 +132,7 @@ main(int argc, char **argv)
                          writeBaselinePath.c_str());
             return 2;
         }
-        out << renderBaseline(findings);
+        out << naspipe::analysis::renderBaseline(findings);
         std::printf("baseline: %zu finding(s) written to %s\n",
                     findings.size(), writeBaselinePath.c_str());
         return 0;
@@ -119,11 +140,13 @@ main(int argc, char **argv)
 
     std::set<std::string> baseline;
     std::string error;
-    if (!loadBaseline(baselinePath, baseline, &error)) {
+    if (!naspipe::analysis::loadBaseline(baselinePath, baseline,
+                                     &error)) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 2;
     }
-    std::size_t fresh = applyBaseline(findings, baseline);
+    std::size_t fresh =
+        naspipe::analysis::applyBaseline(findings, baseline);
 
     for (const Finding &finding : findings)
         std::printf("%s\n", finding.describe().c_str());
