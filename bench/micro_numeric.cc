@@ -9,8 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <vector>
 
 #include "supernet/sampler.h"
+#include "tensor/kernels/reduce.h"
 #include "train/numeric_executor.h"
 
 namespace naspipe {
@@ -90,6 +92,64 @@ BM_SupernetHash(benchmark::State &state)
         benchmark::DoNotOptimize(store.supernetHash());
 }
 BENCHMARK(BM_SupernetHash)->Arg(24)->Arg(72);
+
+/** Operand vector for the reduction benchmarks: varied, bounded. */
+std::vector<float>
+reduceOperands(std::size_t n)
+{
+    std::vector<float> a(n);
+    for (std::size_t i = 0; i < n; i++)
+        a[i] = 0.001f * static_cast<float>(i % 97) - 0.05f;
+    return a;
+}
+
+void
+BM_ReduceSequential(benchmark::State &state)
+{
+    // The pre-kernel-layer baseline: one serial dependency chain.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<float> a = reduceOperands(n);
+    for (auto _ : state) {
+        float acc = 0.0f;
+        for (std::size_t i = 0; i < n; i++)
+            acc += a[i];
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ReduceSequential)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
+
+void
+BM_ReduceTree(benchmark::State &state)
+{
+    // The kernel layer's fixed-shape pairwise tree: independent
+    // adjacent-pair adds the compiler can vectorize, same bits on
+    // every platform.
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<float> a = reduceOperands(n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kernels::treeSum(a.data(), n));
+}
+BENCHMARK(BM_ReduceTree)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
+
+void
+BM_ReduceTreeDot(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<float> a = reduceOperands(n);
+    std::vector<float> b = reduceOperands(n);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            kernels::treeDot(a.data(), b.data(), n));
+}
+BENCHMARK(BM_ReduceTreeDot)->Arg(4096)->Arg(65536);
 
 void
 BM_CheckpointSave(benchmark::State &state)

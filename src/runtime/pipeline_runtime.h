@@ -78,6 +78,13 @@ struct RuntimeConfig {
      */
     int feedbackLag = 0;
     SgdConfig sgd;
+    /**
+     * Storage precision of the numeric trajectory (see
+     * tensor/kernels/precision.h). Both modes are bitwise-specified;
+     * each has its own golden hashes. A checkpoint resumes only under
+     * the precision that produced it.
+     */
+    kernels::PrecisionMode precision = kernels::PrecisionMode::Fp32;
     ClusterConfig cluster;     ///< numStages is overridden
     /** Workload calibration; bytesPerSample==0 => family default. */
     ActivationModel activation;

@@ -1,6 +1,7 @@
 #include "serve/job.h"
 
 #include <algorithm>
+#include <fstream>
 #include <sstream>
 
 #include "common/logging.h"
@@ -135,6 +136,11 @@ parseJobSpec(const std::string &text, JobSpec &out,
                 spec.recoveryRetries = std::stoi(value);
             } else if (key == "window") {
                 spec.maxInflight = std::stoi(value);
+            } else if (key == "precision") {
+                if (!kernels::parsePrecisionMode(value,
+                                                 spec.precision))
+                    return reject("bad precision '" + value +
+                                  "' (want fp32 or fp16)");
             } else if (key == "fault") {
                 FaultSpec f;
                 std::string err;
@@ -170,6 +176,7 @@ buildConfig(const JobSpec &spec, int numStages)
     config.ckptPath = spec.ckptPath;
     config.faults = spec.faults;
     config.recoveryMaxRetries = spec.recoveryRetries;
+    config.precision = spec.precision;
     return config;
 }
 
@@ -243,6 +250,26 @@ ServeJob::start(PoolHooks hooks, double nowSeconds)
              _spec.space + " does not fit " +
              std::to_string(_config.numStages) + " stages)");
         return false;
+    }
+    // Resume-from-file: a ckpt-path that already holds a checkpoint
+    // (a previous submission of this job was interrupted after a
+    // drained barrier) restarts the trajectory from that barrier. A
+    // missing file is a fresh start; an unreadable or mismatched one
+    // fails the job rather than silently retraining from subnet 0.
+    if (!_spec.ckptPath.empty() &&
+        std::ifstream(_spec.ckptPath).good()) {
+        RunCheckpoint ckpt;
+        if (!ckpt.loadFile(_spec.ckptPath) ||
+            !_session.restore(ckpt)) {
+            fail("cannot resume from checkpoint '" + _spec.ckptPath +
+                 "'");
+            return false;
+        }
+        _session.setTimeOffsets(ckpt.simSeconds, ckpt.busySeconds);
+        _session.setCheckpointsWritten(
+            static_cast<int>(ckpt.checkpointsWritten));
+        inform("job ", _id, ": resumed from '", _spec.ckptPath,
+               "' at ", ckpt.completed, " completed subnets");
     }
     // Pre-materialize so the shared workers' hot path stays
     // structurally read-only on this job's private store.

@@ -45,6 +45,7 @@
 #include "fault/fault_plan.h"
 #include "fault/recovery_policy.h"
 #include "session/training_session.h"
+#include "tensor/kernels/precision.h"
 
 namespace naspipe {
 namespace serve {
@@ -75,9 +76,15 @@ struct JobSpec {
     int steps = 32;        ///< subnets to train (totalSubnets)
     int priority = 1;      ///< WRR weight; higher = more slots
     int ckptInterval = 0;  ///< drained-checkpoint cadence (0: off)
-    std::string ckptPath;  ///< also persist checkpoints here
+    /** Persist drained checkpoints here; on start, a checkpoint
+     *  already present at this path resumes the job from it (the
+     *  resubmit-after-interruption path — the resumed trajectory is
+     *  bitwise the uninterrupted one). */
+    std::string ckptPath;
     int recoveryRetries = 3;  ///< consecutive retries before Failed
     int maxInflight = 0;      ///< per-job window cap (0: system)
+    /** Numeric storage precision of the job's trajectory. */
+    kernels::PrecisionMode precision = kernels::PrecisionMode::Fp32;
     /** Job-scoped fault plan; fail-stop kinds only — a crash poisons
      *  this job's pipeline state, never the shared workers. */
     std::vector<FaultSpec> faults;
@@ -93,8 +100,8 @@ bool validateJobSpec(const JobSpec &spec, std::string *why);
 /**
  * Parse a CLI job spec: comma-separated `key=value` pairs with keys
  * name, space, seed, steps, priority, ckpt (interval), ckpt-path,
- * retries, window, and repeatable fault (value `KIND@STEP`, KIND
- * crash|drop). Example:
+ * retries, window, precision (fp32|fp16), and repeatable fault
+ * (value `KIND@STEP`, KIND crash|drop). Example:
  *
  *   space=NLP.c1,seed=11,steps=32,priority=2,ckpt=8,fault=crash@12
  *

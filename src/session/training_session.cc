@@ -53,12 +53,14 @@ TrainingSession::initRun()
     }
     _partitioner = std::make_unique<Partitioner>(_space, _batch);
 
-    _store = std::make_shared<ParameterStore>(_space, _config.seed);
+    _store = std::make_shared<ParameterStore>(_space, _config.seed,
+                                              _config.precision);
     _store->accessLog().enabled(_config.numeric);
     NumericExecutor::Config ec;
     ec.dataSeed = deriveSeed(_config.seed, "data");
     ec.sgd = _config.sgd;
     ec.batch = _batch;
+    ec.precision = _config.precision;
     _exec = std::make_unique<NumericExecutor>(*_store, ec);
     _tracker = std::make_unique<ConvergenceTracker>(_scoreScale);
     _trace = std::make_shared<Trace>();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Precision modes and the explicit fp16 rounding kernels.
+ *
+ * The library computes in IEEE-754 binary32 throughout; PrecisionMode
+ * selects how values are *stored* between operations:
+ *
+ *  - Fp32: storage is binary32, conversions are the identity. The
+ *    historical behavior, bit for bit.
+ *  - Fp16Rne: every value written to a storage tensor — initial
+ *    parameters, parameters after each optimizer step, activations
+ *    after each layer, loss gradients, and scalar reduction results —
+ *    is converted binary32 → binary16 → binary32 with
+ *    round-to-nearest-even before it lands. Arithmetic inside a
+ *    kernel (including reduction trees) stays binary32, the
+ *    tensor-core discipline: half storage, single-precision
+ *    accumulate.
+ *
+ * The conversions are explicit integer bit manipulation — no
+ * dependence on compiler half-float extensions or hardware F16C — so
+ * results are bitwise-specified per mode on every platform
+ * (Definition 1 extended to reduced precision). Subnormals, signed
+ * zero, infinities and NaN all follow IEEE-754: values of magnitude
+ * in (0, 2^-24) round to the nearest representable half subnormal or
+ * to zero; magnitudes >= 65520 round to infinity; NaN stays NaN
+ * (quieted, payload truncated).
+ */
+
+#ifndef NASPIPE_TENSOR_KERNELS_PRECISION_H
+#define NASPIPE_TENSOR_KERNELS_PRECISION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace naspipe {
+namespace kernels {
+
+/** Storage precision of the numeric trajectory. */
+enum class PrecisionMode {
+    Fp32,
+    Fp16Rne,
+};
+
+/** Printable name ("fp32" / "fp16_rne"). */
+const char *precisionModeName(PrecisionMode mode);
+
+/**
+ * Parse "fp32" / "fp16" / "fp16_rne" (case-sensitive). Returns false
+ * on anything else, leaving @p out untouched.
+ */
+bool parsePrecisionMode(const std::string &text, PrecisionMode &out);
+
+/** binary32 → binary16 bit pattern, round-to-nearest-even. */
+std::uint16_t fp32ToHalfBits(float value);
+
+/** binary16 bit pattern → the exactly-representable binary32. */
+float halfBitsToFp32(std::uint16_t bits);
+
+/** Round-trip through binary16: the fp16 storage rounding. */
+inline float
+roundToHalf(float value)
+{
+    return halfBitsToFp32(fp32ToHalfBits(value));
+}
+
+/** Scalar storage rounding under @p mode (identity for Fp32). */
+inline float
+quantize(PrecisionMode mode, float value)
+{
+    return mode == PrecisionMode::Fp32 ? value : roundToHalf(value);
+}
+
+/** Elementwise storage rounding of a[0..n) under @p mode. */
+void quantizeInPlace(PrecisionMode mode, float *a, std::size_t n);
+
+} // namespace kernels
+} // namespace naspipe
+
+#endif // NASPIPE_TENSOR_KERNELS_PRECISION_H

@@ -1,0 +1,119 @@
+#include "tensor/kernels/reduce.h"
+
+#include "common/logging.h"
+
+namespace naspipe {
+namespace kernels {
+
+namespace {
+
+/**
+ * Balanced pairwise tree over buf[0..m), m a power of two up to
+ * kReduceBlock, computed bottom-up in place: each level halves the
+ * live prefix by adding adjacent pairs. The inner loops are
+ * branch-free over contiguous memory, which is what lets the
+ * compiler vectorize the leaves.
+ */
+float
+ladderSum(float *buf, std::size_t m)
+{
+    for (std::size_t width = m / 2; width >= 1; width /= 2) {
+        for (std::size_t i = 0; i < width; i++)
+            buf[i] = buf[2 * i] + buf[2 * i + 1];
+        if (width == 1)
+            break;
+    }
+    return buf[0];
+}
+
+/**
+ * Pairwise tree over the power-of-two segment [off, off+m). @p fill
+ * materializes the leaf values (plain loads, products, squared
+ * differences) into a scratch block; segments wider than kReduceBlock
+ * split in half first, which is the same tree the ladder builds.
+ */
+template <typename Fill>
+float
+pow2Tree(std::size_t off, std::size_t m, const Fill &fill)
+{
+    if (m <= kReduceBlock) {
+        float buf[kReduceBlock];
+        fill(buf, off, m);
+        return ladderSum(buf, m);
+    }
+    std::size_t half = m / 2;
+    float lo = pow2Tree(off, half, fill);
+    float hi = pow2Tree(off + half, half, fill);
+    return lo + hi;
+}
+
+/**
+ * The full fixed-shape reduction: binary-expansion segments left to
+ * right, partials folded right to left (see reduce.h for the
+ * normative spec).
+ */
+template <typename Fill>
+float
+treeReduce(std::size_t n, const Fill &fill)
+{
+    if (n == 0)
+        return 0.0f;
+    float parts[64];
+    int count = 0;
+    std::size_t off = 0;
+    for (int bit = 63; bit >= 0; bit--) {
+        std::size_t m = 1ULL << bit;
+        if (n & m) {
+            parts[count++] = pow2Tree(off, m, fill);
+            off += m;
+        }
+    }
+    float acc = parts[count - 1];
+    for (int i = count - 2; i >= 0; i--)
+        acc = parts[i] + acc;
+    return acc;
+}
+
+} // namespace
+
+float
+treeSum(const float *a, std::size_t n)
+{
+    return treeReduce(
+        n, [a](float *dst, std::size_t off, std::size_t m) {
+            for (std::size_t i = 0; i < m; i++)
+                dst[i] = a[off + i];
+        });
+}
+
+float
+treeDot(const float *a, const float *b, std::size_t n)
+{
+    return treeReduce(
+        n, [a, b](float *dst, std::size_t off, std::size_t m) {
+            for (std::size_t i = 0; i < m; i++)
+                dst[i] = a[off + i] * b[off + i];
+        });
+}
+
+float
+treeSquareDiffSum(const float *a, const float *b, std::size_t n)
+{
+    return treeReduce(
+        n, [a, b](float *dst, std::size_t off, std::size_t m) {
+            for (std::size_t i = 0; i < m; i++) {
+                float diff = a[off + i] - b[off + i];
+                dst[i] = diff * diff;
+            }
+        });
+}
+
+float
+treeMeanSquare(const float *a, std::size_t n)
+{
+    NASPIPE_ASSERT(n > 0, "treeMeanSquare of empty range");
+    return treeDot(a, a, n) / static_cast<float>(n);
+}
+
+} // namespace kernels
+} // namespace naspipe

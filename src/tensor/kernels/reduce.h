@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-shape pairwise-tree reduction kernels.
+ *
+ * Every floating-point reduction in the library funnels through this
+ * file. The combination tree is a *pure function of the element
+ * count* — never of thread count, SIMD width, alignment or chunking —
+ * so results are bitwise-reproducible (Definition 1) while the leaves
+ * stay wide enough for compilers to vectorize.
+ *
+ * Tree shape, normatively: a range of length n is decomposed into its
+ * binary expansion n = 2^a + 2^b + ... (a > b > ...), taken over
+ * consecutive segments left to right. Each power-of-two segment is
+ * reduced by a balanced pairwise tree (recursively split in half down
+ * to single elements). The segment partials P_2^a, P_2^b, ... combine
+ * right to left:
+ *
+ *     result = P_2^a + (P_2^b + (P_2^c + ...))
+ *
+ * which is exactly the shape produced by recursively splitting the
+ * range at the largest power of two strictly below n. The empty range
+ * reduces to +0.0f.
+ *
+ * Derived reductions fix the leaf values first, then apply the same
+ * tree: dot(a, b) is the tree over a[i]*b[i]; squareDiffSum(a, b) is
+ * the tree over (a[i]-b[i])^2. Each leaf product/square is rounded to
+ * fp32 before entering the tree (no fused multiply-add may cross a
+ * tree edge).
+ *
+ * Under PrecisionMode::Fp16Rne the *inputs* a caller hands in are
+ * already fp16-rounded storage values and the caller rounds the
+ * scalar result; the tree itself always accumulates in fp32. See
+ * kernels/precision.h and DESIGN.md §12.
+ */
+
+#ifndef NASPIPE_TENSOR_KERNELS_REDUCE_H
+#define NASPIPE_TENSOR_KERNELS_REDUCE_H
+
+#include <cstddef>
+
+namespace naspipe {
+namespace kernels {
+
+/**
+ * Leaf block width: power-of-two segments up to this many elements
+ * are reduced in one contiguous scratch buffer (vectorizable ladder);
+ * larger segments recurse in halves first. A tuning constant only —
+ * the tree shape, and therefore every result bit, is independent of
+ * it.
+ */
+constexpr std::size_t kReduceBlock = 256;
+
+/** Pairwise-tree sum of a[0..n). Empty range sums to +0.0f. */
+float treeSum(const float *a, std::size_t n);
+
+/** Pairwise-tree reduction of the elementwise products a[i]*b[i]. */
+float treeDot(const float *a, const float *b, std::size_t n);
+
+/** Pairwise-tree reduction of the squared differences (a[i]-b[i])^2. */
+float treeSquareDiffSum(const float *a, const float *b, std::size_t n);
+
+/** treeDot(a, a, n) / n — the mean of squared elements (n > 0). */
+float treeMeanSquare(const float *a, std::size_t n);
+
+} // namespace kernels
+} // namespace naspipe
+
+#endif // NASPIPE_TENSOR_KERNELS_REDUCE_H

@@ -68,13 +68,12 @@ initLayerParams(LayerParams &params, std::uint64_t seed,
 }
 
 void
-layerForward(const LayerParams &params, const Tensor &input,
-             Tensor &output)
+layerForward(LayerParamsView params, ConstTensorView input,
+             TensorView output)
 {
-    NASPIPE_ASSERT(input.size() == kLayerDim,
-                   "layer input must be kLayerDim wide");
-    if (output.size() != kLayerDim)
-        output = Tensor(kLayerDim);
+    NASPIPE_ASSERT(input.size() == kLayerDim &&
+                       output.size() == kLayerDim,
+                   "layer forward shape mismatch");
     for (std::size_t i = 0; i < kLayerDim; i++) {
         std::size_t j = (i + 1) % kLayerDim;
         float z = params.weight[i] * input[i] +
@@ -84,20 +83,20 @@ layerForward(const LayerParams &params, const Tensor &input,
 }
 
 void
-layerBackward(const LayerParams &params, const Tensor &input,
-              const Tensor &gradOutput, Tensor &gradInput,
-              LayerGrads &grads)
+layerBackward(LayerParamsView params, ConstTensorView input,
+              ConstTensorView gradOutput, TensorView gradInput,
+              LayerGradsView grads)
 {
     NASPIPE_ASSERT(input.size() == kLayerDim &&
-                       gradOutput.size() == kLayerDim,
+                       gradOutput.size() == kLayerDim &&
+                       gradInput.size() == kLayerDim,
                    "layer backward shape mismatch");
-    if (gradInput.size() != kLayerDim)
-        gradInput = Tensor(kLayerDim);
 
     // Recompute z (activation recomputation semantics): the backward
     // uses the parameter values *current at backward time*, exactly
-    // like PyTorch's checkpoint utility the paper uses.
-    Tensor dz(kLayerDim);
+    // like PyTorch's checkpoint utility the paper uses. dz lives on
+    // the stack — the backward path allocates nothing.
+    float dz[kLayerDim];
     for (std::size_t i = 0; i < kLayerDim; i++) {
         std::size_t j = (i + 1) % kLayerDim;
         float z = params.weight[i] * input[i] +

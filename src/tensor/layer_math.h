@@ -18,12 +18,18 @@
  *
  * (the w_{i+1} term couples parameters so updates are not separable),
  * and backward computes exact gradients of that function.
+ *
+ * The passes take non-owning views (LayerParamsView / LayerGradsView)
+ * so the training engine can run them over arena-backed storage with
+ * zero allocation; owning LayerParams/LayerGrads convert implicitly.
+ * Output views must be pre-sized to kLayerDim.
  */
 
 #ifndef NASPIPE_TENSOR_LAYER_MATH_H
 #define NASPIPE_TENSOR_LAYER_MATH_H
 
 #include "tensor/tensor.h"
+#include "tensor/tensor_view.h"
 
 namespace naspipe {
 
@@ -64,6 +70,38 @@ struct LayerGrads {
     void accumulate(const LayerGrads &other);
 };
 
+/** Non-owning read view of one layer's parameters. */
+struct LayerParamsView {
+    ConstTensorView weight;
+    ConstTensorView bias;
+
+    LayerParamsView(ConstTensorView w, ConstTensorView b)
+        : weight(w), bias(b)
+    {
+    }
+
+    LayerParamsView(const LayerParams &p)
+        : weight(p.weight), bias(p.bias)
+    {
+    }
+};
+
+/** Non-owning accumulation view of one layer's gradients. */
+struct LayerGradsView {
+    TensorView weight;
+    TensorView bias;
+
+    LayerGradsView(TensorView w, TensorView b) : weight(w), bias(b) {}
+
+    LayerGradsView(LayerGrads &g) : weight(g.weight), bias(g.bias) {}
+
+    void clear() const
+    {
+        weight.fill(0.0f);
+        bias.fill(0.0f);
+    }
+};
+
 /**
  * Deterministically initialize @p params from (seed, block, choice) —
  * every rebuild anywhere yields identical initial weights, the
@@ -76,23 +114,24 @@ void initLayerParams(LayerParams &params, std::uint64_t seed,
  * Forward pass of the surrogate layer.
  * @param params layer parameters (READ access)
  * @param input activation from the previous layer
- * @param output activation to the next layer (resized to kLayerDim)
+ * @param output activation to the next layer (pre-sized kLayerDim)
  */
-void layerForward(const LayerParams &params, const Tensor &input,
-                  Tensor &output);
+void layerForward(LayerParamsView params, ConstTensorView input,
+                  TensorView output);
 
 /**
  * Backward pass: exact gradients of layerForward.
  * @param params parameters used for the recomputation
  * @param input the forward input activation
  * @param gradOutput dL/d output
- * @param gradInput dL/d input (out)
+ * @param gradInput dL/d input (pre-sized kLayerDim; must not alias
+ *        gradOutput)
  * @param grads dL/d params (accumulated into, must be zeroed by the
  *        caller if fresh gradients are wanted)
  */
-void layerBackward(const LayerParams &params, const Tensor &input,
-                   const Tensor &gradOutput, Tensor &gradInput,
-                   LayerGrads &grads);
+void layerBackward(LayerParamsView params, ConstTensorView input,
+                   ConstTensorView gradOutput, TensorView gradInput,
+                   LayerGradsView grads);
 
 } // namespace naspipe
 

@@ -1,29 +1,27 @@
 #include "tensor/loss.h"
 
 #include "common/logging.h"
+#include "tensor/kernels/reduce.h"
 
 namespace naspipe {
 
 float
-mseLoss(const Tensor &pred, const Tensor &target)
+mseLoss(ConstTensorView pred, ConstTensorView target)
 {
     NASPIPE_ASSERT(pred.size() == target.size() && !pred.empty(),
                    "loss shape mismatch");
-    float total = 0.0f;
-    for (std::size_t i = 0; i < pred.size(); i++) {
-        float diff = pred[i] - target[i];
-        total += diff * diff;
-    }
-    return total / static_cast<float>(pred.size());
+    return kernels::treeSquareDiffSum(pred.data(), target.data(),
+                                      pred.size()) /
+           static_cast<float>(pred.size());
 }
 
 void
-mseLossGrad(const Tensor &pred, const Tensor &target, Tensor &gradPred)
+mseLossGrad(ConstTensorView pred, ConstTensorView target,
+            TensorView gradPred)
 {
-    NASPIPE_ASSERT(pred.size() == target.size(),
+    NASPIPE_ASSERT(pred.size() == target.size() &&
+                       gradPred.size() == pred.size(),
                    "loss shape mismatch");
-    if (gradPred.size() != pred.size())
-        gradPred = Tensor(pred.size());
     float scale = 2.0f / static_cast<float>(pred.size());
     for (std::size_t i = 0; i < pred.size(); i++)
         gradPred[i] = scale * (pred[i] - target[i]);

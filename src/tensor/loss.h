@@ -6,20 +6,24 @@
 #ifndef NASPIPE_TENSOR_LOSS_H
 #define NASPIPE_TENSOR_LOSS_H
 
-#include "tensor/tensor.h"
+#include "tensor/tensor_view.h"
 
 namespace naspipe {
 
 /**
  * Mean-squared-error loss against a target vector.
  *
- * loss = (1/n) * sum_i (pred_i - target_i)^2, summed left-to-right.
+ * loss = (1/n) * sum_i (pred_i - target_i)^2, with the sum taken in
+ * the fixed pairwise-tree order of tensor/kernels/reduce.h.
  */
-float mseLoss(const Tensor &pred, const Tensor &target);
+float mseLoss(ConstTensorView pred, ConstTensorView target);
 
-/** Gradient of mseLoss w.r.t. pred: 2 (pred - target) / n. */
-void mseLossGrad(const Tensor &pred, const Tensor &target,
-                 Tensor &gradPred);
+/**
+ * Gradient of mseLoss w.r.t. pred: 2 (pred - target) / n.
+ * @p gradPred must be pre-sized to pred's length.
+ */
+void mseLossGrad(ConstTensorView pred, ConstTensorView target,
+                 TensorView gradPred);
 
 /**
  * Smooth saturating score in (0, scale): score = scale / (1 + loss).

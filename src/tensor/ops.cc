@@ -1,8 +1,10 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/logging.h"
+#include "tensor/kernels/reduce.h"
 
 namespace naspipe {
 namespace ops {
@@ -10,7 +12,7 @@ namespace ops {
 namespace {
 
 void
-checkSameSize(const Tensor &a, const Tensor &b)
+checkSameSize(ConstTensorView a, ConstTensorView b)
 {
     NASPIPE_ASSERT(a.size() == b.size(), "tensor size mismatch: ",
                    a.size(), " vs ", b.size());
@@ -19,7 +21,7 @@ checkSameSize(const Tensor &a, const Tensor &b)
 } // namespace
 
 void
-add(const Tensor &a, const Tensor &b, Tensor &out)
+add(ConstTensorView a, ConstTensorView b, TensorView out)
 {
     checkSameSize(a, b);
     checkSameSize(a, out);
@@ -28,7 +30,7 @@ add(const Tensor &a, const Tensor &b, Tensor &out)
 }
 
 void
-sub(const Tensor &a, const Tensor &b, Tensor &out)
+sub(ConstTensorView a, ConstTensorView b, TensorView out)
 {
     checkSameSize(a, b);
     checkSameSize(a, out);
@@ -37,7 +39,7 @@ sub(const Tensor &a, const Tensor &b, Tensor &out)
 }
 
 void
-mul(const Tensor &a, const Tensor &b, Tensor &out)
+mul(ConstTensorView a, ConstTensorView b, TensorView out)
 {
     checkSameSize(a, b);
     checkSameSize(a, out);
@@ -46,7 +48,7 @@ mul(const Tensor &a, const Tensor &b, Tensor &out)
 }
 
 void
-axpy(float alpha, const Tensor &b, Tensor &a)
+axpy(float alpha, ConstTensorView b, TensorView a)
 {
     checkSameSize(a, b);
     for (std::size_t i = 0; i < a.size(); i++)
@@ -54,50 +56,41 @@ axpy(float alpha, const Tensor &b, Tensor &a)
 }
 
 void
-scale(Tensor &a, float alpha)
+scale(TensorView a, float alpha)
 {
     for (std::size_t i = 0; i < a.size(); i++)
         a[i] *= alpha;
 }
 
 void
-tanhInPlace(Tensor &a)
+tanhInPlace(TensorView a)
 {
     for (std::size_t i = 0; i < a.size(); i++)
         a[i] = std::tanh(a[i]);
 }
 
 float
-sum(const Tensor &a)
+sum(ConstTensorView a)
 {
-    float total = 0.0f;
-    for (std::size_t i = 0; i < a.size(); i++)
-        total += a[i];
-    return total;
+    return kernels::treeSum(a.data(), a.size());
 }
 
 float
-dot(const Tensor &a, const Tensor &b)
+dot(ConstTensorView a, ConstTensorView b)
 {
     checkSameSize(a, b);
-    float total = 0.0f;
-    for (std::size_t i = 0; i < a.size(); i++)
-        total += a[i] * b[i];
-    return total;
+    return kernels::treeDot(a.data(), b.data(), a.size());
 }
 
 float
-meanSquare(const Tensor &a)
+meanSquare(ConstTensorView a)
 {
     NASPIPE_ASSERT(!a.empty(), "meanSquare of empty tensor");
-    float total = 0.0f;
-    for (std::size_t i = 0; i < a.size(); i++)
-        total += a[i] * a[i];
-    return total / static_cast<float>(a.size());
+    return kernels::treeMeanSquare(a.data(), a.size());
 }
 
 float
-maxAbs(const Tensor &a)
+maxAbs(ConstTensorView a)
 {
     float best = 0.0f;
     for (std::size_t i = 0; i < a.size(); i++) {
@@ -109,7 +102,7 @@ maxAbs(const Tensor &a)
 }
 
 void
-clamp(Tensor &a, float limit)
+clamp(TensorView a, float limit)
 {
     NASPIPE_ASSERT(limit >= 0.0f, "clamp limit must be non-negative");
     for (std::size_t i = 0; i < a.size(); i++) {
@@ -121,36 +114,35 @@ clamp(Tensor &a, float limit)
 }
 
 void
-matvec(const Tensor &m, const Tensor &v, Tensor &out)
+matvec(ConstTensorView m, ConstTensorView v, TensorView out)
 {
     NASPIPE_ASSERT(m.cols() == v.size(), "matvec shape mismatch");
     NASPIPE_ASSERT(out.size() == m.rows(), "matvec output mismatch");
-    for (std::size_t r = 0; r < m.rows(); r++) {
-        float total = 0.0f;
-        for (std::size_t c = 0; c < m.cols(); c++)
-            total += m.at(r, c) * v[c];
-        out[r] = total;
-    }
+    for (std::size_t r = 0; r < m.rows(); r++)
+        out[r] = kernels::treeDot(m.data() + r * m.cols(), v.data(),
+                                  m.cols());
 }
 
 void
-matvecTransposed(const Tensor &m, const Tensor &v, Tensor &out)
+matvecTransposed(ConstTensorView m, ConstTensorView v, TensorView out)
 {
     NASPIPE_ASSERT(m.rows() == v.size(),
                    "matvecTransposed shape mismatch");
     NASPIPE_ASSERT(out.size() == m.cols(),
                    "matvecTransposed output mismatch");
+    // Gather each (strided) column so its inner product runs the
+    // exact same tree as a contiguous dot of that column.
+    std::vector<float> column(m.rows());
     for (std::size_t c = 0; c < m.cols(); c++) {
-        float total = 0.0f;
         for (std::size_t r = 0; r < m.rows(); r++)
-            total += m.at(r, c) * v[r];
-        out[c] = total;
+            column[r] = m.at(r, c);
+        out[c] = kernels::treeDot(column.data(), v.data(), m.rows());
     }
 }
 
 void
-outerAccumulate(Tensor &m, float alpha, const Tensor &u,
-                const Tensor &v)
+outerAccumulate(TensorView m, float alpha, ConstTensorView u,
+                ConstTensorView v)
 {
     NASPIPE_ASSERT(m.rows() == u.size() && m.cols() == v.size(),
                    "outerAccumulate shape mismatch");

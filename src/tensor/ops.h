@@ -1,63 +1,88 @@
 /**
  * @file
- * Deterministic tensor operations.
+ * Deterministic tensor operations over non-owning views.
  *
- * All reductions run sequentially left-to-right; nothing here may be
- * reordered by data size or thread count, because floating-point
- * addition is not associative and Definition 1 demands bitwise
- * reproducibility.
+ * Nothing here may reorder by data size, thread count, alignment or
+ * chunking, because floating-point addition is not associative and
+ * Definition 1 demands bitwise reproducibility. The evaluation-order
+ * contract:
+ *
+ *  - Elementwise ops iterate in index order.
+ *  - Every reduction (sum, dot, meanSquare, the matvec inner
+ *    products) uses the fixed-shape pairwise tree of
+ *    tensor/kernels/reduce.h — the combination tree is a pure
+ *    function of the element count, so the result is one specific
+ *    bit pattern per input, merely a *different* one from the old
+ *    sequential left-to-right spec (and vectorizable, which that
+ *    spec was not).
+ *  - Per PrecisionMode (tensor/kernels/precision.h): Fp32 stores
+ *    binary32 results exactly as computed; Fp16Rne additionally
+ *    rounds every stored value and reduction result through binary16
+ *    with round-to-nearest-even. Both modes are bitwise-specified;
+ *    callers (the training engine) apply the storage rounding.
+ *
+ * All APIs take views: Tensors convert implicitly and no op ever
+ * allocates or resizes — output views must be pre-sized.
  */
 
 #ifndef NASPIPE_TENSOR_OPS_H
 #define NASPIPE_TENSOR_OPS_H
 
-#include "tensor/tensor.h"
+#include "tensor/tensor_view.h"
 
 namespace naspipe {
 namespace ops {
 
 /** out[i] = a[i] + b[i]; sizes must match. */
-void add(const Tensor &a, const Tensor &b, Tensor &out);
+void add(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /** out[i] = a[i] - b[i]; sizes must match. */
-void sub(const Tensor &a, const Tensor &b, Tensor &out);
+void sub(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /** out[i] = a[i] * b[i]; sizes must match. */
-void mul(const Tensor &a, const Tensor &b, Tensor &out);
+void mul(ConstTensorView a, ConstTensorView b, TensorView out);
 
 /** a[i] += alpha * b[i] (saxpy). */
-void axpy(float alpha, const Tensor &b, Tensor &a);
+void axpy(float alpha, ConstTensorView b, TensorView a);
 
 /** a[i] *= alpha. */
-void scale(Tensor &a, float alpha);
+void scale(TensorView a, float alpha);
 
 /** a[i] = tanhf(a[i]). */
-void tanhInPlace(Tensor &a);
+void tanhInPlace(TensorView a);
 
-/** Sequential left-to-right sum. */
-float sum(const Tensor &a);
+/** Pairwise-tree sum (kernels::treeSum). */
+float sum(ConstTensorView a);
 
-/** Sequential dot product. */
-float dot(const Tensor &a, const Tensor &b);
+/** Pairwise-tree dot product (kernels::treeDot). */
+float dot(ConstTensorView a, ConstTensorView b);
 
-/** Sequential mean of squared elements. */
-float meanSquare(const Tensor &a);
+/** Pairwise-tree mean of squared elements. */
+float meanSquare(ConstTensorView a);
 
-/** Largest absolute element (0 for empty). */
-float maxAbs(const Tensor &a);
+/** Largest absolute element (0 for empty); order-independent. */
+float maxAbs(ConstTensorView a);
 
 /** Clamp every element into [-limit, limit]. */
-void clamp(Tensor &a, float limit);
+void clamp(TensorView a, float limit);
 
-/** out = m (rows x cols) * v (cols); rank-2 matvec, row-major. */
-void matvec(const Tensor &m, const Tensor &v, Tensor &out);
+/**
+ * out = m (rows x cols) * v (cols); rank-2 matvec, row-major. Each
+ * row's inner product is a pairwise-tree dot.
+ */
+void matvec(ConstTensorView m, ConstTensorView v, TensorView out);
 
-/** out = m^T * v, with m rows x cols and v of length rows. */
-void matvecTransposed(const Tensor &m, const Tensor &v, Tensor &out);
+/**
+ * out = m^T * v, with m rows x cols and v of length rows. Each
+ * column's inner product follows the same tree as a contiguous dot
+ * of that column.
+ */
+void matvecTransposed(ConstTensorView m, ConstTensorView v,
+                      TensorView out);
 
 /** Rank-1 outer-product accumulate: m += alpha * u v^T. */
-void outerAccumulate(Tensor &m, float alpha, const Tensor &u,
-                     const Tensor &v);
+void outerAccumulate(TensorView m, float alpha, ConstTensorView u,
+                     ConstTensorView v);
 
 } // namespace ops
 } // namespace naspipe

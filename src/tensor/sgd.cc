@@ -13,8 +13,8 @@ SgdOptimizer::SgdOptimizer(const SgdConfig &config) : _config(config)
 }
 
 void
-SgdOptimizer::applyOne(Tensor &param, const Tensor &grad,
-                       Tensor *velocity) const
+SgdOptimizer::applyOne(TensorView param, ConstTensorView grad,
+                       TensorView *velocity) const
 {
     NASPIPE_ASSERT(param.size() == grad.size(),
                    "optimizer shape mismatch");
@@ -40,8 +40,10 @@ SgdOptimizer::step(LayerParams &params, const LayerGrads &grads,
                    LayerGrads &velocity) const
 {
     if (_config.momentum > 0.0f) {
-        applyOne(params.weight, grads.weight, &velocity.weight);
-        applyOne(params.bias, grads.bias, &velocity.bias);
+        TensorView vw(velocity.weight);
+        TensorView vb(velocity.bias);
+        applyOne(params.weight, grads.weight, &vw);
+        applyOne(params.bias, grads.bias, &vb);
     } else {
         applyOne(params.weight, grads.weight, nullptr);
         applyOne(params.bias, grads.bias, nullptr);
@@ -55,6 +57,17 @@ SgdOptimizer::step(LayerParams &params, const LayerGrads &grads) const
                    "momentum requires a velocity buffer");
     applyOne(params.weight, grads.weight, nullptr);
     applyOne(params.bias, grads.bias, nullptr);
+}
+
+void
+SgdOptimizer::stepView(TensorView weight, TensorView bias,
+                       ConstTensorView gradWeight,
+                       ConstTensorView gradBias) const
+{
+    NASPIPE_ASSERT(_config.momentum == 0.0f,
+                   "momentum requires a velocity buffer");
+    applyOne(weight, gradWeight, nullptr);
+    applyOne(bias, gradBias, nullptr);
 }
 
 } // namespace naspipe

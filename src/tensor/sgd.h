@@ -12,6 +12,7 @@
 
 #include "tensor/layer_math.h"
 #include "tensor/tensor.h"
+#include "tensor/tensor_view.h"
 
 namespace naspipe {
 
@@ -41,11 +42,19 @@ class SgdOptimizer
     /** Momentum-free convenience overload. */
     void step(LayerParams &params, const LayerGrads &grads) const;
 
+    /**
+     * Momentum-free step over raw views — the zero-copy hot path the
+     * training engine drives with arena- or stack-backed gradients.
+     */
+    void stepView(TensorView weight, TensorView bias,
+                  ConstTensorView gradWeight,
+                  ConstTensorView gradBias) const;
+
     const SgdConfig &config() const { return _config; }
 
   private:
-    void applyOne(Tensor &param, const Tensor &grad,
-                  Tensor *velocity) const;
+    void applyOne(TensorView param, ConstTensorView grad,
+                  TensorView *velocity) const;
 
     SgdConfig _config;
 };

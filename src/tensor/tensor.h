@@ -5,11 +5,18 @@
  * The reproducibility experiments (Tables 3 and 4, appendix
  * experiment 1) compare trained parameters *bitwise*, so every
  * numeric operation in this library is specified down to evaluation
- * order: reductions are sequential left-to-right, elementwise ops
+ * order: reductions go through the fixed-shape pairwise trees in
+ * tensor/kernels/reduce.h (never an ad-hoc sequential loop — the
+ * float-reduce-outside-kernels lint enforces this), elementwise ops
  * iterate in index order, and nothing ever depends on the platform's
  * math library beyond IEEE-754 basic operations and tanhf/expf
  * (which are deterministic for a fixed libm, mirroring the paper's
- * reliance on deterministic CUDA kernels).
+ * reliance on deterministic CUDA kernels). Storage precision is a
+ * run-level mode (tensor/kernels/precision.h): fp32, or fp16_rne
+ * half-rounded storage with fp32 compute.
+ *
+ * Tensor owns its buffer; the non-owning view over arena-backed
+ * parameter memory is TensorView (tensor/tensor_view.h).
  */
 
 #ifndef NASPIPE_TENSOR_TENSOR_H

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Non-owning tensor views: the zero-copy currency of the numeric hot
+ * path.
+ *
+ * A view is a (pointer, rows, cols) triple over float storage owned
+ * elsewhere — a Tensor, an Arena slab, or a stack buffer. The kernel
+ * layer, ops::*, layer_math and the optimizer all take views, so the
+ * forward/backward path moves activations and gradients without
+ * allocating or copying vectors; a Tensor converts implicitly.
+ *
+ * Lifetime is the caller's problem by design, with one hard rule for
+ * the training engine (DESIGN.md §12): a view into a subnet's Arena
+ * dies with that subnet's context, and a view of ParameterStore
+ * weights must not be held across a CommitGate commit — after the
+ * commit the next writer may be mutating those bytes on another
+ * thread.
+ */
+
+#ifndef NASPIPE_TENSOR_TENSOR_VIEW_H
+#define NASPIPE_TENSOR_TENSOR_VIEW_H
+
+#include <cstddef>
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace naspipe {
+
+/** Read-only view of rank-1/rank-2 row-major float storage. */
+class ConstTensorView
+{
+  public:
+    ConstTensorView() = default;
+
+    /** Rank-1 view of @p size floats at @p data. */
+    ConstTensorView(const float *data, std::size_t size)
+        : _data(data), _rows(size), _cols(size ? 1 : 0)
+    {
+    }
+
+    /** Rank-2 row-major view. */
+    ConstTensorView(const float *data, std::size_t rows,
+                    std::size_t cols)
+        : _data(data), _rows(rows), _cols(cols)
+    {
+    }
+
+    /** Whole-tensor view (implicit: Tensors flow into view APIs). */
+    ConstTensorView(const Tensor &t)
+        : _data(t.data().data()), _rows(t.rows()), _cols(t.cols())
+    {
+    }
+
+    std::size_t size() const { return _rows * _cols; }
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    bool empty() const { return size() == 0; }
+
+    float operator[](std::size_t i) const
+    {
+        NASPIPE_ASSERT(i < size(), "view index out of range");
+        return _data[i];
+    }
+
+    float at(std::size_t r, std::size_t c) const
+    {
+        NASPIPE_ASSERT(r < _rows && c < _cols,
+                       "view 2-D index out of range");
+        return _data[r * _cols + c];
+    }
+
+    const float *data() const { return _data; }
+
+  private:
+    const float *_data = nullptr;
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+};
+
+/** Mutable view; converts to ConstTensorView. */
+class TensorView
+{
+  public:
+    TensorView() = default;
+
+    TensorView(float *data, std::size_t size)
+        : _data(data), _rows(size), _cols(size ? 1 : 0)
+    {
+    }
+
+    TensorView(float *data, std::size_t rows, std::size_t cols)
+        : _data(data), _rows(rows), _cols(cols)
+    {
+    }
+
+    TensorView(Tensor &t)
+        : _data(t.data().data()), _rows(t.rows()), _cols(t.cols())
+    {
+    }
+
+    operator ConstTensorView() const
+    {
+        return ConstTensorView(_data, _rows, _cols);
+    }
+
+    std::size_t size() const { return _rows * _cols; }
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    bool empty() const { return size() == 0; }
+
+    float &operator[](std::size_t i) const
+    {
+        NASPIPE_ASSERT(i < size(), "view index out of range");
+        return _data[i];
+    }
+
+    float &at(std::size_t r, std::size_t c) const
+    {
+        NASPIPE_ASSERT(r < _rows && c < _cols,
+                       "view 2-D index out of range");
+        return _data[r * _cols + c];
+    }
+
+    float *data() const { return _data; }
+
+    void fill(float value) const
+    {
+        for (std::size_t i = 0; i < size(); i++)
+            _data[i] = value;
+    }
+
+    /** Elementwise copy from @p src (sizes must match). */
+    void copyFrom(ConstTensorView src) const
+    {
+        NASPIPE_ASSERT(size() == src.size(),
+                       "view copy size mismatch");
+        for (std::size_t i = 0; i < size(); i++)
+            _data[i] = src.data()[i];
+    }
+
+  private:
+    float *_data = nullptr;
+    std::size_t _rows = 0;
+    std::size_t _cols = 0;
+};
+
+} // namespace naspipe
+
+#endif // NASPIPE_TENSOR_TENSOR_VIEW_H

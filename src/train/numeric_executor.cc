@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "tensor/kernels/reduce.h"
 #include "tensor/loss.h"
 
 namespace naspipe {
@@ -49,19 +50,19 @@ NumericExecutor::NumericExecutor(ParameterStore &store,
     NASPIPE_ASSERT(config.batch >= 1, "batch must be >= 1");
     NASPIPE_ASSERT(config.gradNoise >= 0.0,
                    "gradient noise must be non-negative");
+    NASPIPE_ASSERT(config.precision == store.precision(),
+                   "executor/store precision mismatch");
 }
 
-Tensor
-NumericExecutor::makeDigest(SubnetId id, const char *tag,
-                            std::uint64_t salt) const
+void
+NumericExecutor::fillDigest(TensorView out, SubnetId id,
+                            const char *tag, std::uint64_t salt) const
 {
     Philox4x32 philox(deriveSeed(_config.dataSeed, tag));
-    Tensor out(kLayerDim);
     std::uint64_t base =
         static_cast<std::uint64_t>(id) * kLayerDim + salt * (1ULL << 40);
     for (std::size_t i = 0; i < kLayerDim; i++)
         out[i] = 2.0f * philox.uniformFloat(base + i) - 1.0f;
-    return out;
 }
 
 namespace {
@@ -73,17 +74,16 @@ namespace {
  * layers accumulate consistent signal — the supernet genuinely
  * converges instead of chasing per-step random targets.
  */
-Tensor
-teacherTarget(const Tensor &input, std::uint64_t dataSeed)
+void
+fillTeacherTarget(TensorView out, ConstTensorView input,
+                  std::uint64_t dataSeed)
 {
     Philox4x32 philox(deriveSeed(dataSeed, "teacher"));
-    Tensor out(kLayerDim);
     for (std::size_t i = 0; i < kLayerDim; i++) {
         float a = 0.5f + philox.uniformFloat(i, 0);         // (0.5,1.5)
         float b = philox.uniformFloat(i, 1) - 0.5f;         // (-.5,.5)
         out[i] = std::tanh(a * input[i] + b);
     }
-    return out;
 }
 
 } // namespace
@@ -95,9 +95,22 @@ NumericExecutor::beginSubnet(const Subnet &subnet)
                    " already in flight");
     SubnetContext ctx;
     ctx.subnet = subnet;
-    ctx.act.resize(static_cast<std::size_t>(subnet.size()) + 1);
-    ctx.act[0] = makeDigest(subnet.id(), "input", 0);
-    ctx.target = teacherTarget(ctx.act[0], _config.dataSeed);
+    // One arena backs the subnet's whole numeric state; the act
+    // vector holds views, so the per-activation std::vector
+    // allocations of the old hot path are gone.
+    std::size_t blocks = static_cast<std::size_t>(subnet.size());
+    ctx.act.reserve(blocks + 1);
+    for (std::size_t b = 0; b <= blocks; b++)
+        ctx.act.push_back(ctx.arena.allocVector(kLayerDim));
+    ctx.target = ctx.arena.allocVector(kLayerDim);
+    ctx.gradCursor = ctx.arena.allocVector(kLayerDim);
+    ctx.gradScratch = ctx.arena.allocVector(kLayerDim);
+    ctx.blockGrads = LayerGradsView(ctx.arena.allocVector(kLayerDim),
+                                    ctx.arena.allocVector(kLayerDim));
+    fillDigest(ctx.act[0], subnet.id(), "input", 0);
+    quantizeStored(ctx.act[0]);
+    fillTeacherTarget(ctx.target, ctx.act[0], _config.dataSeed);
+    quantizeStored(ctx.target);
     ctx.bwdProgress = subnet.size() - 1;
     std::unique_lock<RankedSharedMutex> lock(_ctxMu);
     _contexts.emplace(subnet.id(), std::move(ctx));
@@ -122,20 +135,27 @@ NumericExecutor::forwardStage(const Subnet &subnet, int lo, int hi,
                    ctx.fwdProgress, " got ", lo);
     NASPIPE_ASSERT(hi < subnet.size(), "block range out of bounds");
     for (int b = lo; b <= hi; b++) {
+        std::size_t bi = static_cast<std::size_t>(b);
         // Skip candidates are identity passthroughs: no parameters,
         // no READ, activation flows through unchanged.
         if (!_store.space().parameterized(b, subnet.choice(b))) {
-            ctx.act[static_cast<std::size_t>(b) + 1] =
-                ctx.act[static_cast<std::size_t>(b)];
+            ctx.act[bi + 1].copyFrom(ctx.act[bi]);
             continue;
         }
         LayerId layer = subnet.layer(b);
         const LayerParams &params =
             _store.read(layer, subnet.id(), stage);
-        if (semantics == UpdateSemantics::WeightStash)
-            ctx.stashed.emplace(b, params);  // snapshot the version
-        layerForward(params, ctx.act[static_cast<std::size_t>(b)],
-                     ctx.act[static_cast<std::size_t>(b) + 1]);
+        if (semantics == UpdateSemantics::WeightStash &&
+            ctx.stashed.find(b) == ctx.stashed.end()) {
+            // Snapshot the version into the subnet's arena.
+            TensorView w = ctx.arena.allocVector(kLayerDim);
+            TensorView bia = ctx.arena.allocVector(kLayerDim);
+            w.copyFrom(params.weight);
+            bia.copyFrom(params.bias);
+            ctx.stashed.emplace(b, LayerParamsView(w, bia));
+        }
+        layerForward(params, ctx.act[bi], ctx.act[bi + 1]);
+        quantizeStored(ctx.act[bi + 1]);
     }
     ctx.fwdProgress = hi + 1;
 }
@@ -147,22 +167,28 @@ NumericExecutor::computeLoss(const Subnet &subnet)
     NASPIPE_ASSERT(ctx.fwdProgress == subnet.size(),
                    "loss before forward completed");
     NASPIPE_ASSERT(!ctx.lossComputed, "loss computed twice");
-    const Tensor &out =
+    ConstTensorView out =
         ctx.act[static_cast<std::size_t>(subnet.size())];
-    ctx.loss = mseLoss(out, ctx.target);
+    ctx.loss = kernels::quantize(_config.precision,
+                                 mseLoss(out, ctx.target));
     mseLossGrad(out, ctx.target, ctx.gradCursor);
+    quantizeStored(ctx.gradCursor);
     ctx.lossComputed = true;
     return ctx.loss;
 }
 
 void
 NumericExecutor::applyUpdate(const Subnet &subnet, int block,
-                             const LayerGrads &grads, int stage)
+                             ConstTensorView gradWeight,
+                             ConstTensorView gradBias, int stage)
 {
     LayerParams &params =
         _store.write(subnet.layer(block), subnet.id(), stage);
     if (_config.gradNoise > 0.0) {
         // Mini-batch gradient noise: standard error ~ 1/sqrt(batch).
+        // The noisy gradients live on the stack — applyUpdate runs
+        // concurrently on different layers from different stage
+        // workers, and must not allocate.
         float scale = static_cast<float>(
             _config.gradNoise /
             std::sqrt(static_cast<double>(_config.batch)));
@@ -170,19 +196,29 @@ NumericExecutor::applyUpdate(const Subnet &subnet, int block,
         std::uint64_t base =
             (static_cast<std::uint64_t>(subnet.id()) << 24) ^
             (static_cast<std::uint64_t>(block) << 12);
-        LayerGrads noisy = grads;
+        float noisyW[kLayerDim];
+        float noisyB[kLayerDim];
         for (std::size_t i = 0; i < kLayerDim; i++) {
-            noisy.weight[i] +=
+            noisyW[i] =
+                gradWeight[i] +
                 scale *
-                (2.0f * philox.uniformFloat(base + i, 0) - 1.0f);
-            noisy.bias[i] +=
+                    (2.0f * philox.uniformFloat(base + i, 0) - 1.0f);
+            noisyB[i] =
+                gradBias[i] +
                 scale *
-                (2.0f * philox.uniformFloat(base + i, 1) - 1.0f);
+                    (2.0f * philox.uniformFloat(base + i, 1) - 1.0f);
         }
-        _optimizer.step(params, noisy);
-        return;
+        _optimizer.stepView(params.weight, params.bias,
+                            ConstTensorView(noisyW, kLayerDim),
+                            ConstTensorView(noisyB, kLayerDim));
+    } else {
+        _optimizer.stepView(params.weight, params.bias, gradWeight,
+                            gradBias);
     }
-    _optimizer.step(params, grads);
+    if (_config.precision != kernels::PrecisionMode::Fp32) {
+        quantizeStored(params.weight);
+        quantizeStored(params.bias);
+    }
 }
 
 void
@@ -202,31 +238,42 @@ NumericExecutor::backwardStage(const Subnet &subnet, int lo, int hi,
         if (!_store.space().parameterized(b, subnet.choice(b)))
             continue;
         LayerId layer = subnet.layer(b);
-        LayerGrads grads;
-        Tensor gradInput;
 
-        const LayerParams *gradSource;
+        LayerGradsView grads = ctx.blockGrads;
+        if (semantics == UpdateSemantics::Deferred) {
+            auto inserted = ctx.deferred.emplace(
+                b,
+                LayerGradsView(ctx.arena.allocVector(kLayerDim),
+                               ctx.arena.allocVector(kLayerDim)));
+            grads = inserted.first->second;
+        }
+        grads.clear();
+
+        LayerParamsView gradSource{ConstTensorView(),
+                                   ConstTensorView()};
         if (semantics == UpdateSemantics::WeightStash) {
             auto it = ctx.stashed.find(b);
             NASPIPE_ASSERT(it != ctx.stashed.end(),
                            "missing stashed weights for block ", b);
-            gradSource = &it->second;
+            gradSource = it->second;
         } else {
             // Recompute semantics: gradients use the parameters
             // current at backward time (PyTorch checkpoint).
-            gradSource = &_store.peek(layer);
+            gradSource = LayerParamsView(_store.peek(layer));
         }
 
-        layerBackward(*gradSource,
+        layerBackward(gradSource,
                       ctx.act[static_cast<std::size_t>(b)],
-                      ctx.gradCursor, gradInput, grads);
-        ctx.gradCursor = std::move(gradInput);
-
-        if (semantics == UpdateSemantics::Deferred) {
-            ctx.deferred.emplace(b, std::move(grads));
-        } else {
-            applyUpdate(subnet, b, grads, stage);
+                      ctx.gradCursor, ctx.gradScratch, grads);
+        quantizeStored(ctx.gradScratch);
+        if (_config.precision != kernels::PrecisionMode::Fp32) {
+            quantizeStored(grads.weight);
+            quantizeStored(grads.bias);
         }
+        std::swap(ctx.gradCursor, ctx.gradScratch);
+
+        if (semantics != UpdateSemantics::Deferred)
+            applyUpdate(subnet, b, grads.weight, grads.bias, stage);
     }
     ctx.bwdProgress = lo - 1;
 }
@@ -259,7 +306,8 @@ NumericExecutor::applyDeferredUpdates(std::vector<SubnetId> subnets)
         // std::map iterates blocks in ascending order: a fixed,
         // documented bulk-update order.
         for (const auto &[block, grads] : ctx.deferred)
-            applyUpdate(ctx.subnet, block, grads, -1);
+            applyUpdate(ctx.subnet, block, grads.weight, grads.bias,
+                        -1);
         ctx.deferred.clear();
     }
 }
@@ -282,25 +330,33 @@ NumericExecutor::evaluate(const Subnet &subnet, std::uint64_t evalSeed,
 {
     NASPIPE_ASSERT(evalBatches > 0, "need >= 1 eval batch");
     Philox4x32 philox(deriveSeed(evalSeed, "eval"));
-    float total = 0.0f;
+    std::vector<float> losses(static_cast<std::size_t>(evalBatches));
+    Tensor act(kLayerDim);
+    Tensor next(kLayerDim);
+    Tensor target(kLayerDim);
     for (int e = 0; e < evalBatches; e++) {
-        Tensor act(kLayerDim);
         std::uint64_t base = static_cast<std::uint64_t>(e) * 2 *
                              kLayerDim;
         for (std::size_t i = 0; i < kLayerDim; i++)
             act[i] = 2.0f * philox.uniformFloat(base + i) - 1.0f;
+        quantizeStored(act);
         // Held-out inputs, same teacher: a real generalization probe.
-        Tensor target = teacherTarget(act, _config.dataSeed);
-        Tensor next;
+        fillTeacherTarget(target, act, _config.dataSeed);
+        quantizeStored(target);
         for (int b = 0; b < subnet.size(); b++) {
             if (!_store.space().parameterized(b, subnet.choice(b)))
                 continue;  // identity passthrough
             layerForward(_store.peek(subnet.layer(b)), act, next);
-            act = next;
+            quantizeStored(next);
+            std::swap(act.data(), next.data());
         }
-        total += mseLoss(act, target);
+        losses[static_cast<std::size_t>(e)] = kernels::quantize(
+            _config.precision, mseLoss(act, target));
     }
-    return total / static_cast<float>(evalBatches);
+    // Batch losses combine in the same fixed tree as every other
+    // reduction; no raw float accumulation outside the kernel layer.
+    return kernels::treeSum(losses.data(), losses.size()) /
+           static_cast<float>(evalBatches);
 }
 
 double

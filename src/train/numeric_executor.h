@@ -21,6 +21,14 @@
  * seeded DataLoader (§4.1); batch size affects simulated *time*, not
  * the numeric trajectory, which keeps cross-GPU-count comparisons
  * meaningful.
+ *
+ * All per-subnet numeric state — activations, gradient cursors,
+ * weight stashes, deferred gradients — lives in a per-subnet bump
+ * Arena and is addressed through TensorViews, so the steady-state
+ * forward/backward path performs no heap allocation and no vector
+ * copies. Under Config::precision == Fp16Rne every stored value is
+ * rounded through binary16 (see tensor/kernels/precision.h); the
+ * arithmetic itself stays binary32.
  */
 
 #ifndef NASPIPE_TRAIN_NUMERIC_EXECUTOR_H
@@ -32,6 +40,8 @@
 #include <vector>
 
 #include "common/lock_rank.h"
+#include "memory/arena.h"
+#include "tensor/kernels/precision.h"
 #include "tensor/sgd.h"
 #include "train/param_store.h"
 
@@ -80,6 +90,9 @@ class NumericExecutor
          * big-batch systems converge faster per wall-clock second.
          */
         bool scaleLrWithBatch = true;
+        /** Storage precision of the whole numeric trajectory. */
+        kernels::PrecisionMode precision =
+            kernels::PrecisionMode::Fp32;
     };
 
     NumericExecutor(ParameterStore &store, const Config &config);
@@ -158,26 +171,46 @@ class NumericExecutor
 
     ParameterStore &store() { return _store; }
 
+    /** The storage precision this executor runs under. */
+    kernels::PrecisionMode precision() const
+    {
+        return _config.precision;
+    }
+
   private:
-    /** Per-in-flight-subnet training state. */
+    /**
+     * Per-in-flight-subnet training state. Every view points into
+     * the context's own arena; the whole context (arena included)
+     * dies at finishSubnet, so no view outlives its storage.
+     */
     struct SubnetContext {
         Subnet subnet;
-        std::vector<Tensor> act;   ///< act[b] = input to block b
-        Tensor gradCursor;         ///< dL/d act at the backward front
-        int fwdProgress = 0;       ///< next block to forward
-        int bwdProgress = -1;      ///< next block to backward
+        Arena arena;
+        std::vector<TensorView> act; ///< act[b] = input to block b
+        TensorView gradCursor;   ///< dL/d act at the backward front
+        TensorView gradScratch;  ///< backward ping-pong buffer
+        TensorView target;
+        LayerGradsView blockGrads{TensorView(), TensorView()};
+        int fwdProgress = 0;     ///< next block to forward
+        int bwdProgress = -1;    ///< next block to backward
         bool lossComputed = false;
         float loss = 0.0f;
-        Tensor target;
-        std::map<int, LayerParams> stashed;   ///< WeightStash
-        std::map<int, LayerGrads> deferred;   ///< Deferred
+        std::map<int, LayerParamsView> stashed; ///< WeightStash
+        std::map<int, LayerGradsView> deferred; ///< Deferred
     };
 
     SubnetContext &context(SubnetId id);
-    Tensor makeDigest(SubnetId id, const char *tag,
-                      std::uint64_t salt) const;
+    void fillDigest(TensorView out, SubnetId id, const char *tag,
+                    std::uint64_t salt) const;
     void applyUpdate(const Subnet &subnet, int block,
-                     const LayerGrads &grads, int stage);
+                     ConstTensorView gradWeight,
+                     ConstTensorView gradBias, int stage);
+    /** Storage rounding under the configured precision (no-op fp32). */
+    void quantizeStored(TensorView v) const
+    {
+        kernels::quantizeInPlace(_config.precision, v.data(),
+                                 v.size());
+    }
 
     ParameterStore &_store;
     Config _config;

@@ -39,8 +39,9 @@ writeTensor(std::ostream &out, const Tensor &t)
 } // namespace
 
 ParameterStore::ParameterStore(const SearchSpace &space,
-                               std::uint64_t seed)
-    : _space(space), _seed(seed)
+                               std::uint64_t seed,
+                               kernels::PrecisionMode precision)
+    : _space(space), _seed(seed), _precision(precision)
 {
 }
 
@@ -55,6 +56,13 @@ ParameterStore::materialize(const LayerId &layer)
     if (it == _params.end()) {
         LayerParams fresh;
         initLayerParams(fresh, _seed, layer.block, layer.choice);
+        // Storage rounding: fp16 runs start from fp16 weights.
+        kernels::quantizeInPlace(_precision,
+                                 fresh.weight.data().data(),
+                                 fresh.weight.size());
+        kernels::quantizeInPlace(_precision,
+                                 fresh.bias.data().data(),
+                                 fresh.bias.size());
         it = _params.emplace(layer.key(), std::move(fresh)).first;
     }
     return it->second;

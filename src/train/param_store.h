@@ -18,6 +18,7 @@
 #include <string>
 
 #include "supernet/search_space.h"
+#include "tensor/kernels/precision.h"
 #include "tensor/layer_math.h"
 #include "train/access_log.h"
 
@@ -33,11 +34,17 @@ class ParameterStore
      * @param space the search space (defines the layer universe)
      * @param seed initialization seed (the "fixed random seeds" of
      *        §4.1; two stores with the same seed start bitwise equal)
+     * @param precision storage precision: under Fp16Rne every
+     *        materialized initial value is rounded through binary16,
+     *        so fp16 runs start from bitwise-specified fp16 weights
      */
-    ParameterStore(const SearchSpace &space, std::uint64_t seed);
+    ParameterStore(const SearchSpace &space, std::uint64_t seed,
+                   kernels::PrecisionMode precision =
+                       kernels::PrecisionMode::Fp32);
 
     const SearchSpace &space() const { return _space; }
     std::uint64_t seed() const { return _seed; }
+    kernels::PrecisionMode precision() const { return _precision; }
 
     /**
      * Read access for a forward pass: returns the layer's current
@@ -125,6 +132,7 @@ class ParameterStore
 
     const SearchSpace &_space;
     std::uint64_t _seed;
+    kernels::PrecisionMode _precision;
     std::map<std::uint64_t, LayerParams> _params;
     std::map<std::uint64_t, std::uint64_t> _versions;
     AccessLog _log;

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Property tests of the numeric kernel layer (src/tensor/kernels/):
+ * the pairwise-tree reductions match the normative recursive spec at
+ * every length, are invariant to how the caller buffers the operands,
+ * and are bitwise stable; the fp16 storage rounding is an exact
+ * round-trip on every representable half and breaks ties to even on
+ * the documented boundary cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "memory/arena.h"
+#include "tensor/kernels/precision.h"
+#include "tensor/kernels/reduce.h"
+
+namespace naspipe {
+namespace {
+
+/**
+ * The normative tree shape, straight from the spec in
+ * tensor/kernels/reduce.h: split at the largest power of two
+ * strictly below n (the half point when n is itself a power of two)
+ * and add left + right. The production kernel reduces power-of-two
+ * segments with an in-place ladder instead of recursion; this
+ * reference is the shape it must be bitwise equal to.
+ */
+float
+refTreeSum(const float *a, std::size_t n)
+{
+    if (n == 0)
+        return 0.0f;
+    if (n == 1)
+        return a[0];
+    std::size_t p = 1;
+    while (p * 2 < n)
+        p *= 2;
+    return refTreeSum(a, p) + refTreeSum(a + p, n - p);
+}
+
+/** Deterministic test operands: counter-mode floats in [-1, 1). */
+std::vector<float>
+operands(std::size_t n, std::uint64_t tag)
+{
+    Philox4x32 rng(deriveSeed(0x6e756d, tag));
+    std::vector<float> v(n);
+    for (std::size_t i = 0; i < n; i++)
+        v[i] = 2.0f * rng.uniformFloat(i) - 1.0f;
+    return v;
+}
+
+/** Bitwise float equality (EXPECT_EQ would treat -0.0f == 0.0f). */
+::testing::AssertionResult
+sameBits(float a, float b)
+{
+    std::uint32_t ab, bb;
+    std::memcpy(&ab, &a, 4);
+    std::memcpy(&bb, &b, 4);
+    if (ab == bb)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << a << " (0x" << std::hex << ab << ") vs " << b << " (0x"
+           << bb << ")";
+}
+
+TEST(TreeReduceProperties, SumMatchesRecursiveSpecAtEveryLength)
+{
+    // Every length through several ladder blocks, plus lengths that
+    // straddle the 256-element block and the multi-block recursion.
+    std::vector<std::size_t> lengths;
+    for (std::size_t n = 0; n <= 300; n++)
+        lengths.push_back(n);
+    for (std::size_t n : {511u, 512u, 513u, 1000u, 4095u, 4096u,
+                          4097u, 6000u})
+        lengths.push_back(n);
+    for (std::size_t n : lengths) {
+        std::vector<float> a = operands(n, n);
+        EXPECT_TRUE(sameBits(kernels::treeSum(a.data(), n),
+                             refTreeSum(a.data(), n)))
+            << "n=" << n;
+    }
+}
+
+TEST(TreeReduceProperties, SumIsInvariantToCallerBuffering)
+{
+    // The result is a pure function of (values, length): re-homing
+    // the operand at any offset inside a larger buffer — every
+    // alignment, an Arena allocation, a fresh heap vector — cannot
+    // change a bit. This is the chunk-boundary invariance the
+    // zero-copy views rely on.
+    for (std::size_t n : {1u, 7u, 255u, 256u, 257u, 1000u, 4096u}) {
+        std::vector<float> a = operands(n, 17 + n);
+        const float golden = kernels::treeSum(a.data(), n);
+        for (std::size_t offset : {1u, 2u, 3u, 5u, 64u}) {
+            std::vector<float> shifted(n + offset, 0.0f);
+            std::copy(a.begin(), a.end(), shifted.begin() + offset);
+            EXPECT_TRUE(sameBits(
+                kernels::treeSum(shifted.data() + offset, n), golden))
+                << "n=" << n << " offset=" << offset;
+        }
+        Arena arena;
+        TensorView v = arena.allocVector(n);
+        std::copy(a.begin(), a.end(), v.data());
+        EXPECT_TRUE(sameBits(kernels::treeSum(v.data(), n), golden))
+            << "n=" << n << " (arena)";
+    }
+}
+
+TEST(TreeReduceProperties, SumIsBitwiseStableAcrossCalls)
+{
+    std::vector<float> a = operands(5000, 99);
+    const float first = kernels::treeSum(a.data(), a.size());
+    for (int rep = 0; rep < 8; rep++)
+        EXPECT_TRUE(
+            sameBits(kernels::treeSum(a.data(), a.size()), first));
+}
+
+TEST(TreeReduceProperties, DerivedReductionsFixLeavesThenTree)
+{
+    // dot and squared-diff reduce to: materialize the per-element
+    // leaf values, then the SAME tree as treeSum. No fused
+    // multiply-add may leak across a tree edge.
+    for (std::size_t n : {1u, 3u, 100u, 256u, 300u, 4096u, 5000u}) {
+        std::vector<float> a = operands(n, 1000 + n);
+        std::vector<float> b = operands(n, 2000 + n);
+        std::vector<float> prod(n), sqdiff(n);
+        for (std::size_t i = 0; i < n; i++) {
+            prod[i] = a[i] * b[i];
+            float d = a[i] - b[i];
+            sqdiff[i] = d * d;
+        }
+        EXPECT_TRUE(sameBits(kernels::treeDot(a.data(), b.data(), n),
+                             refTreeSum(prod.data(), n)))
+            << "dot n=" << n;
+        EXPECT_TRUE(sameBits(kernels::treeSquareDiffSum(
+                                 a.data(), b.data(), n),
+                             refTreeSum(sqdiff.data(), n)))
+            << "sqdiff n=" << n;
+        EXPECT_TRUE(sameBits(kernels::treeMeanSquare(a.data(), n),
+                             kernels::treeDot(a.data(), a.data(), n) /
+                                 static_cast<float>(n)))
+            << "meanSquare n=" << n;
+    }
+}
+
+TEST(TreeReduceProperties, EmptySumIsPositiveZero)
+{
+    float zero = kernels::treeSum(nullptr, 0);
+    std::uint32_t bits;
+    std::memcpy(&bits, &zero, 4);
+    EXPECT_EQ(bits, 0u);
+}
+
+TEST(PrecisionProperties, HalfRoundTripIsExactOnEveryRepresentable)
+{
+    // Storage rounding is the identity on values that already fit in
+    // binary16: decode every one of the 65536 half patterns and
+    // re-encode it. NaNs need not preserve payloads bit-for-bit, but
+    // must stay NaN.
+    for (std::uint32_t h = 0; h < 0x10000; h++) {
+        const auto half = static_cast<std::uint16_t>(h);
+        const float v = kernels::halfBitsToFp32(half);
+        const std::uint16_t back = kernels::fp32ToHalfBits(v);
+        if (std::isnan(v)) {
+            EXPECT_TRUE((back & 0x7c00) == 0x7c00 &&
+                        (back & 0x03ff) != 0)
+                << "half 0x" << std::hex << h;
+            continue;
+        }
+        EXPECT_EQ(back, half) << "half 0x" << std::hex << h;
+    }
+}
+
+TEST(PrecisionProperties, RoundsToNearestEvenOnTies)
+{
+    // Half spacing at 1.0 is 2^-10, so 1 + (2k+1) * 2^-11 is exactly
+    // halfway between neighbors; RNE picks the even mantissa.
+    EXPECT_EQ(kernels::fp32ToHalfBits(1.0f + 0x1.0p-11f), 0x3c00);
+    EXPECT_EQ(kernels::fp32ToHalfBits(1.0f + 3 * 0x1.0p-11f),
+              0x3c02);
+    // Just off the tie rounds to nearest, not to even.
+    EXPECT_EQ(kernels::fp32ToHalfBits(1.0f + 0x1.02p-11f), 0x3c01);
+
+    // Subnormal boundary: 2^-25 ties between 0 and the smallest
+    // subnormal 2^-24 — even is zero; anything above the tie is the
+    // subnormal; below vanishes.
+    EXPECT_EQ(kernels::fp32ToHalfBits(0x1.0p-25f), 0x0000);
+    EXPECT_EQ(kernels::fp32ToHalfBits(-0x1.0p-25f), 0x8000);
+    EXPECT_EQ(kernels::fp32ToHalfBits(0x1.8p-25f), 0x0001);
+    EXPECT_EQ(kernels::fp32ToHalfBits(0x1.0p-26f), 0x0000);
+    // 3 * 2^-25 ties between subnormals 1 and 2 — even wins again.
+    EXPECT_EQ(kernels::fp32ToHalfBits(3 * 0x1.0p-25f), 0x0002);
+
+    // Overflow boundary: halfway between the half maximum 65504 and
+    // the next step 65536 rounds (to even) into infinity.
+    EXPECT_EQ(kernels::fp32ToHalfBits(65520.0f), 0x7c00);
+    EXPECT_EQ(kernels::fp32ToHalfBits(65519.996f), 0x7bff);
+    EXPECT_EQ(kernels::fp32ToHalfBits(-65520.0f), 0xfc00);
+
+    // The fp32 mode's storage rounding is the identity.
+    EXPECT_TRUE(sameBits(
+        kernels::quantize(kernels::PrecisionMode::Fp32, 0.1f), 0.1f));
+    // And fp16 quantize really is decode(encode(v)).
+    const float q =
+        kernels::quantize(kernels::PrecisionMode::Fp16Rne, 0.1f);
+    EXPECT_TRUE(sameBits(
+        q, kernels::halfBitsToFp32(kernels::fp32ToHalfBits(0.1f))));
+}
+
+} // namespace
+} // namespace naspipe

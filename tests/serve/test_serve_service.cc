@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -293,6 +295,86 @@ TEST(ServeService, SubmitValidatesAndBatchIsAtomic)
     // An empty, drained service finishes immediately.
     service.drain();
     EXPECT_EQ(service.run(), SearchService::AllDone);
+}
+
+TEST(ServeService, ResubmitResumesFromPersistedCheckpointBitwise)
+{
+    // The interrupted-then-resubmitted tenant: a job that crashes
+    // out of its retry budget leaves its last drained checkpoint at
+    // ckpt-path; resubmitting the same spec against the same path
+    // resumes from that barrier and finishes on EXACTLY the weights,
+    // losses and winner of a never-interrupted run.
+    constexpr int kStages = 2;
+    const std::string path =
+        ::testing::TempDir() + "naspipe_serve_resume.ckpt";
+    std::remove(path.c_str());
+
+    JobSpec spec = job("NLP.c1", 11, 12);
+    spec.ckptInterval = 4;
+    spec.ckptPath = path;
+    spec.recoveryRetries = 0;
+    FaultSpec f;
+    f.kind = FaultKind::GpuCrash;
+    f.atStep = 6;
+    spec.faults.push_back(f);
+
+    {
+        // First submission: no checkpoint at the path yet, so this
+        // is a fresh start; the crash at completion 6 exhausts the
+        // zero-retry budget after the barrier-4 checkpoint persisted.
+        ServiceConfig sc;
+        sc.numStages = kStages;
+        SearchService service(sc);
+        std::string why;
+        int id = service.submit(spec, &why);
+        ASSERT_GT(id, 0) << why;
+        service.drain();
+        EXPECT_EQ(service.run(), SearchService::RetriesExhausted);
+        EXPECT_EQ(service.job(id)->state(), JobState::Failed);
+    }
+    ASSERT_TRUE(std::ifstream(path).good())
+        << "interrupted job left no checkpoint at " << path;
+
+    JobSpec again = spec;
+    again.faults.clear();
+    {
+        ServiceConfig sc;
+        sc.numStages = kStages;
+        SearchService service(sc);
+        std::string why;
+        int id = service.submit(again, &why);
+        ASSERT_GT(id, 0) << why;
+        service.drain();
+        ASSERT_EQ(service.run(), SearchService::AllDone)
+            << service.serviceError();
+        const ServeJob *j = service.job(id);
+        ASSERT_NE(j, nullptr);
+        ASSERT_EQ(j->state(), JobState::Done) << j->error();
+
+        RunResult solo = soloRun("NLP.c1", 11, 12, kStages);
+        EXPECT_EQ(j->result().supernetHash, solo.supernetHash);
+        EXPECT_EQ(j->result().losses, solo.losses);
+        EXPECT_EQ(j->result().bestSubnet, solo.bestSubnet);
+    }
+
+    // A path that holds bytes which are NOT a checkpoint must fail
+    // the job loudly instead of silently retraining from subnet 0.
+    {
+        std::ofstream(path, std::ios::trunc) << "not a checkpoint";
+        ServiceConfig sc;
+        sc.numStages = kStages;
+        SearchService service(sc);
+        std::string why;
+        int id = service.submit(again, &why);
+        ASSERT_GT(id, 0) << why;
+        service.drain();
+        EXPECT_EQ(service.run(), SearchService::JobFailed);
+        ASSERT_EQ(service.job(id)->state(), JobState::Failed);
+        EXPECT_NE(service.job(id)->error().find("cannot resume"),
+                  std::string::npos)
+            << service.job(id)->error();
+    }
+    std::remove(path.c_str());
 }
 
 TEST(ServeService, RerunMetricsExportIsByteIdentical)

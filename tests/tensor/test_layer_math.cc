@@ -60,7 +60,7 @@ TEST(LayerMath, ForwardBounded)
 {
     LayerParams p = makeParams();
     Tensor in = makeInput();
-    Tensor out;
+    Tensor out(kLayerDim);
     layerForward(p, in, out);
     ASSERT_EQ(out.size(), kLayerDim);
     for (std::size_t i = 0; i < kLayerDim; i++)
@@ -71,7 +71,7 @@ TEST(LayerMath, ForwardDeterministic)
 {
     LayerParams p = makeParams();
     Tensor in = makeInput();
-    Tensor out1, out2;
+    Tensor out1(kLayerDim), out2(kLayerDim);
     layerForward(p, in, out1);
     layerForward(p, in, out2);
     EXPECT_TRUE(out1.bitwiseEqual(out2));
@@ -83,10 +83,10 @@ TEST(LayerMath, ForwardDependsOnMixedWeight)
     // changes output[0].
     LayerParams p = makeParams();
     Tensor in = makeInput();
-    Tensor base;
+    Tensor base(kLayerDim);
     layerForward(p, in, base);
     p.weight[1] += 0.25f;
-    Tensor bumped;
+    Tensor bumped(kLayerDim);
     layerForward(p, in, bumped);
     EXPECT_NE(base[0], bumped[0]);
 }
@@ -95,18 +95,18 @@ TEST(LayerMath, BackwardMatchesNumericalGradient)
 {
     LayerParams p = makeParams();
     Tensor in = makeInput();
-    Tensor out;
+    Tensor out(kLayerDim);
     layerForward(p, in, out);
 
     // Scalar objective: L = sum(out).
     Tensor gradOut(kLayerDim);
     gradOut.fill(1.0f);
-    Tensor gradIn;
+    Tensor gradIn(kLayerDim);
     LayerGrads grads;
     layerBackward(p, in, gradOut, gradIn, grads);
 
     auto lossAt = [&](const LayerParams &params, const Tensor &input) {
-        Tensor o;
+        Tensor o(kLayerDim);
         layerForward(params, input, o);
         double total = 0.0;
         for (std::size_t i = 0; i < kLayerDim; i++)
@@ -151,7 +151,7 @@ TEST(LayerMath, GradsAccumulateAcrossCalls)
     Tensor in = makeInput();
     Tensor gradOut(kLayerDim);
     gradOut.fill(1.0f);
-    Tensor gradIn;
+    Tensor gradIn(kLayerDim);
     LayerGrads once, twice;
     layerBackward(p, in, gradOut, gradIn, once);
     layerBackward(p, in, gradOut, gradIn, twice);

@@ -28,7 +28,7 @@ TEST(MseLoss, GradMatchesNumerical)
 {
     Tensor pred(std::vector<float>{0.5f, -0.25f, 1.0f});
     Tensor target(std::vector<float>{0.0f, 0.0f, 0.0f});
-    Tensor grad;
+    Tensor grad(pred.size());
     mseLossGrad(pred, target, grad);
     const float eps = 1e-3f;
     for (std::size_t i = 0; i < pred.size(); i++) {

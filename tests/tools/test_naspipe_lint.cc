@@ -42,7 +42,8 @@ TEST(LintRules, TableListsEveryRule)
               (std::vector<std::string>{
                   "unordered-iteration", "raw-random",
                   "pointer-key-container", "det-suppression",
-                  "wall-clock", "relaxed-memory-order", "raw-mutex",
+                  "wall-clock", "float-reduce-outside-kernels",
+                  "relaxed-memory-order", "raw-mutex",
                   "lock-rank-order", "lock-cycle",
                   "blocking-under-lock", "unknown-lock-rank",
                   "ambiguous-lock-name"}));
@@ -156,6 +157,60 @@ TEST(LintRules, PointerKeyContainerFires)
     // Value-typed maps and pointer *values* are fine.
     EXPECT_TRUE(scanSource("src/a.cc",
                            "std::map<int, Layer *> byId;\n")
+                    .empty());
+}
+
+TEST(LintRules, FloatReduceFiresOnAccumulatorLoops)
+{
+    std::string src = "float total = 0.0f;\n"
+                      "void f(const float *a, int n) {\n"
+                      "    for (int i = 0; i < n; i++)\n"
+                      "        total += a[i];\n"
+                      "}\n";
+    std::vector<Finding> findings = scanSource("src/a.cc", src);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "float-reduce-outside-kernels");
+    EXPECT_EQ(findings[0].line, 4);
+
+    // All three zero-initializer spellings seed an accumulator.
+    EXPECT_EQ(rulesOf(scanSource("src/b.cc",
+                                 "float s = 0;\ns += x;\n")),
+              std::vector<std::string>{
+                  "float-reduce-outside-kernels"});
+    EXPECT_EQ(rulesOf(scanSource("src/b.cc",
+                                 "float s = 0.f;\ns += x;\n")),
+              std::vector<std::string>{
+                  "float-reduce-outside-kernels"});
+}
+
+TEST(LintRules, FloatReduceFiresOnStdAccumulate)
+{
+    EXPECT_EQ(rulesOf(scanSource(
+                  "src/a.cc",
+                  "float s = std::accumulate(v.begin(), v.end(), "
+                  "1.0f);\n")),
+              std::vector<std::string>{
+                  "float-reduce-outside-kernels"});
+}
+
+TEST(LintRules, FloatReduceSkipsKernelsAndNonReductions)
+{
+    // The kernel layer is the sanctioned home of reduction loops.
+    EXPECT_TRUE(scanSource("src/tensor/kernels/reduce.cc",
+                           "float s = 0.0f;\ns += a[i];\n")
+                    .empty());
+    // A zero-initialized float that is only ever assigned is a
+    // running value, not a reduction.
+    EXPECT_TRUE(scanSource("src/a.cc",
+                           "float loss = 0.0f;\nloss = next();\n")
+                    .empty());
+    // A nonzero initializer is not a reduction seed.
+    EXPECT_TRUE(scanSource("src/a.cc",
+                           "float gain = 0.5f;\ngain += bump;\n")
+                    .empty());
+    // Integer accumulators carry no rounding order.
+    EXPECT_TRUE(scanSource("src/a.cc",
+                           "int count = 0;\ncount += n;\n")
                     .empty());
 }
 

@@ -13,6 +13,7 @@ constexpr const char *kRawRandom = "raw-random";
 constexpr const char *kPointerKeyContainer = "pointer-key-container";
 constexpr const char *kDetSuppression = "det-suppression";
 constexpr const char *kWallClock = "wall-clock";
+constexpr const char *kFloatReduce = "float-reduce-outside-kernels";
 
 /**
  * Variables declared as unordered containers in this file. Matches
@@ -87,6 +88,47 @@ hasRawRandom(const std::string &code)
     return false;
 }
 
+/**
+ * Zero-initialized float variables in this file — candidate scalar
+ * reduction accumulators. Matches `float name = 0;` / `= 0.f;` /
+ * `= 0.0f;`; a nonzero initializer is a running value, not a
+ * reduction seed, and stays out of the set.
+ */
+std::set<std::string>
+floatAccumulatorNames(const SourceLines &lines)
+{
+    static const std::regex decl(
+        R"(\bfloat\s+(\w+)\s*=\s*0(?:\.0*f?)?\s*[;,)])");
+    std::set<std::string> names;
+    for (const std::string &line : lines.code) {
+        auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                          decl);
+        for (auto it = begin; it != std::sregex_iterator(); ++it)
+            names.insert((*it)[1].str());
+    }
+    return names;
+}
+
+/** Whether a code line feeds @p name with `+=`. */
+bool
+accumulatesInto(const std::string &code, const std::string &name)
+{
+    for (std::size_t pos = code.find(name); pos != std::string::npos;
+         pos = code.find(name, pos + 1)) {
+        if (!wordAt(code, pos, name.size()))
+            continue;
+        std::size_t after = pos + name.size();
+        while (after < code.size() &&
+               (code[after] == ' ' || code[after] == '\t')) {
+            after++;
+        }
+        if (after + 1 < code.size() && code[after] == '+' &&
+            code[after + 1] == '=')
+            return true;
+    }
+    return false;
+}
+
 } // namespace
 
 const std::vector<RuleInfo> &
@@ -114,6 +156,12 @@ lineRuleTable()
          "wall-clock is the canonical nondeterminism source; measure "
          "through the obs::WallTimer / obs::now() wrappers so every "
          "clock dependency stays auditable in one place"},
+        {kFloatReduce,
+         "sequential float accumulation (`+=` into a zero-initialized "
+         "float, or std::accumulate) outside src/tensor/kernels/ — "
+         "summation order is part of the bitwise numeric contract; "
+         "route reductions through kernels::treeSum/treeDot so the "
+         "tree shape stays specified in one place"},
     };
     return kTable;
 }
@@ -123,9 +171,13 @@ runLineRules(const SourceFile &file)
 {
     const SourceLines &lines = file.lines;
     const std::set<std::string> unordered = unorderedVariables(lines);
+    const std::set<std::string> accumulators =
+        floatAccumulatorNames(lines);
     const bool inRngHome = pathContains(file.path, "common/rng.");
     const bool inClockHome = pathContains(file.path, "src/obs/") ||
                              pathContains(file.path, "bench/");
+    const bool inKernelHome =
+        pathContains(file.path, "src/tensor/kernels/");
 
     std::vector<Finding> findings;
     auto add = [&](std::size_t idx, const char *rule) {
@@ -157,6 +209,17 @@ runLineRules(const SourceFile &file)
         }
         if (!inRngHome && hasRawRandom(code))
             add(i, kRawRandom);
+        if (!inKernelHome) {
+            for (const std::string &name : accumulators) {
+                if (accumulatesInto(code, name)) {
+                    add(i, kFloatReduce);
+                    break;
+                }
+            }
+            if (code.find("std::accumulate") != std::string::npos ||
+                code.find("std :: accumulate") != std::string::npos)
+                add(i, kFloatReduce);
+        }
         if (std::regex_search(code, pointerKey))
             add(i, kPointerKeyContainer);
         if (!inClockHome && std::regex_search(code, wallClock))

@@ -15,6 +15,10 @@ auto-detected from its schema tag:
   naspipe-bench/3    as /2 plus a required `serve` section (the
                      multi-tenant shared-pool record: job count,
                      aggregate throughput, per-job bitwise gate)
+  naspipe-bench/4    as /3 plus a required `numeric` section (the
+                     kernel-layer record: sequential-vs-tree
+                     reduction timings and the per-precision-mode
+                     golden weight-hash gate)
 
 Exits 0 when every file validates, 1 otherwise, printing one line per
 problem. No third-party dependencies — CI runs this on a bare python3.
@@ -26,7 +30,7 @@ import sys
 TRACE_SCHEMA = "naspipe-trace/1"
 METRICS_SCHEMA = "naspipe-metrics/1"
 BENCH_SCHEMAS = ("naspipe-bench/1", "naspipe-bench/2",
-                 "naspipe-bench/3")
+                 "naspipe-bench/3", "naspipe-bench/4")
 
 
 def check_trace(doc, err):
@@ -157,6 +161,43 @@ def check_serve(serve, err):
                 % (entry.get("job"), entry.get("space")))
 
 
+def check_numeric(numeric, err):
+    if not isinstance(numeric, dict):
+        err("numeric section missing")
+        return
+    reductions = numeric.get("reductions")
+    if not isinstance(reductions, list) or not reductions:
+        err("numeric.reductions missing or empty")
+    else:
+        for entry in reductions:
+            for key in ("n", "seq_us", "tree_us", "speedup"):
+                if key not in entry:
+                    err("numeric reduction n=%s: %s missing"
+                        % (entry.get("n"), key))
+    goldens = numeric.get("goldens")
+    if not isinstance(goldens, list) or not goldens:
+        err("numeric.goldens missing or empty")
+        return
+    modes = set()
+    for entry in goldens:
+        for key in ("space", "mode", "workers", "steps", "hash",
+                    "sim_threads_match", "golden_match"):
+            if key not in entry:
+                err("numeric golden %s/%s: %s missing"
+                    % (entry.get("space"), entry.get("mode"), key))
+        modes.add(entry.get("mode"))
+        if not entry.get("sim_threads_match"):
+            err("numeric golden %s/%s: sim and threads hashes "
+                "DIVERGE" % (entry.get("space"), entry.get("mode")))
+        if not entry.get("golden_match"):
+            err("numeric golden %s/%s: weight hash diverges from "
+                "the committed golden"
+                % (entry.get("space"), entry.get("mode")))
+    for mode in ("fp32", "fp16_rne"):
+        if mode not in modes:
+            err("numeric.goldens: no %s entry" % mode)
+
+
 def check_bench(doc, err):
     if doc.get("schema") not in BENCH_SCHEMAS:
         err("schema not in %s" % (BENCH_SCHEMAS,))
@@ -178,10 +219,13 @@ def check_bench(doc, err):
             if not entry.get("bitwise_match"):
                 err("scaling %s workers: sim/threads hash MISMATCH"
                     % entry.get("workers"))
-    if doc.get("schema") in ("naspipe-bench/2", "naspipe-bench/3"):
+    if doc.get("schema") in ("naspipe-bench/2", "naspipe-bench/3",
+                             "naspipe-bench/4"):
         check_recovery(doc.get("recovery"), err)
-    if doc.get("schema") == "naspipe-bench/3":
+    if doc.get("schema") in ("naspipe-bench/3", "naspipe-bench/4"):
         check_serve(doc.get("serve"), err)
+    if doc.get("schema") == "naspipe-bench/4":
+        check_numeric(doc.get("numeric"), err)
     stable = doc.get("stable", {})
     for key in ("supernet_hash", "final_loss",
                 "logical_makespan_ticks", "logical_span_count"):

@@ -3,7 +3,7 @@
  * naspipe_bench — the repo's committed perf trajectory.
  *
  * Runs a pinned benchmark suite and writes one schema-versioned JSON
- * document (naspipe-bench/1) that is committed at the repo root as
+ * document (naspipe-bench/4) that is committed at the repo root as
  * BENCH_<pr>.json, so the perf trajectory of the codebase is
  * reviewable PR over PR:
  *
@@ -26,7 +26,12 @@
  *   - serve: the multi-tenant search service multiplexing mixed
  *     NLP.c1/CV.c1 jobs over one shared pool — aggregate throughput
  *     plus the per-job bitwise gate (every tenant's weights must
- *     equal its solo run exactly).
+ *     equal its solo run exactly);
+ *   - numeric: the kernel layer's record — sequential-vs-tree
+ *     reduction timings at several lengths, and the per-precision
+ *     golden gate: a pinned 32-step workload per (space, mode) on
+ *     BOTH executors, whose weight hashes must agree with each
+ *     other and with the committed goldens bit for bit.
  *
  * Wall-clock numbers vary machine to machine; the stable section and
  * every hash/match field must not. CI runs `--smoke` on every push.
@@ -53,17 +58,19 @@
 #include "obs/wall_clock.h"
 #include "serve/service.h"
 #include "supernet/sampler.h"
+#include "tensor/kernels/precision.h"
+#include "tensor/kernels/reduce.h"
 #include "train/numeric_executor.h"
 
 namespace {
 
 using namespace naspipe;
 
-constexpr const char *kSchema = "naspipe-bench/3";
+constexpr const char *kSchema = "naspipe-bench/4";
 
 struct Options {
-    std::string outPath = "BENCH_9.json";
-    int pr = 9;
+    std::string outPath = "BENCH_10.json";
+    int pr = 10;
     int steps = 64;
     bool smoke = false;
     bool quiet = false;
@@ -99,6 +106,28 @@ struct ServeResult {
     double wallSeconds = 0.0;
     double subnetsPerSec = 0.0;  ///< aggregate across all tenants
     std::vector<ServeJobResult> jobs;
+};
+
+struct ReductionResult {
+    std::size_t n = 0;
+    double seqUs = 0.0;
+    double treeUs = 0.0;
+    double speedup = 0.0;  ///< seq / tree
+};
+
+struct GoldenResult {
+    std::string space;
+    std::string mode;  ///< "fp32" | "fp16_rne"
+    int workers = 0;
+    int steps = 0;
+    std::uint64_t hash = 0;        ///< threaded-executor hash
+    bool simThreadsMatch = false;  ///< sim == threads bitwise
+    bool goldenMatch = false;      ///< == the committed golden
+};
+
+struct NumericResult {
+    std::vector<ReductionResult> reductions;
+    std::vector<GoldenResult> goldens;
 };
 
 struct RecoveryResult {
@@ -190,6 +219,94 @@ workloadConfig(int workers, int steps)
     config.totalSubnets = steps;
     config.seed = 7;
     return config;
+}
+
+/**
+ * The kernel-layer record. Timings compare the pre-refactor
+ * sequential loop against kernels::treeSum at several lengths; the
+ * golden gate reruns the pinned 32-step acceptance workload per
+ * (space, precision mode) on both executors and compares against the
+ * committed hashes below. Goldens are pinned to 4 workers, 32 steps,
+ * seed 7 — independent of --steps/--smoke, so the gate is identical
+ * in every harness configuration.
+ */
+struct GoldenSpec {
+    const char *space;
+    kernels::PrecisionMode mode;
+    std::uint64_t hash;
+};
+constexpr int kGoldenWorkers = 4;
+constexpr int kGoldenSteps = 32;
+constexpr GoldenSpec kGoldens[] = {
+    {"NLP.c1", kernels::PrecisionMode::Fp32, 0x62a61404a040bcdaULL},
+    {"CV.c1", kernels::PrecisionMode::Fp32, 0x11818c7988908918ULL},
+    {"NLP.c1", kernels::PrecisionMode::Fp16Rne,
+     0xcc5b8116dc75ad43ULL},
+    {"CV.c1", kernels::PrecisionMode::Fp16Rne,
+     0x7df4511c1a20f704ULL},
+};
+
+NumericResult
+runNumeric(const Options &opt)
+{
+    NumericResult out;
+
+    const std::uint64_t reps = opt.smoke ? 200 : 2000;
+    for (std::size_t n : {1024u, 4096u, 16384u, 65536u}) {
+        std::vector<float> a(n);
+        for (std::size_t i = 0; i < n; i++)
+            a[i] = 0.001f * static_cast<float>(i % 97) - 0.05f;
+        ReductionResult r;
+        r.n = n;
+        volatile float sink = 0.0f;
+        r.seqUs = microLoop(reps, [&] {
+            float acc = 0.0f;
+            for (std::size_t i = 0; i < n; i++)
+                // naspipe-lint: allow(float-reduce-outside-kernels) the sequential baseline the tree is measured against
+                acc += a[i];
+            sink = acc;
+        });
+        r.treeUs = microLoop(
+            reps, [&] { sink = kernels::treeSum(a.data(), n); });
+        r.speedup = r.treeUs > 0.0 ? r.seqUs / r.treeUs : 0.0;
+        out.reductions.push_back(r);
+        if (!opt.quiet) {
+            std::printf("numer  reduce n=%-6zu seq %8.3f us  tree "
+                        "%8.3f us  speedup %.2fx\n",
+                        n, r.seqUs, r.treeUs, r.speedup);
+        }
+    }
+
+    for (const GoldenSpec &spec : kGoldens) {
+        SearchSpace space = makeSpaceByName(spec.space);
+        RuntimeConfig config =
+            workloadConfig(kGoldenWorkers, kGoldenSteps);
+        config.precision = spec.mode;
+        RunResult sim = runTraining(space, config);
+        RunResult thr = runTrainingThreaded(space, config);
+        NASPIPE_ASSERT(!sim.oom && !sim.failed && !thr.oom &&
+                           !thr.failed,
+                       "bench numeric golden run failed (", spec.space,
+                       ", ", kernels::precisionModeName(spec.mode),
+                       ")");
+        GoldenResult r;
+        r.space = spec.space;
+        r.mode = kernels::precisionModeName(spec.mode);
+        r.workers = kGoldenWorkers;
+        r.steps = kGoldenSteps;
+        r.hash = thr.supernetHash;
+        r.simThreadsMatch = sim.supernetHash == thr.supernetHash;
+        r.goldenMatch = thr.supernetHash == spec.hash;
+        out.goldens.push_back(r);
+        if (!opt.quiet) {
+            std::printf("numer  golden %s %-8s: sim==threads %s, "
+                        "golden %s\n",
+                        r.space.c_str(), r.mode.c_str(),
+                        r.simThreadsMatch ? "ok" : "MISMATCH",
+                        r.goldenMatch ? "ok" : "MISMATCH");
+        }
+    }
+    return out;
 }
 
 std::vector<ScalingResult>
@@ -357,7 +474,7 @@ std::string
 renderJson(const Options &opt, const std::vector<MicroResult> &micro,
            const std::vector<ScalingResult> &scaling,
            const RecoveryResult &recovery, const ServeResult &serve,
-           const RunResult &reference,
+           const NumericResult &numeric, const RunResult &reference,
            const obs::LogicalSchedule &logical)
 {
     std::ostringstream oss;
@@ -426,6 +543,35 @@ renderJson(const Options &opt, const std::vector<MicroResult> &micro,
             << ",\"steps\":" << r.steps << ",\"hash\":\"" << jobHash
             << "\",\"bitwise_match\":"
             << (r.bitwiseMatch ? "true" : "false") << "}";
+    }
+    oss << "]}";
+
+    oss << ",\"numeric\":{\"reductions\":[";
+    for (std::size_t i = 0; i < numeric.reductions.size(); i++) {
+        const ReductionResult &r = numeric.reductions[i];
+        if (i)
+            oss << ",";
+        oss << "{\"n\":" << r.n
+            << ",\"seq_us\":" << formatFixed(r.seqUs, 3)
+            << ",\"tree_us\":" << formatFixed(r.treeUs, 3)
+            << ",\"speedup\":" << formatFixed(r.speedup, 2) << "}";
+    }
+    oss << "],\"goldens\":[";
+    for (std::size_t i = 0; i < numeric.goldens.size(); i++) {
+        const GoldenResult &r = numeric.goldens[i];
+        if (i)
+            oss << ",";
+        char goldenHash[32];
+        std::snprintf(goldenHash, sizeof(goldenHash), "%016llx",
+                      static_cast<unsigned long long>(r.hash));
+        oss << "{\"space\":\"" << obs::jsonEscape(r.space)
+            << "\",\"mode\":\"" << obs::jsonEscape(r.mode)
+            << "\",\"workers\":" << r.workers
+            << ",\"steps\":" << r.steps << ",\"hash\":\""
+            << goldenHash << "\",\"sim_threads_match\":"
+            << (r.simThreadsMatch ? "true" : "false")
+            << ",\"golden_match\":"
+            << (r.goldenMatch ? "true" : "false") << "}";
     }
     oss << "]}";
 
@@ -501,9 +647,10 @@ main(int argc, char **argv)
 
     RecoveryResult recovery = runRecovery(space, opt, reference);
     ServeResult serve = runServe(opt);
+    NumericResult numeric = runNumeric(opt);
 
     std::string json = renderJson(opt, micro, scaling, recovery,
-                                  serve, reference, logical);
+                                  serve, numeric, reference, logical);
     std::ofstream out(opt.outPath);
     out << json << "\n";
     if (!out)
@@ -532,6 +679,15 @@ main(int argc, char **argv)
                          "error: serve job %d (%s) diverges from its "
                          "solo run on the shared pool\n",
                          r.id, r.space.c_str());
+            return 1;
+        }
+    }
+    for (const GoldenResult &r : numeric.goldens) {
+        if (!r.simThreadsMatch || !r.goldenMatch) {
+            std::fprintf(stderr,
+                         "error: numeric golden gate failed for %s "
+                         "in %s mode\n",
+                         r.space.c_str(), r.mode.c_str());
             return 1;
         }
     }

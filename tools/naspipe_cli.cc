@@ -72,6 +72,7 @@
 #include "obs/trace_export.h"
 #include "fault/fault_plan.h"
 #include "schedule/ssp_scheduler.h"
+#include "tensor/kernels/precision.h"
 #include "verify/csp_oracle.h"
 
 namespace {
@@ -87,6 +88,7 @@ usage(const char *argv0)
         "[--staleness N]\n"
         "          [--evolution] [--hybrid N] "
         "[--executor sim|threads]\n"
+        "          [--precision fp32|fp16]\n"
         "          [--verify-csp] [--inject-fault SPEC] "
         "[--ckpt-interval N]\n"
         "          [--recovery-retries N] "
@@ -169,6 +171,7 @@ main(int argc, char **argv)
     std::string spaceName = "NLP.c2";
     std::string systemName = "naspipe";
     std::string executorName = "sim";
+    kernels::PrecisionMode precision = kernels::PrecisionMode::Fp32;
     std::string tracePath, checkpointPath, csvPath;
     std::string ckptPath, resumePath;
     std::string traceOutPath, metricsOutPath;
@@ -224,6 +227,14 @@ main(int argc, char **argv)
                 argError(argv[0], "bad value '" + executorName +
                                       "' for --executor "
                                       "(want sim or threads)");
+            }
+        }
+        else if (arg == "--precision") {
+            const std::string text = value();
+            if (!kernels::parsePrecisionMode(text, precision)) {
+                argError(argv[0], "bad value '" + text +
+                                      "' for --precision "
+                                      "(want fp32 or fp16)");
             }
         }
         else if (arg == "--ckpt-interval")
@@ -286,6 +297,7 @@ main(int argc, char **argv)
     config.totalSubnets = steps;
     config.seed = seed;
     config.batch = batch;
+    config.precision = precision;
     config.evolutionSearch = evolution;
     config.hybridStreams = hybrid;
     // Wall-mode trace export needs live span recording; logical-mode

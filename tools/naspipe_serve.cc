@@ -62,6 +62,7 @@ usage(const char *argv0)
         "          [--metrics-out FILE.json] [--json] [--quiet]\n"
         "job SPEC: comma-separated key=value pairs with keys\n"
         "          name space seed steps priority ckpt ckpt-path\n"
+        "          precision (fp32|fp16)\n"
         "          retries window fault (KIND@STEP, KIND crash|drop,\n"
         "          repeatable)\n"
         "exit:     0 all done, 2 bad args, 3 job failed,\n"
